@@ -1,0 +1,37 @@
+; A four-grid Jacobi relaxation in the textual program format.
+; Run with:
+;   dune exec bin/pcolor_cli.exe -- run-file examples/programs/jacobi.sexp -p 8 -s 16 --policy cdpc
+; Compare with the OS default:
+;   dune exec bin/pcolor_cli.exe -- run-file examples/programs/jacobi.sexp -p 8 -s 16 --policy pc
+;
+; The grids are 257x257 doubles (~0.5 MB each): equal-sized arrays whose
+; cache color phases collide under page coloring once the rows are
+; partitioned across processors.
+
+(program jacobi4
+  (startup 5000)
+  (array A   (dims 257 257))
+  (array B   (dims 257 257))
+  (array RHS (dims 257 257))
+  (array TMP (dims 257 257))
+
+  (phase relax
+    (nest relax (parallel even forward) (bounds 255 255)
+      (body-instr 10)
+      ; A's 5-point stencil around (i+1, j+1): offsets in elements
+      (ref A (coeffs 257 1) (offset 258) read)
+      (ref A (coeffs 257 1) (offset 1)   read)
+      (ref A (coeffs 257 1) (offset 515) read)
+      (ref A (coeffs 257 1) (offset 257) read)
+      (ref A (coeffs 257 1) (offset 259) read)
+      (ref RHS (coeffs 257 1) (offset 258) read)
+      (ref B (coeffs 257 1) (offset 258) write)))
+
+  (phase copy
+    (nest copy (parallel even forward) (bounds 255 255)
+      (body-instr 6)
+      (ref B   (coeffs 257 1) (offset 258) read)
+      (ref TMP (coeffs 257 1) (offset 258) write)
+      (ref A   (coeffs 257 1) (offset 258) write)))
+
+  (steady (relax 50) (copy 50)))
