@@ -1,0 +1,1 @@
+bench/extensions.ml: Config Harness List Pcolor Printf Report Run Spec Table

@@ -1,0 +1,1 @@
+bench/figures.ml: Array Harness Hashtbl List Option Pcolor Printf Report Run Spec String Table

@@ -1,0 +1,1 @@
+bench/harness.ml: Hashtbl Pcolor Printf String Sys Unix

@@ -1,0 +1,1 @@
+bench/main.ml: Array Extensions Figures Harness Hashtbl List Micro Printf String Sys Unix

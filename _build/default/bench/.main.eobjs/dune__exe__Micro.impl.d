@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Harness Hashtbl Instance List Measure Pcolor Printf Staged Test Time Toolkit

@@ -1,0 +1,76 @@
+(* Shared plumbing for the reproduction harness: run configuration,
+   experiment execution with progress reporting, and result caching so
+   Table 2 can reuse Figure 9's runs. *)
+
+module Run = Pcolor.Runtime.Run
+module Report = Pcolor.Stats.Report
+module Config = Pcolor.Memsim.Config
+module Spec = Pcolor.Workloads.Spec
+module Table = Pcolor.Util.Table
+
+(* Scale divisor for data sets and caches.  4 preserves the paper's
+   color-space geometry closely (64 colors on the base machine) and
+   keeps the full harness to tens of minutes; override with
+   PCOLOR_SCALE=1|4|16|64 (1 = the paper's exact geometry, slow). *)
+let scale =
+  match Sys.getenv_opt "PCOLOR_SCALE" with
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some (1 | 4 | 16 | 64 as v) -> v
+    | _ -> failwith "PCOLOR_SCALE must be 1, 4, 16 or 64")
+  | None -> 4
+
+(* Fast mode trims CPU sweeps; used by CI-style smoke runs. *)
+let fast = Sys.getenv_opt "PCOLOR_FAST" <> None
+
+let cpu_counts = if fast then [ 1; 4; 16 ] else [ 1; 2; 4; 8; 16 ]
+
+let alpha_cpu_counts = if fast then [ 1; 8 ] else [ 1; 2; 4; 8 ]
+
+type machine = Sgi | Sgi_2way | Sgi_4mb | Alpha
+
+let machine_cfg machine ~n_cpus =
+  let base =
+    match machine with
+    | Sgi -> Config.sgi_base ~n_cpus ()
+    | Sgi_2way -> Config.sgi_2way ~n_cpus ()
+    | Sgi_4mb -> Config.sgi_4mb ~n_cpus ()
+    | Alpha -> Config.alphaserver ~n_cpus ()
+  in
+  Config.scale base scale
+
+let cdpc = Run.Cdpc { fallback = `Page_coloring; via_touch = false }
+
+let cdpc_touch = Run.Cdpc { fallback = `Bin_hopping; via_touch = true }
+
+(* Result cache: one experiment may be referenced by several tables. *)
+let cache : (string, Report.t) Hashtbl.t = Hashtbl.create 256
+
+let key ~bench ~machine ~n_cpus ~policy ~prefetch =
+  Printf.sprintf "%s/%s/%d/%s/%b" bench
+    (match machine with Sgi -> "sgi" | Sgi_2way -> "2way" | Sgi_4mb -> "4mb" | Alpha -> "alpha")
+    n_cpus (Run.policy_name policy) prefetch
+
+let experiment ?(prefetch = false) ~bench ~machine ~n_cpus ~policy () =
+  let k = key ~bench ~machine ~n_cpus ~policy ~prefetch in
+  match Hashtbl.find_opt cache k with
+  | Some r -> r
+  | None ->
+    let t0 = Unix.gettimeofday () in
+    let d = Spec.find bench in
+    let cfg = machine_cfg machine ~n_cpus in
+    let setup =
+      {
+        (Run.default_setup ~cfg ~make_program:(fun () -> d.build ~scale ()) ~policy) with
+        prefetch;
+      }
+    in
+    let r = (Run.run setup).report in
+    Hashtbl.replace cache k r;
+    Printf.eprintf "  [%5.1fs] %s\n%!" (Unix.gettimeofday () -. t0) k;
+    r
+
+let section title =
+  Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
+
+let note fmt = Printf.printf (fmt ^^ "\n")

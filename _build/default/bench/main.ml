@@ -1,0 +1,57 @@
+(* Reproduction harness: regenerates every table and figure of the
+   paper's evaluation, then runs bechamel micro-benchmarks of the core
+   machinery.
+
+     dune exec bench/main.exe                 run everything
+     dune exec bench/main.exe -- figure6      run selected sections
+     PCOLOR_SCALE=16 dune exec bench/main.exe quick geometry
+     PCOLOR_FAST=1   dune exec bench/main.exe trimmed CPU sweeps
+
+   Absolute cycle counts are per representative window on a scaled
+   machine (see DESIGN.md); the shapes — who wins, by what factor, where
+   the crossovers sit — are the reproduction targets, and each section
+   prints explicit shape checks against the paper's claims. *)
+
+let sections =
+  [
+    ("table1", Figures.table1);
+    ("figure2", Figures.figure2);
+    ("figure3+5", Figures.access_patterns);
+    ("figure6", Figures.figure6);
+    ("figure7", Figures.figure7);
+    ("figure8", Figures.figure8);
+    ("figure9", Figures.figure9);
+    ("table2", Figures.table2);
+    ("extensions", Extensions.run);
+    ("micro", Micro.run);
+  ]
+
+let () =
+  let requested = List.tl (Array.to_list Sys.argv) in
+  let to_run =
+    match requested with
+    | [] -> sections
+    | names ->
+      List.map
+        (fun n ->
+          match List.assoc_opt n sections with
+          | Some f -> (n, f)
+          | None ->
+            Printf.eprintf "unknown section %s (know: %s)\n" n
+              (String.concat ", " (List.map fst sections));
+            exit 2)
+        names
+  in
+  Printf.printf
+    "Compiler-Directed Page Coloring for Multiprocessors (ASPLOS 1996) — reproduction\n";
+  Printf.printf "scale 1/%d (PCOLOR_SCALE to change); %s CPU sweeps\n" Harness.scale
+    (if Harness.fast then "trimmed" else "full");
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (name, f) ->
+      let t = Unix.gettimeofday () in
+      f ();
+      Printf.eprintf "[section %s: %.1fs]\n%!" name (Unix.gettimeofday () -. t))
+    to_run;
+  Printf.printf "\ntotal: %.1fs over %d experiment runs\n" (Unix.gettimeofday () -. t0)
+    (Hashtbl.length Harness.cache)

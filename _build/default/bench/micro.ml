@@ -1,0 +1,112 @@
+(* Bechamel micro-benchmarks: the per-operation costs of the core
+   machinery, one group per paper table/figure whose reproduction leans
+   on it.  These complement the experiment harness in {!Figures}: the
+   harness regenerates the paper's numbers, the micro-benchmarks show
+   what the library itself costs. *)
+
+open Bechamel
+open Toolkit
+module Config = Pcolor.Memsim.Config
+module Cache = Pcolor.Memsim.Cache
+module Shadow = Pcolor.Memsim.Shadow
+
+let cfg_small = Config.scale (Config.sgi_base ~n_cpus:8 ()) 16
+
+(* figure2/figure6 substrate: raw cache and shadow access throughput *)
+let test_cache_access =
+  let c = Cache.create cfg_small.l2 in
+  let i = ref 0 in
+  Test.make ~name:"figure2: L2 access (hit path)"
+    (Staged.stage (fun () ->
+         incr i;
+         ignore (Cache.access c ~addr:(!i land 0xFFF) ~write:false)))
+
+let test_shadow_access =
+  let s = Shadow.create cfg_small.l2 in
+  let i = ref 0 in
+  Test.make ~name:"figure2: FA shadow access"
+    (Staged.stage (fun () ->
+         incr i;
+         ignore (Shadow.access s (!i land 0x3F))))
+
+(* table1: workload construction *)
+let test_program_build =
+  Test.make ~name:"table1: build tomcatv (scale 16)"
+    (Staged.stage (fun () -> ignore (Pcolor.Workloads.Tomcatv.program ~scale:16 ())))
+
+(* figure6: the CDPC pipeline — summary extraction and hint generation *)
+let test_summary_extract =
+  let p = Pcolor.Workloads.Tomcatv.program ~scale:16 () in
+  Test.make ~name:"figure6: summary extraction (tomcatv)"
+    (Staged.stage (fun () -> ignore (Pcolor.Comp.Summary.extract ~page_size:4096 p)))
+
+let test_hint_generation =
+  let p = Pcolor.Workloads.Tomcatv.program ~scale:16 () in
+  let summary = Pcolor.Comp.Summary.extract ~page_size:cfg_small.page_size p in
+  ignore
+    (Pcolor.Cdpc.Align.layout ~cfg:cfg_small ~mode:Pcolor.Cdpc.Align.Aligned
+       ~groups:summary.groups p.arrays);
+  Test.make ~name:"figure6: CDPC hint generation (tomcatv, 8 cpus)"
+    (Staged.stage (fun () ->
+         ignore (Pcolor.Cdpc.Colorer.generate ~cfg:cfg_small ~summary ~program:p ~n_cpus:8)))
+
+(* figure9: fault-path cost — policy decision + frame allocation *)
+let test_fault_path =
+  let policy =
+    Pcolor.Vm.Policy.create ~n_colors:(Config.n_colors cfg_small) ~seed:7
+      (Pcolor.Vm.Policy.Base Bin_hopping)
+  in
+  let kernel = Pcolor.Vm.Kernel.create ~cfg:cfg_small ~policy () in
+  let v = ref 0 in
+  Test.make ~name:"figure9: page-fault service (bin hopping)"
+    (Staged.stage (fun () ->
+         incr v;
+         ignore (Pcolor.Vm.Kernel.translate kernel ~cpu:0 ~vpage:!v)))
+
+(* figure8: prefetch issue path *)
+let test_machine_access =
+  let m = Pcolor.Memsim.Machine.create cfg_small in
+  let translate ~cpu:_ ~vpage = (vpage, 0) in
+  let i = ref 0 in
+  Test.make ~name:"figure8: full machine access (1 CPU, streaming)"
+    (Staged.stage (fun () ->
+         i := !i + 8;
+         Pcolor.Memsim.Machine.access m ~cpu:0 ~vaddr:(!i land 0xFFFFF) ~write:false ~translate))
+
+(* table2: partition arithmetic *)
+let test_partition =
+  Test.make ~name:"table2: partition range (even)"
+    (Staged.stage (fun () ->
+         ignore (Pcolor.Comp.Partition.range Even Forward ~n_cpus:16 ~cpu:7 ~trip:513)))
+
+let all_tests =
+  [
+    test_cache_access;
+    test_shadow_access;
+    test_program_build;
+    test_summary_extract;
+    test_hint_generation;
+    test_fault_path;
+    test_machine_access;
+    test_partition;
+  ]
+
+let run () =
+  Harness.section "Micro-benchmarks (bechamel): per-operation costs of the core machinery";
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let stats = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "  %-48s %10.1f ns/op\n" name est
+          | _ -> Printf.printf "  %-48s (no estimate)\n" name)
+        stats)
+    all_tests;
+  print_newline ()

@@ -1,0 +1,322 @@
+(* pcolor — command-line driver for the compiler-directed page coloring
+   reproduction.
+
+   Subcommands:
+     list      the workload catalog (Table 1)
+     run       one benchmark under one policy, full report
+     compare   one benchmark across all policies
+     pattern   page-level access patterns (Figures 3 and 5)
+     hints     CDPC hint placement dump
+     summary   the compiler's access-pattern summary (§5.1) *)
+
+open Cmdliner
+module Run = Pcolor.Runtime.Run
+module Report = Pcolor.Stats.Report
+module Config = Pcolor.Memsim.Config
+module Spec = Pcolor.Workloads.Spec
+
+(* ---- shared arguments ---- *)
+
+let bench_arg =
+  let doc = "Benchmark name (" ^ String.concat ", " Spec.names ^ ")." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+
+let cpus_arg =
+  Arg.(value & opt int 8 & info [ "p"; "cpus" ] ~docv:"N" ~doc:"Number of processors.")
+
+let scale_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "s"; "scale" ]
+        ~docv:"S"
+        ~doc:
+          "Data-set/cache scale divisor (1 = the paper's full geometry; 4 recommended for \
+           experiments; 16 for quick looks). Use 1, 4, 16 or 64.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed (bin-hopping race).")
+
+let cap_arg =
+  Arg.(value & opt int 2 & info [ "cap" ] ~doc:"Representative-window phase occurrence cap.")
+
+let prefetch_arg =
+  Arg.(value & flag & info [ "prefetch" ] ~doc:"Enable compiler-inserted prefetching.")
+
+let machine_arg =
+  Arg.(
+    value
+    & opt (enum [ ("sgi", `Sgi); ("sgi-2way", `Sgi2); ("sgi-4mb", `Sgi4); ("alpha", `Alpha) ]) `Sgi
+    & info [ "m"; "machine" ]
+        ~doc:"Machine model: $(b,sgi) (1MB DM), $(b,sgi-2way), $(b,sgi-4mb), $(b,alpha).")
+
+let policy_conv =
+  let parse = function
+    | "pc" | "page-coloring" -> Ok Run.Page_coloring
+    | "bh" | "bin-hopping" -> Ok Run.Bin_hopping
+    | "bh-unaligned" -> Ok Run.Bin_hopping_unaligned
+    | "random" -> Ok Run.Random_colors
+    | "cdpc" -> Ok (Run.Cdpc { fallback = `Page_coloring; via_touch = false })
+    | "cdpc-bh" -> Ok (Run.Cdpc { fallback = `Bin_hopping; via_touch = false })
+    | "cdpc-touch" -> Ok (Run.Cdpc { fallback = `Bin_hopping; via_touch = true })
+    | "dynamic" -> Ok (Run.Dynamic_recoloring { base = `Page_coloring })
+    | "dynamic-bh" -> Ok (Run.Dynamic_recoloring { base = `Bin_hopping })
+    | s -> Error (`Msg ("unknown policy: " ^ s))
+  in
+  Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Run.policy_name p))
+
+let policy_arg =
+  Arg.(
+    value
+    & opt policy_conv (Run.Cdpc { fallback = `Page_coloring; via_touch = false })
+    & info [ "policy" ]
+        ~doc:"Mapping policy: $(b,pc), $(b,bh), $(b,bh-unaligned), $(b,random), $(b,cdpc), \
+              $(b,cdpc-bh), $(b,cdpc-touch), $(b,dynamic), $(b,dynamic-bh).")
+
+let config_of machine n_cpus scale =
+  let base =
+    match machine with
+    | `Sgi -> Config.sgi_base ~n_cpus ()
+    | `Sgi2 -> Config.sgi_2way ~n_cpus ()
+    | `Sgi4 -> Config.sgi_4mb ~n_cpus ()
+    | `Alpha -> Config.alphaserver ~n_cpus ()
+  in
+  Config.scale base scale
+
+let setup_of bench machine n_cpus scale policy prefetch seed cap ~trace =
+  let d = Spec.find bench in
+  let cfg = config_of machine n_cpus scale in
+  {
+    (Run.default_setup ~cfg ~make_program:(fun () -> d.build ~scale ()) ~policy) with
+    prefetch;
+    seed;
+    cap;
+    collect_trace = trace;
+  }
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let action () =
+    let t =
+      Pcolor.Util.Table.create ~title:"SPEC95fp workload catalog (Table 1)"
+        [ "benchmark"; "data set (MB)"; "in Fig. 6"; "personality" ]
+    in
+    List.iter
+      (fun (d : Spec.descriptor) ->
+        Pcolor.Util.Table.add_row t
+          [
+            d.name;
+            Pcolor.Util.Table.fcell ~prec:1 d.table1_mb;
+            (if d.in_figure6 then "yes" else "no");
+            d.character;
+          ])
+      Spec.all;
+    Pcolor.Util.Table.print t
+  in
+  Cmd.v (Cmd.info "list" ~doc:"Show the workload catalog (Table 1).")
+    Term.(const action $ const ())
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let action bench machine n_cpus scale policy prefetch seed cap =
+    let o = Run.run (setup_of bench machine n_cpus scale policy prefetch seed cap ~trace:false) in
+    Format.printf "%a@." Report.pp o.report
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one benchmark under one policy and print the report.")
+    Term.(
+      const action $ bench_arg $ machine_arg $ cpus_arg $ scale_arg $ policy_arg $ prefetch_arg
+      $ seed_arg $ cap_arg)
+
+(* ---- compare ---- *)
+
+let compare_cmd =
+  let action bench machine n_cpus scale prefetch seed cap =
+    let policies =
+      [
+        Run.Page_coloring;
+        Run.Bin_hopping;
+        Run.Random_colors;
+        Run.Cdpc { fallback = `Page_coloring; via_touch = false };
+      ]
+    in
+    let t =
+      Pcolor.Util.Table.create
+        ~title:(Printf.sprintf "%s, %d CPUs, scale 1/%d" bench n_cpus scale)
+        [ "policy"; "wall cycles"; "MCPI"; "conflict"; "capacity"; "comm"; "bus%" ]
+    in
+    let base = ref None in
+    List.iter
+      (fun policy ->
+        let r =
+          (Run.run (setup_of bench machine n_cpus scale policy prefetch seed cap ~trace:false))
+            .report
+        in
+        if !base = None then base := Some r;
+        let module C = Pcolor.Memsim.Mclass in
+        Pcolor.Util.Table.add_row t
+          [
+            r.policy;
+            Printf.sprintf "%.3e (%.2fx)" r.wall_cycles
+              (Report.speedup ~base:r (Option.get !base));
+            Pcolor.Util.Table.fcell r.mcpi;
+            Printf.sprintf "%.0f" (Report.conflict_misses r);
+            Printf.sprintf "%.0f" r.l2_misses_by_class.(C.index C.Capacity);
+            Printf.sprintf "%.0f"
+              (r.l2_misses_by_class.(C.index C.True_sharing)
+              +. r.l2_misses_by_class.(C.index C.False_sharing));
+            Pcolor.Util.Table.pcell (100.0 *. r.bus_occupancy);
+          ])
+      policies;
+    Pcolor.Util.Table.print t;
+    print_endline "(wall-cycle multiplier is relative to the first row; >1 = faster than it)"
+  in
+  Cmd.v (Cmd.info "compare" ~doc:"Compare all mapping policies on one benchmark.")
+    Term.(
+      const action $ bench_arg $ machine_arg $ cpus_arg $ scale_arg $ prefetch_arg $ seed_arg
+      $ cap_arg)
+
+(* ---- pattern (Figures 3 and 5) ---- *)
+
+let pattern_cmd =
+  let order_arg =
+    Arg.(
+      value
+      & opt (enum [ ("va", `Va); ("cdpc", `Cdpc) ]) `Va
+      & info [ "order" ]
+          ~doc:"X axis: $(b,va) = virtual-address order (Figure 3), $(b,cdpc) = coloring order \
+                (Figure 5).")
+  in
+  let action bench machine n_cpus scale order =
+    let d = Spec.find bench in
+    let cfg = config_of machine n_cpus scale in
+    let p = d.build ~scale () in
+    let summary = Pcolor.Comp.Summary.extract ~page_size:cfg.page_size p in
+    ignore
+      (Pcolor.Cdpc.Align.layout ~cfg ~mode:Pcolor.Cdpc.Align.Aligned ~groups:summary.groups
+         p.arrays);
+    let points, x_max, what =
+      match order with
+      | `Va ->
+        let pts = Pcolor.Comp.Footprint.touch_points p ~n_cpus ~page_size:cfg.page_size in
+        let xm = 1 + List.fold_left (fun m (pg, _) -> max m pg) 0 pts in
+        (pts, xm, "virtual-address order (Figure 3)")
+      | `Cdpc ->
+        let _, info = Pcolor.Cdpc.Colorer.generate ~cfg ~summary ~program:p ~n_cpus in
+        let pts = Pcolor.Cdpc.Colorer.coloring_order_points info in
+        (pts, max 1 info.total_pages, "CDPC coloring order (Figure 5)")
+    in
+    print_string
+      (Pcolor.Util.Chart.scatter
+         ~title:
+           (Printf.sprintf "%s, %d CPUs: pages touched, %s (colors wrap every %d pages)" bench
+              n_cpus what (Config.n_colors cfg))
+         ~cols:100 ~n_rows:n_cpus ~x_max points);
+    (* per-CPU density over the occupied span *)
+    let per_cpu = Hashtbl.create 64 in
+    List.iter
+      (fun (pos, cpu) ->
+        Hashtbl.replace per_cpu cpu
+          (pos :: Option.value ~default:[] (Hashtbl.find_opt per_cpu cpu)))
+      points;
+    List.iter
+      (fun cpu ->
+        match Hashtbl.find_opt per_cpu cpu with
+        | None -> ()
+        | Some ps ->
+          let distinct = List.length (List.sort_uniq compare ps) in
+          let span = 1 + List.fold_left max 0 ps - List.fold_left min max_int ps in
+          Printf.printf "cpu%2d: %4d pages over a span of %4d (density %3.0f%%)\n" cpu distinct
+            span
+            (100.0 *. float_of_int distinct /. float_of_int span))
+      (List.init n_cpus Fun.id)
+  in
+  Cmd.v
+    (Cmd.info "pattern" ~doc:"Plot page-level access patterns (Figures 3 and 5).")
+    Term.(const action $ bench_arg $ machine_arg $ cpus_arg $ scale_arg $ order_arg)
+
+(* ---- hints ---- *)
+
+let hints_cmd =
+  let action bench machine n_cpus scale =
+    let d = Spec.find bench in
+    let cfg = config_of machine n_cpus scale in
+    let p = d.build ~scale () in
+    let summary = Pcolor.Comp.Summary.extract ~page_size:cfg.page_size p in
+    ignore
+      (Pcolor.Cdpc.Align.layout ~cfg ~mode:Pcolor.Cdpc.Align.Aligned ~groups:summary.groups
+         p.arrays);
+    let _, info = Pcolor.Cdpc.Colorer.generate ~cfg ~summary ~program:p ~n_cpus in
+    Format.printf "%a@." Pcolor.Cdpc.Colorer.pp_placement info
+  in
+  Cmd.v (Cmd.info "hints" ~doc:"Dump the CDPC hint placement for a benchmark.")
+    Term.(const action $ bench_arg $ machine_arg $ cpus_arg $ scale_arg)
+
+(* ---- run-file: user-defined programs in the textual format ---- *)
+
+let run_file_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Program file (.sexp).")
+  in
+  let action file machine n_cpus scale policy prefetch seed cap =
+    let cfg = config_of machine n_cpus scale in
+    let setup =
+      {
+        (Run.default_setup ~cfg
+           ~make_program:(fun () -> Pcolor.Comp.Text.of_file file)
+           ~policy)
+        with
+        prefetch;
+        seed;
+        cap;
+        check_bounds = true;
+      }
+    in
+    match Run.run setup with
+    | o -> Format.printf "%a@." Report.pp o.report
+    | exception Pcolor.Comp.Sexp.Parse_error { line; col; msg } ->
+      Printf.eprintf "%s:%d:%d: %s\n" file line col msg;
+      exit 1
+    | exception Pcolor.Comp.Text.Format_error msg ->
+      Printf.eprintf "%s: %s\n" file msg;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "run-file"
+       ~doc:"Run a user-defined program (textual IR; see examples/programs/).")
+    Term.(
+      const action $ file_arg $ machine_arg $ cpus_arg $ scale_arg $ policy_arg $ prefetch_arg
+      $ seed_arg $ cap_arg)
+
+(* ---- dump: export a built-in benchmark as text ---- *)
+
+let dump_cmd =
+  let action bench scale =
+    print_string (Pcolor.Comp.Text.to_string ((Spec.find bench).build ~scale ()))
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Print a built-in benchmark in the textual program format.")
+    Term.(const action $ bench_arg $ scale_arg)
+
+(* ---- summary ---- *)
+
+let summary_cmd =
+  let action bench scale =
+    let d = Spec.find bench in
+    let p = d.build ~scale () in
+    let summary = Pcolor.Comp.Summary.extract p in
+    Format.printf "%s (%.1f MB at scale 1/%d)@.%a@." p.name
+      (float_of_int (Pcolor.Comp.Ir.data_set_bytes p) /. 1048576.0)
+      scale Pcolor.Comp.Summary.pp summary
+  in
+  Cmd.v (Cmd.info "summary" ~doc:"Print the compiler's access-pattern summary (Section 5.1).")
+    Term.(const action $ bench_arg $ scale_arg)
+
+let () =
+  let doc = "compiler-directed page coloring for multiprocessors (ASPLOS 1996) — reproduction" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "pcolor" ~doc)
+          [
+            list_cmd; run_cmd; compare_cmd; pattern_cmd; hints_cmd; summary_cmd; run_file_cmd;
+            dump_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/cdpc_walkthrough.ml: Format List Pcolor Printf String

@@ -1,0 +1,1 @@
+examples/cdpc_walkthrough.mli:

@@ -1,0 +1,1 @@
+examples/prefetch_interaction.ml: Array List Pcolor Printf Sys

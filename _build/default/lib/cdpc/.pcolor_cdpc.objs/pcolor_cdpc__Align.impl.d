@@ -1,0 +1,1 @@
+lib/cdpc/align.ml: Hashtbl List Pcolor_comp Pcolor_memsim Pcolor_util

@@ -1,0 +1,1 @@
+lib/cdpc/align.mli: Pcolor_comp Pcolor_memsim

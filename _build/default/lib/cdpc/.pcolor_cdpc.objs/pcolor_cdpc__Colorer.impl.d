@@ -1,0 +1,1 @@
+lib/cdpc/colorer.ml: Array Cyclic Format Hashtbl List Order Pcolor_comp Pcolor_memsim Pcolor_util Pcolor_vm Segment

@@ -1,0 +1,1 @@
+lib/cdpc/colorer.mli: Format Pcolor_comp Pcolor_memsim Pcolor_vm Segment

@@ -1,0 +1,1 @@
+lib/cdpc/cyclic.mli:

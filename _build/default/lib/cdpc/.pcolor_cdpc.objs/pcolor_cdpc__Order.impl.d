@@ -1,0 +1,1 @@
+lib/cdpc/order.ml: Hashtbl List Pcolor_comp Pcolor_util Segment

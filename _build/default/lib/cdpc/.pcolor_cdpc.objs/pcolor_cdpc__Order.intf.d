@@ -1,0 +1,1 @@
+lib/cdpc/order.mli: Segment

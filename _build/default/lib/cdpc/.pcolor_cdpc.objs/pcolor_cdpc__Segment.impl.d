@@ -1,0 +1,1 @@
+lib/cdpc/segment.ml: Array Format List Pcolor_comp Pcolor_util String

@@ -1,0 +1,1 @@
+lib/cdpc/segment.mli: Format Pcolor_comp

@@ -1,0 +1,191 @@
+(** Step 5 and the top-level CDPC hint generator (§5.2).
+
+    The run-time library combines the compiler's access-pattern summary
+    with the machine parameters (processor count, cache configuration,
+    page size) and produces a preferred color for each virtual page:
+
+    + compute the maximal uniform access segments ({!Segment});
+    + order the uniform access sets ({!Order.order_sets});
+    + order the segments within each set ({!Order.order_segments});
+    + rotate the pages within each segment ({!Cyclic});
+    + walk the final page order and assign colors round-robin.
+
+    The two objectives (§5.2): map each processor's data as contiguously
+    as possible in the {e physical} address space — eliminating all
+    conflicts whenever a processor's data fits in its cache — and give
+    different start colors to arrays used together. *)
+
+type placed_segment = {
+  seg : Segment.t;
+  first_page : int; (* first vpage of the segment *)
+  n_pages : int; (* pages owned by this segment (boundary pages deduped) *)
+  pos : int; (* position of the segment's page run in the global order *)
+  rotation : int;
+}
+
+type info = {
+  placed : placed_segment list; (* in final order *)
+  total_pages : int;
+  excluded : Pcolor_comp.Ir.array_decl list;
+  n_colors : int;
+  page_size : int;
+}
+
+(** Ablation switches: disable individual algorithm steps to measure
+    their contribution (all on by default).  [set_ordering] is step 2,
+    [segment_ordering] step 3, [rotation] step 4; with all three off the
+    hints simply lay accessed pages out in virtual-address order. *)
+type ablation = { set_ordering : bool; segment_ordering : bool; rotation : bool }
+
+let full_algorithm = { set_ordering = true; segment_ordering = true; rotation = true }
+
+(** [generate_ablated ~ablation ~cfg ~summary ~program ~n_cpus] runs
+    the five steps (minus the ablated ones) and returns the hint table
+    plus diagnostic placement info.  Array bases must be assigned (run
+    {!Align.layout} first). *)
+let generate_ablated ~ablation ~(cfg : Pcolor_memsim.Config.t)
+    ~(summary : Pcolor_comp.Summary.t) ~(program : Pcolor_comp.Ir.program) ~n_cpus =
+  let n_colors = Pcolor_memsim.Config.n_colors cfg in
+  let page_size = cfg.page_size in
+  (* Step 1 *)
+  let { Segment.segments; excluded } =
+    Segment.compute ~summary ~program ~n_cpus
+  in
+  let segments = Segment.coalesce segments in
+  (* Steps 2 and 3; with set ordering ablated the layout degrades to
+     plain virtual-address order (no per-processor clustering at all) *)
+  let grouped = Pcolor_comp.Summary.grouped summary in
+  let global_order =
+    if not ablation.set_ordering then segments (* already VA-sorted *)
+    else begin
+      let masks = List.map (fun s -> s.Segment.cpus) segments in
+      let ordered_masks = Order.order_sets masks in
+      let by_mask m = List.filter (fun s -> s.Segment.cpus = m) segments in
+      let order_within segs =
+        if ablation.segment_ordering then Order.order_segments ~grouped segs else segs
+      in
+      List.concat_map (fun m -> order_within (by_mask m)) ordered_masks
+    end
+  in
+  (* Page ownership: a page shared by two segments (arrays abutting
+     mid-page) belongs to the first segment that claims it. *)
+  let claimed = Hashtbl.create 4096 in
+  let provisional = ref [] in
+  let pos = ref 0 in
+  List.iter
+    (fun (s : Segment.t) ->
+      let p0, p1 = Segment.pages s ~page_size in
+      let pages = ref [] in
+      for p = p0 to p1 do
+        if not (Hashtbl.mem claimed p) then begin
+          Hashtbl.replace claimed p ();
+          pages := p :: !pages
+        end
+      done;
+      let pages = List.rev !pages in
+      let n = List.length pages in
+      if n > 0 then begin
+        provisional := (s, List.hd pages, n, !pos) :: !provisional;
+        pos := !pos + n
+      end)
+    global_order;
+  let provisional = List.rev !provisional in
+  let total_pages = !pos in
+  (* Step 4 *)
+  let seg_infos =
+    Array.of_list
+      (List.map
+         (fun ((s : Segment.t), _, n, p) ->
+           { Cyclic.pos = p; len = n; cpus = s.cpus; arr = s.array.Pcolor_comp.Ir.id })
+         provisional)
+  in
+  let rots =
+    if ablation.rotation then Cyclic.rotations ~n_colors ~grouped seg_infos
+    else Array.make (Array.length seg_infos) 0
+  in
+  let placed =
+    List.mapi
+      (fun i ((s : Segment.t), first_page, n_pages, p) ->
+        { seg = s; first_page; n_pages; pos = p; rotation = rots.(i) })
+      provisional
+  in
+  (* Step 5: round-robin colors over final positions. *)
+  let hints = Pcolor_vm.Hints.create ~n_colors in
+  List.iteri
+    (fun i ps ->
+      let si = seg_infos.(i) in
+      for j = 0 to ps.n_pages - 1 do
+        let position = Cyclic.position ~seg:si ~rotation:ps.rotation j in
+        Pcolor_vm.Hints.set hints ~vpage:(ps.first_page + j) ~color:(position mod n_colors)
+      done)
+    placed;
+  (hints, { placed; total_pages; excluded; n_colors; page_size })
+
+(** [generate ~cfg ~summary ~program ~n_cpus] is {!generate_ablated}
+    with the full algorithm enabled — the normal entry point. *)
+let generate ~cfg ~summary ~program ~n_cpus =
+  generate_ablated ~ablation:full_algorithm ~cfg ~summary ~program ~n_cpus
+
+(** [coloring_order_points info] is the Figure 5 data: every
+    [(position, cpu)] pair, where position is the page's index in the
+    CDPC coloring order (ticks at multiples of the color count
+    correspond to color zero). *)
+let coloring_order_points info =
+  List.concat_map
+    (fun ps ->
+      let cpus = Pcolor_util.Bits.bits_to_list ps.seg.Segment.cpus in
+      List.concat
+        (List.init ps.n_pages (fun j ->
+             let si =
+               {
+                 Cyclic.pos = ps.pos;
+                 len = ps.n_pages;
+                 cpus = ps.seg.Segment.cpus;
+                 arr = ps.seg.Segment.array.Pcolor_comp.Ir.id;
+               }
+             in
+             let p = Cyclic.position ~seg:si ~rotation:ps.rotation j in
+             List.map (fun c -> (p, c)) cpus)))
+    info.placed
+
+(** [per_cpu_color_spread info ~cpu] summarizes how CPU [cpu]'s pages
+    distribute over colors: [(pages, distinct_colors, max_per_color)].
+    Objective 1 met means [max_per_color] close to
+    [pages / n_colors] (even spread). *)
+let per_cpu_color_spread info ~cpu =
+  let per_color = Array.make info.n_colors 0 in
+  let pages = ref 0 in
+  List.iter
+    (fun ps ->
+      if ps.seg.Segment.cpus land (1 lsl cpu) <> 0 then begin
+        let si =
+          {
+            Cyclic.pos = ps.pos;
+            len = ps.n_pages;
+            cpus = ps.seg.Segment.cpus;
+            arr = ps.seg.Segment.array.Pcolor_comp.Ir.id;
+          }
+        in
+        for j = 0 to ps.n_pages - 1 do
+          incr pages;
+          let c = Cyclic.position ~seg:si ~rotation:ps.rotation j mod info.n_colors in
+          per_color.(c) <- per_color.(c) + 1
+        done
+      end)
+    info.placed;
+  let distinct = Array.fold_left (fun acc n -> if n > 0 then acc + 1 else acc) 0 per_color in
+  let worst = Array.fold_left max 0 per_color in
+  (!pages, distinct, worst)
+
+(** [pp_placement fmt info] dumps the placement (walkthrough example and
+    CLI [hints] command). *)
+let pp_placement fmt info =
+  Format.fprintf fmt "@[<v>%d pages over %d colors; %d arrays excluded@," info.total_pages
+    info.n_colors (List.length info.excluded);
+  List.iter
+    (fun ps ->
+      Format.fprintf fmt "  pos %4d..%4d rot %3d  %a@," ps.pos
+        (ps.pos + ps.n_pages - 1)
+        ps.rotation Segment.pp ps.seg)
+    info.placed;
+  Format.fprintf fmt "@]"

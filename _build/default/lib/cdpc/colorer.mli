@@ -1,0 +1,65 @@
+(** Step 5 and the top-level CDPC hint generator (§5.2): combine the
+    compiler's access-pattern summary with the machine parameters and
+    produce a preferred color for every virtual page.
+
+    The two objectives: map each processor's data contiguously in the
+    physical address space (eliminating all conflicts whenever a
+    processor's data fits its cache), and give different start colors to
+    arrays used together. *)
+
+type placed_segment = {
+  seg : Segment.t;
+  first_page : int;  (** first vpage of the segment *)
+  n_pages : int;  (** pages owned by this segment (boundary pages deduped) *)
+  pos : int;  (** position of the segment's page run in the global order *)
+  rotation : int;
+}
+
+type info = {
+  placed : placed_segment list;  (** in final order *)
+  total_pages : int;
+  excluded : Pcolor_comp.Ir.array_decl list;
+  n_colors : int;
+  page_size : int;
+}
+
+(** Ablation switches: disable individual algorithm steps to measure
+    their contribution.  [set_ordering] is step 2 (off = plain
+    virtual-address order, no clustering at all), [segment_ordering]
+    step 3, [rotation] step 4. *)
+type ablation = { set_ordering : bool; segment_ordering : bool; rotation : bool }
+
+(** [full_algorithm] enables every step. *)
+val full_algorithm : ablation
+
+(** [generate_ablated ~ablation ~cfg ~summary ~program ~n_cpus] runs
+    the (possibly ablated) algorithm.  Array bases must be assigned
+    (run {!Align.layout} first). *)
+val generate_ablated :
+  ablation:ablation ->
+  cfg:Pcolor_memsim.Config.t ->
+  summary:Pcolor_comp.Summary.t ->
+  program:Pcolor_comp.Ir.program ->
+  n_cpus:int ->
+  Pcolor_vm.Hints.t * info
+
+(** [generate ~cfg ~summary ~program ~n_cpus] is the normal, full
+    five-step entry point. *)
+val generate :
+  cfg:Pcolor_memsim.Config.t ->
+  summary:Pcolor_comp.Summary.t ->
+  program:Pcolor_comp.Ir.program ->
+  n_cpus:int ->
+  Pcolor_vm.Hints.t * info
+
+(** [coloring_order_points info] is the Figure 5 data: every
+    (position, cpu) pair in coloring order. *)
+val coloring_order_points : info -> (int * int) list
+
+(** [per_cpu_color_spread info ~cpu] is
+    [(pages, distinct_colors, max_pages_on_one_color)] — objective 1's
+    evenness measure. *)
+val per_cpu_color_spread : info -> cpu:int -> int * int * int
+
+(** [pp_placement fmt info] dumps the placement. *)
+val pp_placement : Format.formatter -> info -> unit

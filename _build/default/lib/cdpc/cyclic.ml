@@ -1,0 +1,84 @@
+(** Step 4 of the CDPC algorithm: cyclic page assignment within a
+    segment (§5.2).
+
+    Pages inside a segment are not laid down in ascending virtual order;
+    instead a starting point is chosen and pages wrap around the segment
+    boundary.  The starting points are picked to space out the {e start
+    colors} of conflicting segments across the color range.  Two
+    segments may conflict when (1) their arrays are used together in the
+    same loop, (2) their processor sets intersect, and (3) they partially
+    overlap in the cache.  In Figure 4(c) this moves the second data
+    structure's start page off the first structure's color. *)
+
+type seg_info = {
+  pos : int; (* first position (page-ordering index) of the segment *)
+  len : int; (* pages *)
+  cpus : int; (* processor-set bitmask *)
+  arr : int; (* array id, for the group-access test *)
+}
+
+(* Circular interval overlap in color space: does [a, a+la) intersect
+   [b, b+lb) modulo c? Full-circle intervals overlap everything. *)
+let circular_overlap ~c a la b lb =
+  if la >= c || lb >= c then true
+  else
+    let a = a mod c and b = b mod c in
+    let d = (b - a + c) mod c in
+    d < la || (a - b + c) mod c < lb
+
+let circular_distance ~c a b =
+  let d = abs (a - b) mod c in
+  min d (c - d)
+
+(* The color of the segment's first virtual page under rotation [r]:
+   page j gets position pos + ((j - r + len) mod len), so page 0 sits at
+   pos + ((len - r) mod len). *)
+let start_color ~n_colors s r = (s.pos + ((s.len - r) mod s.len)) mod n_colors
+
+(** [conflicts ~grouped ~n_colors a b] tests the paper's three-part
+    conflict condition on two segments. *)
+let conflicts ~grouped ~n_colors a b =
+  (a.arr = b.arr || grouped a.arr b.arr)
+  && a.cpus land b.cpus <> 0
+  && circular_overlap ~c:n_colors (a.pos mod n_colors) (min a.len n_colors) (b.pos mod n_colors)
+       (min b.len n_colors)
+
+(** [rotations ~n_colors ~grouped segs] chooses a rotation for every
+    segment, processing them in order.  Each segment's rotation
+    maximizes the minimum circular color distance between its start
+    color and the start colors of already-placed conflicting segments;
+    ties prefer the smallest rotation (so unconflicted segments keep
+    rotation 0 and ascending-page layout). *)
+let rotations ~n_colors ~grouped (segs : seg_info array) =
+  let n = Array.length segs in
+  let rot = Array.make n 0 in
+  let starts = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let s = segs.(i) in
+    let prior = ref [] in
+    for j = 0 to i - 1 do
+      if conflicts ~grouped ~n_colors s segs.(j) then prior := starts.(j) :: !prior
+    done;
+    (match !prior with
+    | [] -> rot.(i) <- 0
+    | prior_starts ->
+      let best_r = ref 0 and best_d = ref (-1) in
+      let candidates = min s.len n_colors in
+      for r = 0 to candidates - 1 do
+        let sc = start_color ~n_colors s r in
+        let d = List.fold_left (fun acc p -> min acc (circular_distance ~c:n_colors sc p)) max_int prior_starts in
+        if d > !best_d then begin
+          best_d := d;
+          best_r := r
+        end
+      done;
+      rot.(i) <- !best_r);
+    starts.(i) <- start_color ~n_colors s rot.(i)
+  done;
+  rot
+
+(** [position ~seg ~rotation j] is the global position of the segment's
+    [j]-th page under the chosen rotation. *)
+let position ~seg ~rotation j =
+  if j < 0 || j >= seg.len then invalid_arg "Cyclic.position";
+  seg.pos + ((j - rotation + seg.len) mod seg.len)

@@ -1,0 +1,153 @@
+(** Steps 2 and 3 of the CDPC algorithm: ordering the uniform access
+    sets, and ordering the segments within each set (§5.2).
+
+    Both steps are the same abstract problem — arrange nodes of an
+    undirected graph on a path that includes as many graph edges as
+    possible — solved with the paper's greedy heuristics. *)
+
+(** {2 Step 2: order the uniform access sets}
+
+    Nodes are access sets (distinct processor-set bitmasks); an edge
+    connects two sets whose processor sets intersect.  The heuristic:
+    start from the subgraph of sets with one or two processors, begin at
+    a singleton set, and greedily extend the path to an adjacent
+    unvisited node; remaining nodes are inserted next to the visited node
+    with the maximum processor-set overlap.  The effect is that pages
+    accessed by both CPU 0 and CPU 1 land between the pages accessed by
+    only CPU 0 and only CPU 1 (Figure 4b). *)
+
+let popcount = Pcolor_util.Bits.popcount
+
+let overlap a b = popcount (a land b)
+
+(** [order_sets masks] orders the distinct processor-set masks.  The
+    result is a permutation of [List.sort_uniq compare masks].
+    Deterministic: ties prefer smaller masks. *)
+let order_sets masks =
+  let nodes = List.sort_uniq compare masks in
+  match nodes with
+  | [] -> []
+  | _ ->
+    let small = List.filter (fun m -> popcount m <= 2) nodes in
+    let path = ref [] in
+    let visited = Hashtbl.create 16 in
+    let visit m =
+      Hashtbl.replace visited m ();
+      path := m :: !path
+    in
+    (* Start: a singleton set if one exists, else the smallest small set,
+       else the smallest set overall. *)
+    let start =
+      match List.filter (fun m -> popcount m = 1) small with
+      | s :: _ -> s
+      | [] -> ( match small with s :: _ -> s | [] -> List.hd nodes)
+    in
+    visit start;
+    (* Greedy extension within the small subgraph: choose an adjacent
+       (intersecting) unvisited small node; prefer maximal overlap with
+       the path tip, then smaller mask. *)
+    let rec extend tip =
+      let candidates =
+        List.filter (fun m -> (not (Hashtbl.mem visited m)) && overlap tip m > 0) small
+      in
+      match candidates with
+      | [] -> ()
+      | _ ->
+        let best =
+          List.fold_left
+            (fun acc m ->
+              match acc with
+              | None -> Some m
+              | Some b ->
+                let om = overlap tip m and ob = overlap tip b in
+                if om > ob || (om = ob && m < b) then Some m else acc)
+            None candidates
+        in
+        (match best with
+        | Some m ->
+          visit m;
+          extend m
+        | None -> ())
+    in
+    extend start;
+    (* Any small nodes disconnected from the path tip: continue greedily
+       from them (new path runs appended). *)
+    List.iter
+      (fun m ->
+        if not (Hashtbl.mem visited m) then begin
+          visit m;
+          extend m
+        end)
+      small;
+    let base_path = List.rev !path in
+    (* Insert each remaining node next to the visited node with maximum
+       processor-set overlap. *)
+    let insert_next_to path node =
+      let best_idx = ref 0 and best_ov = ref (-1) in
+      List.iteri
+        (fun i m ->
+          let ov = overlap node m in
+          if ov > !best_ov then begin
+            best_ov := ov;
+            best_idx := i
+          end)
+        path;
+      let rec splice i = function
+        | [] -> [ node ]
+        | x :: rest -> if i = !best_idx then x :: node :: rest else x :: splice (i + 1) rest
+      in
+      splice 0 path
+    in
+    let rest =
+      List.filter (fun m -> not (Hashtbl.mem visited m)) nodes
+      |> List.sort (fun a b -> compare (popcount a, a) (popcount b, b))
+    in
+    List.fold_left insert_next_to base_path rest
+
+(** {2 Step 3: order the segments within a uniform access set}
+
+    Nodes are segments; an edge connects segments whose arrays the
+    compiler marked as used together (group access information).  Greedy
+    path again; when there is a choice, pick the segment with the
+    smallest virtual address (§5.2 step 3). *)
+
+(** [order_segments ~grouped segs] orders one access set's segments.
+    [grouped a b] tests the group-access relation on array ids. *)
+let order_segments ~grouped segs =
+  match segs with
+  | [] -> []
+  | _ ->
+    let by_va =
+      List.sort
+        (fun (a : Segment.t) (b : Segment.t) -> compare (a.lo, a.seg_id) (b.lo, b.seg_id))
+        segs
+    in
+    let visited = Hashtbl.create 16 in
+    let out = ref [] in
+    let visit s =
+      Hashtbl.replace visited s.Segment.seg_id ();
+      out := s :: !out
+    in
+    let adjacent s t =
+      s.Segment.seg_id <> t.Segment.seg_id
+      && grouped s.Segment.array.Pcolor_comp.Ir.id t.Segment.array.Pcolor_comp.Ir.id
+    in
+    let rec extend tip =
+      let cands =
+        List.filter (fun s -> (not (Hashtbl.mem visited s.Segment.seg_id)) && adjacent tip s) by_va
+      in
+      match cands with
+      | [] -> ()
+      | s :: _ ->
+        (* by_va order makes "smallest virtual address" the tie-break *)
+        visit s;
+        extend s
+    in
+    List.iter
+      (fun s ->
+        if not (Hashtbl.mem visited s.Segment.seg_id) then begin
+          visit s;
+          extend s
+        end)
+      by_va;
+    List.rev !out

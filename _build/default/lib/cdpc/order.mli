@@ -1,0 +1,18 @@
+(** Steps 2 and 3 of the CDPC algorithm: ordering the uniform access
+    sets, and ordering the segments within each set (§5.2).
+
+    Both are greedy path heuristics over undirected graphs: step 2's
+    nodes are processor-set masks with edges between intersecting sets
+    (so pages shared by CPUs 0 and 1 land between pages private to each,
+    Figure 4b); step 3's nodes are segments with edges from the
+    compiler's group-access information, ties broken toward the smallest
+    virtual address. *)
+
+(** [order_sets masks] orders the distinct processor-set masks.  The
+    result is a permutation of [List.sort_uniq compare masks] and is
+    deterministic. *)
+val order_sets : int list -> int list
+
+(** [order_segments ~grouped segs] orders one access set's segments;
+    [grouped a b] is the group-access relation on array ids. *)
+val order_segments : grouped:(int -> int -> bool) -> Segment.t list -> Segment.t list

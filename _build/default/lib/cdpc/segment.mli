@@ -1,0 +1,46 @@
+(** Step 1 of the CDPC algorithm: maximal uniform access segments
+    (§5.2).
+
+    A segment is a contiguous virtual byte range within one array
+    together with the processor set (bitmask) of CPUs that access it
+    during the steady state.  Segments are computed by sweeping each
+    colorable array's per-CPU footprint intervals; arrays whose
+    partitioning is not page-dense are excluded — CDPC "is only applied
+    to the remaining data structures" (§6.1). *)
+
+type t = {
+  seg_id : int;
+  array : Pcolor_comp.Ir.array_decl;
+  lo : int;  (** byte VA, inclusive *)
+  hi : int;  (** byte VA, exclusive *)
+  cpus : int;  (** processor-set bitmask; never 0 *)
+}
+
+(** [bytes s] is the segment length in bytes. *)
+val bytes : t -> int
+
+(** [pages s ~page_size] is the inclusive page range the segment
+    overlaps. *)
+val pages : t -> page_size:int -> int * int
+
+type result = {
+  segments : t list;  (** ascending by (array VA, lo) *)
+  excluded : Pcolor_comp.Ir.array_decl list;  (** arrays CDPC declined to color *)
+}
+
+(** [compute ~summary ~program ~n_cpus] produces the uniform access
+    segments of every colorable array and the excluded-array list.
+    Raises [Invalid_argument] if array bases are unassigned (run
+    {!Align.layout} first). *)
+val compute :
+  summary:Pcolor_comp.Summary.t -> program:Pcolor_comp.Ir.program -> n_cpus:int -> result
+
+(** [coalesce segs] merges adjacent same-array segments with equal
+    processor sets. *)
+val coalesce : t list -> t list
+
+(** [total_bytes segs] sums segment lengths. *)
+val total_bytes : t list -> int
+
+(** [pp fmt s] prints one segment for diagnostics. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/comp/footprint.ml: Array Float Fun Hashtbl Ir List Schedule

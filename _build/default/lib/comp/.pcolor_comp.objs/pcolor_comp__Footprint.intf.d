@@ -1,0 +1,1 @@
+lib/comp/footprint.mli: Ir

@@ -1,0 +1,1 @@
+lib/comp/ir.ml: Array List Partition Printf

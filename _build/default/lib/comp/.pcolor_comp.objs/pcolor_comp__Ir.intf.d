@@ -1,0 +1,1 @@
+lib/comp/ir.mli: Partition

@@ -1,0 +1,1 @@
+lib/comp/prefetcher.ml: Array Hashtbl Ir List Pcolor_memsim Pcolor_util

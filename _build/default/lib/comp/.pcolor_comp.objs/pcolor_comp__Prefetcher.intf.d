@@ -1,0 +1,1 @@
+lib/comp/prefetcher.mli: Ir Pcolor_memsim

@@ -1,0 +1,1 @@
+lib/comp/schedule.ml: Array Ir Partition

@@ -1,0 +1,1 @@
+lib/comp/sexp.ml: Format List String

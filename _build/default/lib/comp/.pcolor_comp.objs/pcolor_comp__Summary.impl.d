@@ -1,0 +1,1 @@
+lib/comp/summary.ml: Array Footprint Format Hashtbl Ir List Partition

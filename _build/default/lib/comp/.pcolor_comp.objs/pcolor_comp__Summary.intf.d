@@ -1,0 +1,1 @@
+lib/comp/summary.mli: Format Ir Partition

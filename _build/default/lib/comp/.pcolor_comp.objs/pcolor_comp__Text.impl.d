@@ -1,0 +1,1 @@
+lib/comp/text.ml: Array Format Fun Ir List Partition Printf Sexp

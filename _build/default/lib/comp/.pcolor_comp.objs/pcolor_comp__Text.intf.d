@@ -1,0 +1,1 @@
+lib/comp/text.mli: Ir Sexp

@@ -1,0 +1,71 @@
+(** Iteration-space partitioning policies (§5.1).
+
+    The compiler statically schedules parallel loops; CDPC supports
+    {e even} partitions (each processor gets as close to [N/p] iterations
+    as possible, consecutive) and {e blocked} partitions (⌈N/p⌉
+    iterations each, the last processor possibly short or empty), each in
+    {e forward} (iterations assigned from processor 0 upward) or
+    {e reverse} (from processor p−1 downward) order. *)
+
+type policy = Even | Blocked
+
+type direction = Forward | Reverse
+
+(** [to_string policy direction] is a compact label like "even/fwd". *)
+let to_string policy direction =
+  (match policy with Even -> "even" | Blocked -> "blocked")
+  ^ "/"
+  ^ match direction with Forward -> "fwd" | Reverse -> "rev"
+
+(** [range policy direction ~n_cpus ~cpu ~trip] is the half-open
+    iteration interval [\[lo, hi)] assigned to [cpu] for a distributed
+    loop of [trip] iterations over [n_cpus] processors.  Intervals over
+    all CPUs partition [\[0, trip)]; an overloaded tail CPU may receive
+    the empty interval.  Raises [Invalid_argument] on bad inputs. *)
+let range policy direction ~n_cpus ~cpu ~trip =
+  if n_cpus <= 0 then invalid_arg "Partition.range: n_cpus";
+  if cpu < 0 || cpu >= n_cpus then invalid_arg "Partition.range: cpu";
+  if trip < 0 then invalid_arg "Partition.range: trip";
+  let slot = match direction with Forward -> cpu | Reverse -> n_cpus - 1 - cpu in
+  match policy with
+  | Even ->
+    let base = trip / n_cpus and rem = trip mod n_cpus in
+    let lo = (slot * base) + min slot rem in
+    let len = base + if slot < rem then 1 else 0 in
+    (lo, lo + len)
+  | Blocked ->
+    let chunk = Pcolor_util.Bits.ceil_div trip n_cpus in
+    let lo = min trip (slot * chunk) in
+    let hi = min trip (lo + chunk) in
+    (lo, hi)
+
+(** [owner policy direction ~n_cpus ~trip iter] is the CPU that executes
+    iteration [iter]; the inverse of {!range}. *)
+let owner policy direction ~n_cpus ~trip iter =
+  if iter < 0 || iter >= trip then invalid_arg "Partition.owner: iteration out of range";
+  let slot =
+    match policy with
+    | Blocked -> iter / Pcolor_util.Bits.ceil_div trip n_cpus
+    | Even ->
+      (* Invert the even formula by scanning the (<= n_cpus) boundaries. *)
+      let base = trip / n_cpus and rem = trip mod n_cpus in
+      let rec find s =
+        let lo = (s * base) + min s rem in
+        let len = base + if s < rem then 1 else 0 in
+        if iter < lo + len then s else find (s + 1)
+      in
+      find 0
+  in
+  match direction with Forward -> slot | Reverse -> n_cpus - 1 - slot
+
+(** [imbalance policy ~n_cpus ~trip] is the difference between the
+    largest and smallest per-CPU iteration counts — e.g. applu's
+    33-iteration loops on 16 CPUs leave every CPU with 2 or 3 iterations,
+    a 50% imbalance (§4.1). *)
+let imbalance policy ~n_cpus ~trip =
+  let counts =
+    List.init n_cpus (fun cpu ->
+        let lo, hi = range policy Forward ~n_cpus ~cpu ~trip in
+        hi - lo)
+  in
+  List.fold_left max 0 counts - List.fold_left min max_int counts

@@ -1,0 +1,24 @@
+(** Iteration-space partitioning policies (§5.1): {e even} (as close to
+    N/p as possible, consecutive) and {e blocked} (⌈N/p⌉ each, last
+    possibly empty), in {e forward} (processor 0 upward) or {e reverse}
+    (processor p−1 downward) assignment order. *)
+
+type policy = Even | Blocked
+
+type direction = Forward | Reverse
+
+(** [to_string policy direction] is a compact label like "even/fwd". *)
+val to_string : policy -> direction -> string
+
+(** [range policy direction ~n_cpus ~cpu ~trip] is the half-open
+    iteration interval assigned to [cpu]; intervals over all CPUs tile
+    [\[0, trip)].  Raises [Invalid_argument] on bad inputs. *)
+val range : policy -> direction -> n_cpus:int -> cpu:int -> trip:int -> int * int
+
+(** [owner policy direction ~n_cpus ~trip iter] is the CPU executing
+    iteration [iter] — the inverse of {!range}. *)
+val owner : policy -> direction -> n_cpus:int -> trip:int -> int -> int
+
+(** [imbalance policy ~n_cpus ~trip] is the max−min per-CPU iteration
+    count (applu's 33-iteration loops, §4.1). *)
+val imbalance : policy -> n_cpus:int -> trip:int -> int

@@ -1,0 +1,94 @@
+(** Compiler-inserted prefetching (§2.2, §6.2).
+
+    Follows Mowry's selective scheme: locality analysis decides which
+    references are likely to miss, and a software-pipelined prefetch is
+    inserted far enough ahead to cover memory latency.  One prefetch is
+    issued per cache line, not per element (the execution engine issues a
+    plan's prefetch only when the reference crosses into a new line).
+
+    The paper's applu observation is modeled: loop tiling inhibits
+    software pipelining, so tiled nests get a too-short ahead distance —
+    their prefetches arrive late and only partially hide latency; their
+    large strides additionally make prefetches cross unmapped pages,
+    where the hardware drops them (see
+    {!Pcolor_memsim.Machine.prefetch}). *)
+
+type ref_plan = {
+  prefetch : bool;
+  ahead_elems : int; (* added to the element index of the prefetch address *)
+}
+
+type nest_plan = ref_plan array (* parallel to the nest's ref list *)
+
+type t = {
+  plans : (string, nest_plan) Hashtbl.t; (* nest label -> plan *)
+  mutable planned_refs : int;
+  mutable covered_refs : int;
+}
+
+(* Locality analysis: does this reference need prefetching?  A
+   loop-invariant reference is register-allocated; otherwise the
+   reference streams through its array, and it will keep missing unless
+   the whole array fits in the on-chip cache across reuses — the
+   classic test from Mowry's selective-prefetching analysis. *)
+let needs_prefetch (cfg : Pcolor_memsim.Config.t) (nest : Ir.nest) (r : Ir.ref_) =
+  let depth = Array.length nest.bounds in
+  let innermost_stride = abs r.coeffs.(depth - 1) * r.array.elem_size in
+  innermost_stride > 0 && Ir.bytes r.array > cfg.l1.size
+
+(* Ahead distance: latency / per-iteration work, expressed in elements of
+   the innermost dimension, then rounded up to cover at least one line. *)
+let ahead_distance (cfg : Pcolor_memsim.Config.t) (nest : Ir.nest) (r : Ir.ref_) =
+  let per_iter_cycles = max 1 (nest.body_instr + (2 * List.length nest.refs)) in
+  let iters_ahead = Pcolor_util.Bits.ceil_div cfg.mem_cycles per_iter_cycles in
+  let iters_ahead = if nest.tiled then max 1 (iters_ahead / 16) else iters_ahead in
+  let depth = Array.length nest.bounds in
+  let innermost_coeff = max 1 (abs r.coeffs.(depth - 1)) in
+  let min_elems = 2 * cfg.l2.line / r.array.elem_size in
+  let d = iters_ahead * innermost_coeff in
+  if nest.tiled then d else max d min_elems
+
+(** [plan_nest cfg nest] computes the per-reference prefetch plan for one
+    nest. *)
+let plan_nest cfg (nest : Ir.nest) : nest_plan =
+  Array.of_list
+    (List.map
+       (fun r ->
+         if needs_prefetch cfg nest r then
+           { prefetch = true; ahead_elems = ahead_distance cfg nest r }
+         else { prefetch = false; ahead_elems = 0 })
+       nest.refs)
+
+(** [plan cfg p] runs the prefetch pass over the whole program, keyed by
+    nest label (labels must be unique per program; {!find} falls back to
+    "no prefetching" for unknown labels). *)
+let plan cfg (p : Ir.program) =
+  let t = { plans = Hashtbl.create 64; planned_refs = 0; covered_refs = 0 } in
+  List.iter
+    (fun (ph : Ir.phase) ->
+      List.iter
+        (fun (nest : Ir.nest) ->
+          let np = plan_nest cfg nest in
+          Array.iter
+            (fun rp ->
+              t.planned_refs <- t.planned_refs + 1;
+              if rp.prefetch then t.covered_refs <- t.covered_refs + 1)
+            np;
+          Hashtbl.replace t.plans nest.label np)
+        ph.nests)
+    p.phases;
+  t
+
+(** [none] is the empty plan — runs without prefetching. *)
+let none = { plans = Hashtbl.create 1; planned_refs = 0; covered_refs = 0 }
+
+(** [find t nest] is the plan for [nest]; references map to "no
+    prefetch" when the nest was never planned. *)
+let find t (nest : Ir.nest) =
+  match Hashtbl.find_opt t.plans nest.label with
+  | Some p -> p
+  | None -> Array.make (List.length nest.refs) { prefetch = false; ahead_elems = 0 }
+
+(** [coverage t] is [(covered, total)] reference counts — how selective
+    the locality analysis was. *)
+let coverage t = (t.covered_refs, t.planned_refs)

@@ -1,0 +1,32 @@
+(** Compiler-inserted prefetching (§2.2, §6.2), after Mowry: locality
+    analysis selects references likely to miss and software-pipelines a
+    prefetch far enough ahead to cover memory latency, one per cache
+    line.  Tiled nests get a too-short distance (applu's pipelining
+    problem). *)
+
+type ref_plan = {
+  prefetch : bool;
+  ahead_elems : int;  (** added to the prefetch address, in elements *)
+}
+
+(** One plan entry per nest reference, in order. *)
+type nest_plan = ref_plan array
+
+type t
+
+(** [plan_nest cfg nest] computes one nest's plan. *)
+val plan_nest : Pcolor_memsim.Config.t -> Ir.nest -> nest_plan
+
+(** [plan cfg p] runs the pass over the whole program (keyed by nest
+    label). *)
+val plan : Pcolor_memsim.Config.t -> Ir.program -> t
+
+(** [none] disables prefetching. *)
+val none : t
+
+(** [find t nest] is the nest's plan; unknown nests map to "no
+    prefetch". *)
+val find : t -> Ir.nest -> nest_plan
+
+(** [coverage t] is [(covered, total)] reference counts. *)
+val coverage : t -> int * int

@@ -1,0 +1,20 @@
+(** Static scheduling: which depth-0 iterations each CPU executes.
+    Parallel nests apply their partition; suppressed and sequential
+    nests run entirely on the master. *)
+
+(** [master] is the CPU executing non-parallel work (0). *)
+val master : int
+
+(** [range nest ~n_cpus ~cpu] is the half-open depth-0 interval CPU
+    [cpu] executes. *)
+val range : Ir.nest -> n_cpus:int -> cpu:int -> int * int
+
+(** [iters nest ~n_cpus ~cpu] is the CPU's iteration count. *)
+val iters : Ir.nest -> n_cpus:int -> cpu:int -> int
+
+(** [is_parallel nest] discriminates nests that run on all CPUs. *)
+val is_parallel : Ir.nest -> bool
+
+(** [validate_coverage nest ~n_cpus] checks the per-CPU ranges tile
+    [\[0, trip)] exactly. *)
+val validate_coverage : Ir.nest -> n_cpus:int -> bool

@@ -1,0 +1,184 @@
+(** Access-pattern summaries — the information the compiler hands to the
+    CDPC run-time library (§5.1).
+
+    Three kinds of information are extracted from the program:
+
+    - {b array partitioning}: per (array, pattern) — starting address,
+      total size, the data-partition unit (the data operated on by one
+      iteration of the parallel loop) and the partitioning policy;
+    - {b communication patterns}: shift/rotate of boundary data between
+      neighboring processors, derived from stencil offsets that cross
+      distributed-unit boundaries;
+    - {b group access information}: pairs of arrays accessed within the
+      same loops.
+
+    The summaries are what a real SUIF pass would emit as run-time
+    library calls; dimensions and processor counts stay symbolic until
+    run time, which is why {!extract} is parameterized by nothing and
+    the CDPC hint generator is parameterized by the machine. *)
+
+type array_partition = {
+  array : Ir.array_decl;
+  unit_elems : int; (* |coeffs.(0)| — elements advanced per distributed iteration *)
+  trip : int; (* distributed trip count *)
+  policy : Partition.policy;
+  direction : Partition.direction;
+  page_dense : bool; (* CDPC applicability: per-unit gaps smaller than a page *)
+  weight : int; (* steady-state occurrences of the source phase *)
+}
+
+type communication = Shift of { units : int } | Rotate of { units : int }
+
+type comm_info = { carray : Ir.array_decl; comm : communication; cweight : int }
+
+type t = {
+  partitions : array_partition list;
+  comms : comm_info list;
+  groups : (int * int) list; (* unordered array-id pairs co-accessed in a nest *)
+  arrays : Ir.array_decl list;
+}
+
+let canon_pair a b = if a < b then (a, b) else (b, a)
+
+(* Detect boundary communication per (nest, array): a stencil that
+   displaces the same array by different whole distributed units (e.g.
+   A[i-1][j] and A[i+1][j] with unit = row) reads data owned by
+   neighboring CPUs.  The halo width is the spread of the rounded
+   unit-offsets across the nest's references — a single reference, or
+   references differing only within a unit, communicate nothing. *)
+let comm_of_nest_array (refs : Ir.ref_ list) =
+  let unit_offsets =
+    List.filter_map
+      (fun (r : Ir.ref_) ->
+        let c0 = r.coeffs.(0) in
+        if c0 = 0 then None
+        else
+          let c0 = abs c0 in
+          (* round to the nearest whole unit *)
+          Some ((r.offset + (c0 / 2)) / c0))
+      refs
+  in
+  match unit_offsets with
+  | [] -> None
+  | o :: rest ->
+    let lo = List.fold_left min o rest and hi = List.fold_left max o rest in
+    if hi > lo then Some (Shift { units = hi - lo }) else None
+
+(** [extract ?page_size p] analyzes the steady state of [p].  Only
+    parallel nests generate partitions and communication; every nest
+    (including sequential ones) contributes group-access pairs.
+    [page_size] (default 4096) feeds the page-density applicability
+    test. *)
+let extract ?(page_size = 4096) (p : Ir.program) =
+  Ir.check_program p;
+  let phases = Array.of_list p.phases in
+  let partitions = ref [] in
+  let comms = ref [] in
+  let groups = Hashtbl.create 64 in
+  List.iter
+    (fun (phase_idx, weight) ->
+      List.iter
+        (fun (nest : Ir.nest) ->
+          (* group access: all unordered pairs of distinct arrays in the nest *)
+          let ids = List.sort_uniq compare (List.map (fun r -> r.Ir.array.id) nest.refs) in
+          List.iteri
+            (fun i a -> List.iteri (fun j b -> if j > i then Hashtbl.replace groups (canon_pair a b) ()) ids)
+            ids;
+          match nest.kind with
+          | Ir.Sequential | Ir.Suppressed -> ()
+          | Ir.Parallel { policy; direction } ->
+            List.iter
+              (fun (r : Ir.ref_) ->
+                if r.coeffs.(0) <> 0 then begin
+                  let part =
+                    {
+                      array = r.array;
+                      unit_elems = abs r.coeffs.(0);
+                      trip = nest.bounds.(0);
+                      policy;
+                      direction;
+                      page_dense = Footprint.page_dense nest r ~page_size;
+                      weight;
+                    }
+                  in
+                  (* dedupe identical patterns, accumulating weight *)
+                  let same q =
+                    q.array.id = part.array.id && q.unit_elems = part.unit_elems
+                    && q.trip = part.trip && q.policy = part.policy
+                    && q.direction = part.direction && q.page_dense = part.page_dense
+                  in
+                  match List.find_opt same !partitions with
+                  | Some q ->
+                    partitions :=
+                      { q with weight = q.weight + weight }
+                      :: List.filter (fun x -> not (same x)) !partitions
+                  | None -> partitions := part :: !partitions
+                end)
+              nest.refs;
+            (* boundary communication, per array referenced in the nest *)
+            let arr_ids = List.sort_uniq compare (List.map (fun r -> r.Ir.array.id) nest.refs) in
+            List.iter
+              (fun aid ->
+                let arefs = List.filter (fun r -> r.Ir.array.id = aid) nest.refs in
+                match comm_of_nest_array arefs with
+                | Some comm ->
+                  let carray = (List.hd arefs).Ir.array in
+                  if
+                    not
+                      (List.exists (fun c -> c.carray.Ir.id = aid && c.comm = comm) !comms)
+                  then comms := { carray; comm; cweight = weight } :: !comms
+                | None -> ())
+              arr_ids)
+        phases.(phase_idx).Ir.nests)
+    p.steady;
+  {
+    partitions = List.rev !partitions;
+    comms = List.rev !comms;
+    groups = Hashtbl.fold (fun pair () acc -> pair :: acc) groups [] |> List.sort compare;
+    arrays = p.arrays;
+  }
+
+(** [partitions_of t array_id] lists the (possibly overlapping) partition
+    patterns recorded for one array. *)
+let partitions_of t array_id = List.filter (fun p -> p.array.Ir.id = array_id) t.partitions
+
+(** [grouped t a b] tests whether arrays [a] and [b] are co-accessed. *)
+let grouped t a b = List.mem (canon_pair a b) t.groups
+
+(** [colorable t array_id] is CDPC's applicability verdict for an array:
+    it must have at least one partition pattern and every pattern must be
+    page-dense (§6.1's su2cor caveat). *)
+let colorable t array_id =
+  match partitions_of t array_id with
+  | [] -> false
+  | ps -> List.for_all (fun p -> p.page_dense) ps
+
+(** [dominant_partition t array_id] is the highest-weight pattern — the
+    one the hint generator lays segments out for. *)
+let dominant_partition t array_id =
+  match partitions_of t array_id with
+  | [] -> None
+  | ps -> Some (List.fold_left (fun best p -> if p.weight > best.weight then p else best) (List.hd ps) ps)
+
+(** [pp fmt t] prints a human-readable summary (used by the CLI and the
+    walkthrough example). *)
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  Format.fprintf fmt "partitions:@,";
+  List.iter
+    (fun p ->
+      Format.fprintf fmt "  %s: unit=%d elems, trip=%d, %s, dense=%b, weight=%d@," p.array.Ir.aname
+        p.unit_elems p.trip
+        (Partition.to_string p.policy p.direction)
+        p.page_dense p.weight)
+    t.partitions;
+  Format.fprintf fmt "communication:@,";
+  List.iter
+    (fun c ->
+      match c.comm with
+      | Shift { units } -> Format.fprintf fmt "  %s: shift %d unit(s)@," c.carray.Ir.aname units
+      | Rotate { units } -> Format.fprintf fmt "  %s: rotate %d unit(s)@," c.carray.Ir.aname units)
+    t.comms;
+  Format.fprintf fmt "groups: ";
+  List.iter (fun (a, b) -> Format.fprintf fmt "(%d,%d) " a b) t.groups;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,47 @@
+(** Access-pattern summaries — what the compiler passes to the CDPC
+    run-time library (§5.1): array partitioning (start, size, unit,
+    policy), communication patterns (shift/rotate of boundary data),
+    and group-access pairs (arrays co-used in a loop). *)
+
+type array_partition = {
+  array : Ir.array_decl;
+  unit_elems : int;  (** elements advanced per distributed iteration *)
+  trip : int;
+  policy : Partition.policy;
+  direction : Partition.direction;
+  page_dense : bool;  (** CDPC applicability (per-unit gaps < page) *)
+  weight : int;  (** steady-state occurrences of the source phase *)
+}
+
+type communication = Shift of { units : int } | Rotate of { units : int }
+
+type comm_info = { carray : Ir.array_decl; comm : communication; cweight : int }
+
+type t = {
+  partitions : array_partition list;
+  comms : comm_info list;
+  groups : (int * int) list;  (** unordered co-accessed array-id pairs *)
+  arrays : Ir.array_decl list;
+}
+
+(** [extract ?page_size p] analyzes the steady state (parallel nests
+    contribute partitions and communication; every nest contributes
+    group pairs).  [page_size] defaults to 4096. *)
+val extract : ?page_size:int -> Ir.program -> t
+
+(** [partitions_of t array_id] lists the array's (possibly overlapping)
+    patterns. *)
+val partitions_of : t -> int -> array_partition list
+
+(** [grouped t a b] tests co-access of two array ids. *)
+val grouped : t -> int -> int -> bool
+
+(** [colorable t array_id] is CDPC's applicability verdict: at least
+    one partition, all patterns page-dense (§6.1). *)
+val colorable : t -> int -> bool
+
+(** [dominant_partition t array_id] is the highest-weight pattern. *)
+val dominant_partition : t -> int -> array_partition option
+
+(** [pp fmt t] prints a human-readable summary. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,241 @@
+(** Textual program format: read and write {!Ir.program} values as
+    S-expressions, so experiments can be defined without writing OCaml
+    (the CLI's [run-file] command consumes this format).
+
+    Grammar (see [examples/programs/*.sexp] for complete files):
+
+    {v
+    (program NAME
+      (startup INSTR)?
+      (array NAME (dims D0 D1 ...) (elem-size BYTES)?)+
+      (phase NAME
+        (nest LABEL KIND (bounds B0 B1 ...)
+          (body-instr N)? (onchip-stall N)? (tiled)?
+          (ref ARRAY (coeffs C0 C1 ...) (offset K)? (read|write)))+ )+
+      (steady (PHASE COUNT)+))
+    v}
+
+    where KIND is [sequential], [suppressed], or
+    [(parallel (even|blocked) (forward|reverse))]. *)
+
+open Sexp
+
+exception Format_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Format_error s)) fmt
+
+let as_atom = function Atom s -> s | List _ -> fail "expected an atom"
+
+let as_int sx =
+  let s = as_atom sx in
+  match int_of_string_opt s with Some v -> v | None -> fail "expected an integer, got %s" s
+
+(* find the (key ...) sublists of a form's arguments *)
+let fields key items =
+  List.filter_map
+    (function List (Atom k :: rest) when k = key -> Some rest | _ -> None)
+    items
+
+let field_opt key items =
+  match fields key items with
+  | [] -> None
+  | [ rest ] -> Some rest
+  | _ -> fail "duplicate field %s" key
+
+let flag key items = List.exists (function Atom k -> k = key | _ -> false) items
+
+(* ---- reading ---- *)
+
+let parse_kind = function
+  | Atom "sequential" -> Ir.Sequential
+  | Atom "suppressed" -> Ir.Suppressed
+  | List [ Atom "parallel"; policy; direction ] ->
+    let policy =
+      match as_atom policy with
+      | "even" -> Partition.Even
+      | "blocked" -> Partition.Blocked
+      | s -> fail "unknown partition policy %s" s
+    in
+    let direction =
+      match as_atom direction with
+      | "forward" -> Partition.Forward
+      | "reverse" -> Partition.Reverse
+      | s -> fail "unknown direction %s" s
+    in
+    Ir.Parallel { policy; direction }
+  | sx -> fail "bad nest kind: %s" (to_string sx)
+
+let parse_ref arrays items =
+  match items with
+  | name :: rest ->
+    let aname = as_atom name in
+    let array =
+      match List.find_opt (fun (a : Ir.array_decl) -> a.aname = aname) arrays with
+      | Some a -> a
+      | None -> fail "ref to undeclared array %s" aname
+    in
+    let coeffs =
+      match field_opt "coeffs" rest with
+      | Some cs -> Array.of_list (List.map as_int cs)
+      | None -> fail "ref to %s missing (coeffs ...)" aname
+    in
+    let offset = match field_opt "offset" rest with Some [ v ] -> as_int v | _ -> 0 in
+    let write =
+      match (flag "write" rest, flag "read" rest) with
+      | true, false -> true
+      | false, true -> false
+      | false, false -> fail "ref to %s must say read or write" aname
+      | true, true -> fail "ref to %s says both read and write" aname
+    in
+    Ir.ref_to array ~coeffs ~offset ~write
+  | [] -> fail "empty ref"
+
+let parse_nest arrays items =
+  match items with
+  | label :: kind :: rest ->
+    let label = as_atom label in
+    let kind = parse_kind kind in
+    let bounds =
+      match field_opt "bounds" rest with
+      | Some bs -> Array.of_list (List.map as_int bs)
+      | None -> fail "nest %s missing (bounds ...)" label
+    in
+    let body_instr = match field_opt "body-instr" rest with Some [ v ] -> as_int v | _ -> 4 in
+    let extra_onchip_stall =
+      match field_opt "onchip-stall" rest with Some [ v ] -> as_int v | _ -> 0
+    in
+    let tiled = flag "tiled" rest in
+    let refs = List.map (parse_ref arrays) (fields "ref" rest) in
+    Ir.make_nest ~label ~kind ~bounds ~refs ~body_instr ~extra_onchip_stall ~tiled ()
+  | _ -> fail "nest needs a label and a kind"
+
+(** [of_sexp sx] converts one [(program ...)] form.  Raises
+    {!Format_error} (semantic) or validation errors from
+    {!Ir.check_program}. *)
+let of_sexp sx =
+  match sx with
+  | List (Atom "program" :: name :: items) ->
+    let name = as_atom name in
+    let seq_startup_instr =
+      match field_opt "startup" items with Some [ v ] -> as_int v | _ -> 0
+    in
+    let arrays =
+      List.mapi
+        (fun id items ->
+          match items with
+          | aname :: rest ->
+            let dims =
+              match field_opt "dims" rest with
+              | Some ds -> Array.of_list (List.map as_int ds)
+              | None -> fail "array %s missing (dims ...)" (as_atom aname)
+            in
+            let elem_size =
+              match field_opt "elem-size" rest with Some [ v ] -> as_int v | _ -> 8
+            in
+            Ir.make_array ~id ~name:(as_atom aname) ~elem_size ~dims
+          | [] -> fail "empty array form")
+        (fields "array" items)
+    in
+    if arrays = [] then fail "program %s declares no arrays" name;
+    let phases =
+      List.map
+        (fun items ->
+          match items with
+          | pname :: rest ->
+            { Ir.pname = as_atom pname; nests = List.map (parse_nest arrays) (fields "nest" rest) }
+          | [] -> fail "empty phase form")
+        (fields "phase" items)
+    in
+    if phases = [] then fail "program %s has no phases" name;
+    let steady =
+      match field_opt "steady" items with
+      | None -> fail "program %s missing (steady ...)" name
+      | Some entries ->
+        List.map
+          (function
+            | List [ pname; count ] ->
+              let pname = as_atom pname in
+              let idx =
+                match
+                  List.find_index (fun (ph : Ir.phase) -> ph.pname = pname) phases
+                with
+                | Some i -> i
+                | None -> fail "steady refers to unknown phase %s" pname
+              in
+              (idx, as_int count)
+            | sx -> fail "bad steady entry: %s" (to_string sx))
+          entries
+    in
+    let p = { Ir.name; arrays; phases; steady; seq_startup_instr } in
+    Ir.check_program p;
+    p
+  | _ -> fail "expected a (program ...) form"
+
+(** [of_string s] parses a full program text. *)
+let of_string s = of_sexp (Sexp.of_string s)
+
+(** [of_file path] reads and parses a program file. *)
+let of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+(* ---- writing ---- *)
+
+let sexp_of_kind = function
+  | Ir.Sequential -> Atom "sequential"
+  | Ir.Suppressed -> Atom "suppressed"
+  | Ir.Parallel { policy; direction } ->
+    List
+      [
+        Atom "parallel";
+        Atom (match policy with Even -> "even" | Blocked -> "blocked");
+        Atom (match direction with Forward -> "forward" | Reverse -> "reverse");
+      ]
+
+let ints key vs = List (Atom key :: List.map (fun v -> Atom (string_of_int v)) vs)
+
+let sexp_of_ref (r : Ir.ref_) =
+  List
+    ([ Atom "ref"; Atom r.array.aname; ints "coeffs" (Array.to_list r.coeffs) ]
+    @ (if r.offset <> 0 then [ ints "offset" [ r.offset ] ] else [])
+    @ [ Atom (if r.is_write then "write" else "read") ])
+
+let sexp_of_nest (n : Ir.nest) =
+  List
+    ([ Atom "nest"; Atom n.label; sexp_of_kind n.kind; ints "bounds" (Array.to_list n.bounds) ]
+    @ [ ints "body-instr" [ n.body_instr ] ]
+    @ (if n.extra_onchip_stall > 0 then [ ints "onchip-stall" [ n.extra_onchip_stall ] ] else [])
+    @ (if n.tiled then [ Atom "tiled" ] else [])
+    @ List.map sexp_of_ref n.refs)
+
+(** [to_sexp p] converts a program to its textual form (array base
+    addresses are not serialized; layout reassigns them on load). *)
+let to_sexp (p : Ir.program) =
+  let phases = Array.of_list p.phases in
+  List
+    ([ Atom "program"; Atom p.name ]
+    @ (if p.seq_startup_instr > 0 then [ ints "startup" [ p.seq_startup_instr ] ] else [])
+    @ List.map
+        (fun (a : Ir.array_decl) ->
+          List
+            ([ Atom "array"; Atom a.aname; ints "dims" (Array.to_list a.dims) ]
+            @ if a.elem_size <> 8 then [ ints "elem-size" [ a.elem_size ] ] else []))
+        p.arrays
+    @ List.map
+        (fun (ph : Ir.phase) ->
+          List ((Atom "phase" :: Atom ph.pname :: []) @ List.map sexp_of_nest ph.nests))
+        (Array.to_list phases)
+    @ [
+        List
+          (Atom "steady"
+          :: List.map
+               (fun (idx, occ) ->
+                 List [ Atom phases.(idx).pname; Atom (string_of_int occ) ])
+               p.steady);
+      ])
+
+(** [to_string p] renders a program as text that {!of_string} reads
+    back to a structurally equal program. *)
+let to_string p = Format.asprintf "%a@." Sexp.pp (to_sexp p)

@@ -1,0 +1,1 @@
+lib/memsim/bus.ml: Float

@@ -1,0 +1,1 @@
+lib/memsim/cache.ml: Array Config List Pcolor_util

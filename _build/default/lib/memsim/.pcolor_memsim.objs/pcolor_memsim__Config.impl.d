@@ -1,0 +1,1 @@
+lib/memsim/config.ml: Float Pcolor_util Printf

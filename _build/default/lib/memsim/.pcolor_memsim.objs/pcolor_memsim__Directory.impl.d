@@ -1,0 +1,1 @@
+lib/memsim/directory.ml: Hashtbl Pcolor_util

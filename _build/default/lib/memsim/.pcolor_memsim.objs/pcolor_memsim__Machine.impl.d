@@ -1,0 +1,1 @@
+lib/memsim/machine.ml: Array Bus Cache Config Directory Hashtbl List Mclass Option Pcolor_util Shadow Tlb

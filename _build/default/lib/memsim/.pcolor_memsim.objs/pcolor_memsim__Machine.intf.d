@@ -1,0 +1,1 @@
+lib/memsim/machine.mli: Bus Cache Config Mclass Tlb

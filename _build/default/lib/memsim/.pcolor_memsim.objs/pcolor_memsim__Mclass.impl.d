@@ -1,0 +1,1 @@
+lib/memsim/mclass.ml: Array List

@@ -1,0 +1,1 @@
+lib/memsim/shadow.ml: Array Config Hashtbl List

@@ -1,0 +1,177 @@
+(** Set-associative, write-back, write-allocate cache with LRU
+    replacement.
+
+    Used for both the virtually-indexed on-chip cache (indexed with
+    virtual addresses) and the physically-indexed external cache (indexed
+    with physical addresses) — the caller decides which address to pass.
+    The hot path is allocation-free: tags, dirty bits and LRU stamps live
+    in flat arrays. *)
+
+type t = {
+  nsets : int;
+  assoc : int;
+  line_bits : int;
+  set_mask : int;
+  tags : int array;   (* nsets * assoc; -1 = invalid; holds line numbers *)
+  dirty : bool array; (* parallel to [tags] *)
+  stamp : int array;  (* parallel to [tags]; larger = more recent *)
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type result =
+  | Hit of { was_dirty : bool }
+      (** [was_dirty] is the line's dirty state {e before} this access;
+          a write hitting a clean line is a shared→exclusive upgrade in
+          the coherence layer. *)
+  | Miss of { evicted : int; evicted_dirty : bool }
+      (** [evicted] is the victim's line number, or [-1] if the way was
+          empty. *)
+
+(** [create geom] builds an empty cache of the given geometry. *)
+let create (g : Config.cache_geom) =
+  Config.check_geom g;
+  let nsets = g.size / (g.line * g.assoc) in
+  {
+    nsets;
+    assoc = g.assoc;
+    line_bits = Pcolor_util.Bits.log2 g.line;
+    set_mask = nsets - 1;
+    tags = Array.make (nsets * g.assoc) (-1);
+    dirty = Array.make (nsets * g.assoc) false;
+    stamp = Array.make (nsets * g.assoc) 0;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+(** [line_of t addr] is the line number containing byte address [addr]. *)
+let line_of t addr = addr lsr t.line_bits
+
+(** [line_bits t] exposes the line-offset width (log2 of line size). *)
+let line_bits t = t.line_bits
+
+let base_of_set t line = (line land t.set_mask) * t.assoc
+
+(** [access t ~addr ~write] simulates one reference.  On a miss the line
+    is allocated (write-allocate) and the LRU way evicted; the result
+    reports the victim so the caller can model write-back traffic.
+    Writes set the dirty bit. *)
+let access t ~addr ~write =
+  let line = line_of t addr in
+  let base = base_of_set t line in
+  t.tick <- t.tick + 1;
+  let rec find i =
+    if i >= t.assoc then -1 else if t.tags.(base + i) = line then base + i else find (i + 1)
+  in
+  let slot = find 0 in
+  if slot >= 0 then begin
+    t.hits <- t.hits + 1;
+    t.stamp.(slot) <- t.tick;
+    let was_dirty = t.dirty.(slot) in
+    if write then t.dirty.(slot) <- true;
+    Hit { was_dirty }
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    (* victim = empty way if any, else LRU way *)
+    let victim = ref (base) in
+    let best = ref max_int in
+    (try
+       for i = 0 to t.assoc - 1 do
+         let s = base + i in
+         if t.tags.(s) = -1 then begin
+           victim := s;
+           raise Exit
+         end
+         else if t.stamp.(s) < !best then begin
+           best := t.stamp.(s);
+           victim := s
+         end
+       done
+     with Exit -> ());
+    let v = !victim in
+    let evicted = t.tags.(v) in
+    let evicted_dirty = evicted <> -1 && t.dirty.(v) in
+    t.tags.(v) <- line;
+    t.dirty.(v) <- write;
+    t.stamp.(v) <- t.tick;
+    Miss { evicted; evicted_dirty }
+  end
+
+(** [contains t addr] is a non-intrusive residency probe (no LRU
+    update, no statistics). *)
+let contains t addr =
+  let line = line_of t addr in
+  let base = base_of_set t line in
+  let rec find i =
+    if i >= t.assoc then false else t.tags.(base + i) = line || find (i + 1)
+  in
+  find 0
+
+(** [invalidate t addr] drops the line if present, returning whether it
+    was dirty (the coherence layer uses this for remote-dirty fetches). *)
+let invalidate t addr =
+  let line = line_of t addr in
+  let base = base_of_set t line in
+  let rec find i =
+    if i >= t.assoc then None
+    else if t.tags.(base + i) = line then Some (base + i)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some slot ->
+    let was_dirty = t.dirty.(slot) in
+    t.tags.(slot) <- -1;
+    t.dirty.(slot) <- false;
+    Some was_dirty
+
+(** [set_dirty_if_present t addr] marks the line dirty when resident and
+    reports whether it was found; used to sink an L1 dirty victim into
+    the external cache without modeling a full access. *)
+let set_dirty_if_present t addr =
+  let line = line_of t addr in
+  let base = base_of_set t line in
+  let rec go i =
+    if i >= t.assoc then false
+    else if t.tags.(base + i) = line then begin
+      t.dirty.(base + i) <- true;
+      true
+    end
+    else go (i + 1)
+  in
+  go 0
+
+(** [clean t addr] clears the dirty bit if the line is resident (after a
+    remote CPU fetched the dirty data). *)
+let clean t addr =
+  let line = line_of t addr in
+  let base = base_of_set t line in
+  for i = 0 to t.assoc - 1 do
+    if t.tags.(base + i) = line then t.dirty.(base + i) <- false
+  done
+
+(** [flush t] empties the cache and resets statistics-free state; hit and
+    miss counters are preserved (use {!reset_stats}). *)
+let flush t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.dirty 0 (Array.length t.dirty) false;
+  Array.fill t.stamp 0 (Array.length t.stamp) 0
+
+(** [hits t] / [misses t] are cumulative reference counts. *)
+let hits t = t.hits
+
+let misses t = t.misses
+
+(** [reset_stats t] zeroes the hit/miss counters without touching cache
+    contents (used when discarding warm-up phases, §3.2). *)
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0
+
+(** [resident_lines t] lists the line numbers currently cached (test
+    helper; O(cache size)). *)
+let resident_lines t =
+  Array.to_list t.tags |> List.filter (fun l -> l <> -1) |> List.sort_uniq compare

@@ -1,0 +1,56 @@
+(** Set-associative, write-back, write-allocate cache with LRU
+    replacement.  Used for the virtually-indexed on-chip cache (pass
+    virtual addresses) and the physically-indexed external cache (pass
+    physical addresses).  The hot path is allocation-free. *)
+
+type t
+
+type result =
+  | Hit of { was_dirty : bool }
+      (** dirty state {e before} the access; a write hitting a clean
+          line is a shared→exclusive upgrade in the coherence layer *)
+  | Miss of { evicted : int; evicted_dirty : bool }
+      (** [evicted] is the victim's line number, or [-1] if the way was
+          empty *)
+
+(** [create geom] builds an empty cache. *)
+val create : Config.cache_geom -> t
+
+(** [line_of t addr] is the line number containing byte [addr]. *)
+val line_of : t -> int -> int
+
+(** [line_bits t] is log2 of the line size. *)
+val line_bits : t -> int
+
+(** [access t ~addr ~write] simulates one reference (write-allocate;
+    LRU victim reported for write-back modeling). *)
+val access : t -> addr:int -> write:bool -> result
+
+(** [contains t addr] is a non-intrusive residency probe. *)
+val contains : t -> int -> bool
+
+(** [invalidate t addr] drops the line if present, returning whether it
+    was dirty. *)
+val invalidate : t -> int -> bool option
+
+(** [set_dirty_if_present t addr] marks the line dirty when resident,
+    reporting whether it was found. *)
+val set_dirty_if_present : t -> int -> bool
+
+(** [clean t addr] clears the line's dirty bit if resident. *)
+val clean : t -> int -> unit
+
+(** [flush t] empties the cache (statistics preserved). *)
+val flush : t -> unit
+
+(** [hits t] / [misses t] are cumulative counters. *)
+val hits : t -> int
+
+val misses : t -> int
+
+(** [reset_stats t] zeroes counters without touching contents (warm-up
+    discard, §3.2). *)
+val reset_stats : t -> unit
+
+(** [resident_lines t] lists cached line numbers (test helper). *)
+val resident_lines : t -> int list

@@ -1,0 +1,130 @@
+(** Line-granularity coherence directory with word-level write masks.
+
+    The directory serves three purposes:
+
+    - {b invalidation}: a write by CPU [c] invalidates every other CPU's
+      cached copy, so their next access misses even if their external
+      cache still holds the (stale) tag;
+    - {b classification}: an invalidation miss is {e true sharing} when
+      a word actually written by the remote CPU is the one accessed, and
+      {e false sharing} otherwise (Dubois et al., as used in §4.1);
+    - {b sourcing}: a miss to a line held dirty by another CPU is
+      serviced cache-to-cache at the higher remote latency (750 ns in the
+      base configuration).
+
+    State is kept per line in a hash table: a validity bitmask over CPUs,
+    the last writer, whether the writer's copy is dirty, and the mask of
+    words written since the last writer change. *)
+
+type line_state = {
+  mutable valid_mask : int; (* bit c set: CPU c's cached copy is coherent *)
+  mutable writer : int; (* last writing CPU, -1 if never written *)
+  mutable dirty : bool; (* writer's copy not yet written back *)
+  mutable wmask : int; (* words written since writer acquired the line *)
+}
+
+type t = {
+  table : (int, line_state) Hashtbl.t; (* line number -> state *)
+  word_shift : int; (* log2 of word size, 8-byte words *)
+  words_per_line_mask : int;
+}
+
+(** [create ~line_size] builds an empty directory for [line_size]-byte
+    lines with 8-byte words. *)
+let create ~line_size =
+  if line_size < 8 || not (Pcolor_util.Bits.is_pow2 line_size) then
+    invalid_arg "Directory.create: bad line size";
+  {
+    table = Hashtbl.create (1 lsl 16);
+    word_shift = 3;
+    words_per_line_mask = (line_size / 8) - 1;
+  }
+
+let word_bit t addr = 1 lsl ((addr lsr t.word_shift) land t.words_per_line_mask)
+
+let get t line =
+  match Hashtbl.find_opt t.table line with
+  | Some s -> s
+  | None ->
+    let s = { valid_mask = 0; writer = -1; dirty = false; wmask = 0 } in
+    Hashtbl.add t.table line s;
+    s
+
+(** Result of consulting the directory on one reference. *)
+type verdict = {
+  coherent : bool;
+      (** the CPU's cached copy (if any) is still valid; a cache-tag hit
+          with [coherent = false] is an invalidation miss *)
+  sharing : [ `None | `True | `False ];
+      (** for an invalidation miss: whether the accessed word was
+          remotely written *)
+  remote_dirty : bool;
+      (** on a miss, the line must be fetched dirty from another CPU *)
+}
+
+(** [inspect t ~cpu ~line ~addr] reports the coherence view of CPU [cpu]
+    for the reference at [addr] without changing state.  [addr] selects
+    the word for the true/false-sharing test. *)
+let inspect t ~cpu ~line ~addr =
+  match Hashtbl.find_opt t.table line with
+  | None -> { coherent = false; sharing = `None; remote_dirty = false }
+  | Some s ->
+    let coherent = s.valid_mask land (1 lsl cpu) <> 0 in
+    let sharing =
+      if coherent || s.writer < 0 || s.writer = cpu then `None
+      else if s.wmask land word_bit t addr <> 0 then `True
+      else `False
+    in
+    let remote_dirty = s.dirty && s.writer >= 0 && s.writer <> cpu in
+    { coherent; sharing; remote_dirty }
+
+(** [record_read t ~cpu ~line] notes that CPU [cpu] now holds a coherent
+    copy.  If the line was dirty at another CPU, that copy transitions to
+    clean-shared (models the cache-to-cache transfer + memory update).
+    Returns [true] if this read forced a remote dirty line clean (so the
+    caller can also clean the remote cache's dirty bit). *)
+let record_read t ~cpu ~line =
+  let s = get t line in
+  let forced_clean = s.dirty && s.writer >= 0 && s.writer <> cpu in
+  if forced_clean then s.dirty <- false;
+  s.valid_mask <- s.valid_mask lor (1 lsl cpu);
+  forced_clean
+
+(** [record_write t ~cpu ~line ~addr] makes CPU [cpu] the exclusive owner
+    and accumulates the written word into the mask (the mask resets when
+    ownership changes hands, so it reflects "words written since the
+    current writer acquired the line").  Returns the bitmask of {e other}
+    CPUs whose copies were invalidated — the caller uses a nonempty mask
+    to account an upgrade/invalidate bus transaction. *)
+let record_write t ~cpu ~line ~addr =
+  let s = get t line in
+  let me = 1 lsl cpu in
+  let invalidated = s.valid_mask land lnot me in
+  if s.writer <> cpu then begin
+    s.writer <- cpu;
+    s.wmask <- 0
+  end;
+  s.wmask <- s.wmask lor word_bit t addr;
+  s.dirty <- true;
+  s.valid_mask <- me;
+  invalidated
+
+(** [writeback t ~cpu ~line] marks the line clean if [cpu] owned it
+    dirty (victim eviction wrote it to memory). *)
+let writeback t ~cpu ~line =
+  match Hashtbl.find_opt t.table line with
+  | Some s when s.writer = cpu -> s.dirty <- false
+  | _ -> ()
+
+(** [evict t ~cpu ~line] clears CPU [cpu]'s validity bit after its cache
+    dropped the line, keeping directory state consistent with caches. *)
+let evict t ~cpu ~line =
+  match Hashtbl.find_opt t.table line with
+  | Some s -> s.valid_mask <- s.valid_mask land lnot (1 lsl cpu)
+  | None -> ()
+
+(** [lines t] is the number of lines the directory tracks (test helper). *)
+let lines t = Hashtbl.length t.table
+
+(** [reset t] forgets all sharing state. *)
+let reset t = Hashtbl.reset t.table

@@ -1,0 +1,47 @@
+(** Line-granularity coherence directory with word-level write masks:
+    invalidation on writes, true/false-sharing classification (Dubois et
+    al., §4.1), and dirty-remote sourcing at the higher cache-to-cache
+    latency. *)
+
+type t
+
+(** [create ~line_size] builds an empty directory (8-byte words). *)
+val create : line_size:int -> t
+
+(** The directory's view of one reference. *)
+type verdict = {
+  coherent : bool;
+      (** the CPU's copy (if cached) is valid; cleared only by a remote
+          write, so a miss with [coherent = false] is communication *)
+  sharing : [ `None | `True | `False ];
+      (** whether the accessed word was remotely written *)
+  remote_dirty : bool;  (** the line must be fetched dirty from another CPU *)
+}
+
+(** [inspect t ~cpu ~line ~addr] reports without changing state;
+    [addr] selects the word for the true/false test. *)
+val inspect : t -> cpu:int -> line:int -> addr:int -> verdict
+
+(** [record_read t ~cpu ~line] notes a coherent copy at [cpu]; returns
+    [true] when this read forced a remote dirty copy clean. *)
+val record_read : t -> cpu:int -> line:int -> bool
+
+(** [record_write t ~cpu ~line ~addr] makes [cpu] exclusive owner and
+    accumulates the written word; returns the bitmask of other CPUs
+    invalidated. *)
+val record_write : t -> cpu:int -> line:int -> addr:int -> int
+
+(** [writeback t ~cpu ~line] marks the line clean after a victim
+    write-back by its owner. *)
+val writeback : t -> cpu:int -> line:int -> unit
+
+(** [evict t ~cpu ~line] clears [cpu]'s validity bit (used only by
+    explicit frame invalidation; ordinary evictions keep the bit so
+    misses classify as replacement, not communication). *)
+val evict : t -> cpu:int -> line:int -> unit
+
+(** [lines t] counts tracked lines (test helper). *)
+val lines : t -> int
+
+(** [reset t] forgets all sharing state. *)
+val reset : t -> unit

@@ -1,0 +1,433 @@
+(** The simulated multiprocessor memory system.
+
+    Each CPU owns a virtually-indexed on-chip data cache, a TLB, a
+    physically-indexed external cache, a fully-associative shadow cache
+    (for conflict/capacity classification) and a prefetch unit; the CPUs
+    share a coherence directory and a bus account.
+
+    Address translation is delegated to the caller through a [translate]
+    callback so the memory system stays decoupled from the OS model: the
+    VM kernel supplies the frame (servicing a page fault if needed) and
+    reports the kernel cycles spent.
+
+    Timing model: every CPU has a local cycle counter.  Instruction
+    execution is charged by the runtime via {!tick}; this module charges
+    memory stalls at {e uncontended} latencies and records them by cause,
+    so the engine can apply the bus-contention stretch factor as a
+    per-region fixed point (see {!Bus.stretch_factor}) without
+    re-simulating. *)
+
+type cpu_stats = {
+  mutable instructions : int;
+  mutable l1_hits : int;
+  mutable l1_misses : int;
+  mutable l2_hits : int; (* demand accesses that hit the external cache *)
+  l2_miss_counts : Mclass.counts;
+  mutable stall_onchip : int; (* cycles: on-chip miss serviced by L2 *)
+  stall_by_class : int array; (* cycles of memory stall per miss class *)
+  mutable stall_pf_late : int; (* demand arrived before its prefetch completed *)
+  mutable stall_pf_full : int; (* 5th outstanding prefetch stalled the CPU *)
+  mutable kernel_cycles : int;
+  mutable tlb_misses : int;
+  mutable page_fault_cycles : int;
+  mutable pf_issued : int;
+  mutable pf_dropped_tlb : int; (* prefetch to an unmapped page: dropped (§6.2) *)
+  mutable pf_useless : int; (* target already cached or in flight *)
+  mutable pf_useful : int; (* demand access hit a completed prefetch *)
+}
+
+let make_stats () =
+  {
+    instructions = 0;
+    l1_hits = 0;
+    l1_misses = 0;
+    l2_hits = 0;
+    l2_miss_counts = Mclass.make_counts ();
+    stall_onchip = 0;
+    stall_by_class = Array.make 5 0;
+    stall_pf_late = 0;
+    stall_pf_full = 0;
+    kernel_cycles = 0;
+    tlb_misses = 0;
+    page_fault_cycles = 0;
+    pf_issued = 0;
+    pf_dropped_tlb = 0;
+    pf_useless = 0;
+    pf_useful = 0;
+  }
+
+(** [total_mem_stall s] is every cycle of memory-system stall: on-chip
+    miss service, external misses by class, and prefetch-related stalls. *)
+let total_mem_stall s =
+  s.stall_onchip + Array.fold_left ( + ) 0 s.stall_by_class + s.stall_pf_late + s.stall_pf_full
+
+(** [mcpi s] is memory cycles per instruction — the paper's headline
+    memory-behaviour metric (an MCPI of 1.0 means half the useful time is
+    memory stall). *)
+let mcpi s =
+  if s.instructions = 0 then 0.0
+  else float_of_int (total_mem_stall s) /. float_of_int s.instructions
+
+type cpu = {
+  id : int;
+  l1 : Cache.t;
+  l2 : Cache.t;
+  shadow : Shadow.t;
+  tlb : Tlb.t;
+  seen : (int, unit) Hashtbl.t; (* physical lines ever referenced by this CPU *)
+  pf_ready : (int, int) Hashtbl.t; (* physical line -> completion time *)
+  mutable pf_inflight : int list; (* completion times of outstanding prefetches *)
+  mutable time : int; (* local cycle counter *)
+  stats : cpu_stats;
+}
+
+type t = {
+  cfg : Config.t;
+  cpus : cpu array;
+  dir : Directory.t;
+  bus : Bus.t;
+  page_bits : int;
+  page_mask : int;
+  l2_line_bits : int;
+  line_bus : int; (* bus cycles per L2 line transfer *)
+  conflict_by_frame : (int, int) Hashtbl.t;
+      (* physical page -> conflict misses since last harvest; feeds the
+         dynamic-recoloring extension (the TLB-state + miss-counter
+         detection of §2.1's dynamic policies) *)
+}
+
+(** [create cfg] builds an empty machine. *)
+let create (cfg : Config.t) =
+  let mk id =
+    {
+      id;
+      l1 = Cache.create cfg.l1;
+      l2 = Cache.create cfg.l2;
+      shadow = Shadow.create cfg.l2;
+      tlb = Tlb.create ~entries:cfg.tlb_entries;
+      seen = Hashtbl.create (1 lsl 14);
+      pf_ready = Hashtbl.create 64;
+      pf_inflight = [];
+      time = 0;
+      stats = make_stats ();
+    }
+  in
+  {
+    cfg;
+    cpus = Array.init cfg.n_cpus mk;
+    dir = Directory.create ~line_size:cfg.l2.line;
+    bus = Bus.create ();
+    page_bits = Pcolor_util.Bits.log2 cfg.page_size;
+    page_mask = cfg.page_size - 1;
+    l2_line_bits = Pcolor_util.Bits.log2 cfg.l2.line;
+    line_bus = Config.line_bus_cycles cfg;
+    conflict_by_frame = Hashtbl.create 1024;
+  }
+
+(** [config t] is the machine's configuration. *)
+let config t = t.cfg
+
+(** [bus t] exposes the shared bus account (the engine reads and resets
+    it per region). *)
+let bus t = t.bus
+
+(** [n_cpus t] is the processor count. *)
+let n_cpus t = t.cfg.n_cpus
+
+(** [cpu_time t ~cpu] is CPU [cpu]'s local cycle counter. *)
+let cpu_time t ~cpu = t.cpus.(cpu).time
+
+(** [set_cpu_time t ~cpu v] forces the counter (barrier synchronization
+    advances every CPU to the region's arrival max). *)
+let set_cpu_time t ~cpu v = t.cpus.(cpu).time <- v
+
+(** [stats t ~cpu] is CPU [cpu]'s mutable statistics record. *)
+let stats t ~cpu = t.cpus.(cpu).stats
+
+(** [tick t ~cpu n] charges [n] cycles of instruction execution
+    ([n] instructions on the single-issue CPU). *)
+let tick t ~cpu n =
+  let c = t.cpus.(cpu) in
+  c.time <- c.time + n;
+  c.stats.instructions <- c.stats.instructions + n
+
+(** [add_stall t ~cpu n] charges [n] cycles of non-memory stall (the
+    engine uses this for contention adjustment and barrier spin). *)
+let add_stall t ~cpu n = t.cpus.(cpu).time <- t.cpus.(cpu).time + n
+
+(** [add_onchip_stall t ~cpu n] charges [n] cycles of stall serviced by
+    the external cache without a data reference — used to model
+    instruction fetches that miss on chip (fpppp is bound by them,
+    §4.1). *)
+let add_onchip_stall t ~cpu n =
+  let c = t.cpus.(cpu) in
+  c.time <- c.time + n;
+  c.stats.stall_onchip <- c.stats.stall_onchip + n
+
+(** [kernel t ~cpu n] charges [n] cycles of kernel time. *)
+let kernel t ~cpu n =
+  let c = t.cpus.(cpu) in
+  c.time <- c.time + n;
+  c.stats.kernel_cycles <- c.stats.kernel_cycles + n
+
+let vpage_of t vaddr = vaddr lsr t.page_bits
+
+let paddr_of t ~frame ~vaddr = (frame lsl t.page_bits) lor (vaddr land t.page_mask)
+
+(* Translate a virtual address, servicing TLB misses and delegating page
+   faults to the kernel callback. Returns the physical address. *)
+let translate_addr t c ~translate vaddr =
+  let vpage = vpage_of t vaddr in
+  let frame =
+    match Tlb.lookup c.tlb vpage with
+    | Some frame -> frame
+    | None ->
+      c.stats.tlb_misses <- c.stats.tlb_misses + 1;
+      kernel t ~cpu:c.id t.cfg.tlb_miss_cycles;
+      let frame, fault_cycles = translate ~cpu:c.id ~vpage in
+      if fault_cycles > 0 then begin
+        kernel t ~cpu:c.id fault_cycles;
+        c.stats.page_fault_cycles <- c.stats.page_fault_cycles + fault_cycles
+      end;
+      Tlb.insert c.tlb ~vpage ~frame;
+      frame
+  in
+  paddr_of t ~frame ~vaddr
+
+(* Invalidate every other CPU's cached copies of a line the writer just
+   acquired exclusively. L1 is virtually indexed, so it is invalidated by
+   virtual address (all CPUs share one address space); L2 by physical. *)
+let invalidate_others t ~writer ~vaddr ~paddr ~mask =
+  if mask <> 0 then
+    for i = 0 to t.cfg.n_cpus - 1 do
+      if i <> writer && mask land (1 lsl i) <> 0 then begin
+        let peer = t.cpus.(i) in
+        ignore (Cache.invalidate peer.l1 vaddr);
+        ignore (Cache.invalidate peer.l2 paddr)
+      end
+    done
+
+(* Service an external-cache miss: classify, charge latency and bus
+   occupancy, update directory. [pline] is the physical line number. *)
+let l2_miss t c ~vaddr ~paddr ~pline ~write ~fa_hit ~evicted ~evicted_dirty =
+  let s = c.stats in
+  (* victim write-back *)
+  if evicted_dirty then begin
+    Bus.add_writeback t.bus t.line_bus;
+    Directory.writeback t.dir ~cpu:c.id ~line:evicted
+  end;
+  (* classification *)
+  let verdict = Directory.inspect t.dir ~cpu:c.id ~line:pline ~addr:paddr in
+  let cls : Mclass.t =
+    if not (Hashtbl.mem c.seen pline) then Cold
+    else if not verdict.coherent then
+      match verdict.sharing with
+      | `True -> True_sharing
+      | `False | `None -> False_sharing
+    else if fa_hit then Conflict
+    else Capacity
+  in
+  Mclass.incr s.l2_miss_counts cls;
+  (if cls = Conflict then
+     let frame = paddr lsr t.page_bits in
+     Hashtbl.replace t.conflict_by_frame frame
+       (1 + Option.value ~default:0 (Hashtbl.find_opt t.conflict_by_frame frame)));
+  (* latency and bus occupancy *)
+  let base = if verdict.remote_dirty then t.cfg.remote_cycles else t.cfg.mem_cycles in
+  s.stall_by_class.(Mclass.index cls) <- s.stall_by_class.(Mclass.index cls) + base;
+  c.time <- c.time + base;
+  Bus.add_data t.bus t.line_bus;
+  (* directory update *)
+  if write then begin
+    let mask = Directory.record_write t.dir ~cpu:c.id ~line:pline ~addr:paddr in
+    invalidate_others t ~writer:c.id ~vaddr ~paddr ~mask
+  end
+  else if Directory.record_read t.dir ~cpu:c.id ~line:pline then
+    (* remote dirty copy supplied the data and became clean; the owner's
+       caches lose their dirty (exclusive) state so its next write is an
+       upgrade again — L1 is virtually indexed, shared address space *)
+    Array.iter
+      (fun peer ->
+        if peer.id <> c.id then begin
+          Cache.clean peer.l2 paddr;
+          Cache.clean peer.l1 vaddr
+        end)
+      t.cpus;
+  Hashtbl.replace c.seen pline ()
+
+(* A write that hit a clean line may need a shared->exclusive upgrade. *)
+let upgrade_on_write t c ~vaddr ~paddr ~pline =
+  let mask = Directory.record_write t.dir ~cpu:c.id ~line:pline ~addr:paddr in
+  if mask <> 0 then begin
+    Bus.add_upgrade t.bus t.cfg.upgrade_bus_cycles;
+    invalidate_others t ~writer:c.id ~vaddr ~paddr ~mask
+  end
+
+(** [access t ~cpu ~vaddr ~write ~translate] simulates one data
+    reference by CPU [cpu] to virtual address [vaddr].
+
+    [translate ~cpu ~vpage] must return [(frame, kernel_cycles)] where
+    [kernel_cycles] is nonzero when the lookup faulted.  The call charges
+    all stall and kernel time to the CPU's local clock and statistics. *)
+let access t ~cpu ~vaddr ~write ~translate =
+  let c = t.cpus.(cpu) in
+  let s = c.stats in
+  match Cache.access c.l1 ~addr:vaddr ~write with
+  | Hit { was_dirty } ->
+    s.l1_hits <- s.l1_hits + 1;
+    if write && not was_dirty then begin
+      (* Possible shared->exclusive upgrade; L2 must learn the dirty state. *)
+      let paddr = translate_addr t c ~translate vaddr in
+      let pline = paddr lsr t.l2_line_bits in
+      ignore (Cache.set_dirty_if_present c.l2 paddr);
+      upgrade_on_write t c ~vaddr ~paddr ~pline
+    end
+  | Miss { evicted = _; evicted_dirty = l1_victim_dirty } ->
+    s.l1_misses <- s.l1_misses + 1;
+    let paddr = translate_addr t c ~translate vaddr in
+    let pline = paddr lsr t.l2_line_bits in
+    (* Sink the L1 victim's dirty data into L2 (approximate: we do not
+       retain the victim's own address mapping, so we skip it; the
+       original write already set the L2 dirty bit on its own path). *)
+    ignore l1_victim_dirty;
+    let fa_hit = Shadow.access c.shadow pline in
+    (match Cache.access c.l2 ~addr:paddr ~write with
+    | Hit { was_dirty } ->
+      s.l2_hits <- s.l2_hits + 1;
+      s.stall_onchip <- s.stall_onchip + t.cfg.l2_hit_cycles;
+      c.time <- c.time + t.cfg.l2_hit_cycles;
+      (* Was this line prefetched and still in flight? *)
+      (match Hashtbl.find_opt c.pf_ready pline with
+      | Some ready when ready > c.time ->
+        let wait = ready - c.time in
+        s.stall_pf_late <- s.stall_pf_late + wait;
+        c.time <- c.time + wait;
+        s.pf_useful <- s.pf_useful + 1;
+        Hashtbl.remove c.pf_ready pline
+      | Some _ ->
+        s.pf_useful <- s.pf_useful + 1;
+        Hashtbl.remove c.pf_ready pline
+      | None -> ());
+      if write && not was_dirty then upgrade_on_write t c ~vaddr ~paddr ~pline;
+      Hashtbl.replace c.seen pline ()
+    | Miss { evicted; evicted_dirty } ->
+      l2_miss t c ~vaddr ~paddr ~pline ~write ~fa_hit ~evicted ~evicted_dirty)
+
+(** [prefetch t ~cpu ~vaddr] models a non-binding prefetch instruction
+    (§6.2): dropped on a TLB miss, ignored when the target is already
+    cached or in flight, otherwise fetched into the external cache only.
+    A fifth outstanding prefetch stalls the CPU until a slot frees. *)
+let prefetch t ~cpu ~vaddr =
+  let c = t.cpus.(cpu) in
+  let s = c.stats in
+  s.pf_issued <- s.pf_issued + 1;
+  let vpage = vpage_of t vaddr in
+  match Tlb.probe c.tlb vpage with
+  | None -> s.pf_dropped_tlb <- s.pf_dropped_tlb + 1
+  | Some frame ->
+    let paddr = paddr_of t ~frame ~vaddr in
+    let pline = paddr lsr t.l2_line_bits in
+    if Cache.contains c.l2 paddr || Hashtbl.mem c.pf_ready pline then
+      s.pf_useless <- s.pf_useless + 1
+    else begin
+      (* Retire completed prefetches, then enforce the 4-slot limit. *)
+      c.pf_inflight <- List.filter (fun done_at -> done_at > c.time) c.pf_inflight;
+      if List.length c.pf_inflight >= t.cfg.max_outstanding_prefetches then begin
+        let earliest = List.fold_left min max_int c.pf_inflight in
+        let wait = earliest - c.time in
+        s.stall_pf_full <- s.stall_pf_full + wait;
+        c.time <- c.time + wait;
+        c.pf_inflight <- List.filter (fun done_at -> done_at > c.time) c.pf_inflight
+      end;
+      let verdict = Directory.inspect t.dir ~cpu ~line:pline ~addr:paddr in
+      let base = if verdict.remote_dirty then t.cfg.remote_cycles else t.cfg.mem_cycles in
+      let done_at = c.time + base in
+      c.pf_inflight <- done_at :: c.pf_inflight;
+      Hashtbl.replace c.pf_ready pline done_at;
+      Bus.add_data t.bus t.line_bus;
+      ignore (Shadow.access c.shadow pline);
+      (match Cache.access c.l2 ~addr:paddr ~write:false with
+      | Hit _ -> ()
+      | Miss { evicted; evicted_dirty } ->
+        if evicted_dirty then begin
+          Bus.add_writeback t.bus t.line_bus;
+          Directory.writeback t.dir ~cpu ~line:evicted
+        end);
+      if Directory.record_read t.dir ~cpu ~line:pline then
+        Array.iter (fun peer -> if peer.id <> cpu then Cache.clean peer.l2 paddr) t.cpus;
+      Hashtbl.replace c.seen pline ()
+    end
+
+(** [harvest_conflicts t ~min_count] returns frames that took at least
+    [min_count] conflict misses since the last harvest, hottest first,
+    and resets the counters — the feedback channel for the
+    dynamic-recoloring extension (the §2.1 "TLB state + cache miss
+    counters" detection mechanism). *)
+let harvest_conflicts t ~min_count =
+  let hot =
+    Hashtbl.fold
+      (fun frame count acc -> if count >= min_count then (frame, count) :: acc else acc)
+      t.conflict_by_frame []
+  in
+  Hashtbl.reset t.conflict_by_frame;
+  List.sort (fun (_, a) (_, b) -> compare b a) hot
+
+(** [invalidate_frame_everywhere t ~frame] drops every line of a
+    physical page from every CPU's external cache (the page's data
+    moved to a different frame during recoloring). *)
+let invalidate_frame_everywhere t ~frame =
+  let base = frame lsl t.page_bits in
+  let lines = t.cfg.page_size / t.cfg.l2.line in
+  Array.iter
+    (fun c ->
+      for l = 0 to lines - 1 do
+        ignore (Cache.invalidate c.l2 (base + (l * t.cfg.l2.line)))
+      done)
+    t.cpus
+
+(** [touch_page t ~cpu ~vaddr ~translate] forces translation (and hence
+    a page fault on first touch) without a cache access — the
+    Digital-UNIX-style user-level CDPC implementation colors pages by
+    touching them in a chosen order at startup (§5.3). *)
+let touch_page t ~cpu ~vaddr ~translate = ignore (translate_addr t t.cpus.(cpu) ~translate vaddr)
+
+(** [l1_cache t ~cpu] / [l2_cache t ~cpu] / [tlb t ~cpu] expose per-CPU
+    components for tests and detailed probes. *)
+let l1_cache t ~cpu = t.cpus.(cpu).l1
+
+let l2_cache t ~cpu = t.cpus.(cpu).l2
+
+let tlb t ~cpu = t.cpus.(cpu).tlb
+
+(** [reset_stats t] zeroes every CPU's statistics and the bus account
+    while keeping cache/TLB/directory contents — used to discard the
+    warm-up window (§3.2). *)
+let reset_stats t =
+  Array.iter
+    (fun c ->
+      let fresh = make_stats () in
+      let s = c.stats in
+      s.instructions <- fresh.instructions;
+      s.l1_hits <- 0;
+      s.l1_misses <- 0;
+      s.l2_hits <- 0;
+      Array.fill s.l2_miss_counts 0 (Array.length s.l2_miss_counts) 0;
+      s.stall_onchip <- 0;
+      Array.fill s.stall_by_class 0 (Array.length s.stall_by_class) 0;
+      s.stall_pf_late <- 0;
+      s.stall_pf_full <- 0;
+      s.kernel_cycles <- 0;
+      s.tlb_misses <- 0;
+      s.page_fault_cycles <- 0;
+      s.pf_issued <- 0;
+      s.pf_dropped_tlb <- 0;
+      s.pf_useless <- 0;
+      s.pf_useful <- 0;
+      (* the local clock rebases to zero, so in-flight prefetch
+         completion times from before the reset are meaningless *)
+      c.pf_inflight <- [];
+      Hashtbl.reset c.pf_ready;
+      c.time <- 0)
+    t.cpus;
+  Bus.reset t.bus;
+  Hashtbl.reset t.conflict_by_frame

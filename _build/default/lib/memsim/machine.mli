@@ -1,0 +1,118 @@
+(** The simulated multiprocessor memory system: per-CPU virtually
+    indexed on-chip caches, TLBs, physically indexed external caches
+    with fully-associative shadows, prefetch units, and a shared
+    coherence directory and bus.
+
+    Address translation is delegated through a [translate] callback
+    (the VM kernel supplies frames and fault costs), keeping the memory
+    system decoupled from the OS model.  Memory stalls are charged at
+    uncontended latencies and recorded by cause; the engine applies the
+    bus-contention stretch per region. *)
+
+(** Per-CPU statistics (mutable; reset by {!reset_stats}). *)
+type cpu_stats = {
+  mutable instructions : int;
+  mutable l1_hits : int;
+  mutable l1_misses : int;
+  mutable l2_hits : int;
+  l2_miss_counts : Mclass.counts;
+  mutable stall_onchip : int;  (** on-chip miss serviced by L2, cycles *)
+  stall_by_class : int array;  (** memory stall cycles per miss class *)
+  mutable stall_pf_late : int;  (** demand arrived before its prefetch completed *)
+  mutable stall_pf_full : int;  (** a 5th outstanding prefetch stalled the CPU *)
+  mutable kernel_cycles : int;
+  mutable tlb_misses : int;
+  mutable page_fault_cycles : int;
+  mutable pf_issued : int;
+  mutable pf_dropped_tlb : int;  (** prefetch to an unmapped page (§6.2) *)
+  mutable pf_useless : int;  (** target already cached or in flight *)
+  mutable pf_useful : int;  (** demand hit a completed prefetch *)
+}
+
+(** [total_mem_stall s] sums every memory-system stall cycle. *)
+val total_mem_stall : cpu_stats -> int
+
+(** [mcpi s] is memory cycles per instruction. *)
+val mcpi : cpu_stats -> float
+
+type t
+
+(** [create cfg] builds an empty machine. *)
+val create : Config.t -> t
+
+(** [config t] is the machine's configuration. *)
+val config : t -> Config.t
+
+(** [bus t] exposes the shared bus account. *)
+val bus : t -> Bus.t
+
+(** [n_cpus t] is the processor count. *)
+val n_cpus : t -> int
+
+(** [cpu_time t ~cpu] is the CPU's local cycle counter. *)
+val cpu_time : t -> cpu:int -> int
+
+(** [set_cpu_time t ~cpu v] forces the counter (barrier sync). *)
+val set_cpu_time : t -> cpu:int -> int -> unit
+
+(** [stats t ~cpu] is the CPU's mutable statistics record. *)
+val stats : t -> cpu:int -> cpu_stats
+
+(** [tick t ~cpu n] charges [n] cycles of instruction execution. *)
+val tick : t -> cpu:int -> int -> unit
+
+(** [add_stall t ~cpu n] charges non-memory stall (contention
+    adjustment, barrier spin). *)
+val add_stall : t -> cpu:int -> int -> unit
+
+(** [add_onchip_stall t ~cpu n] charges instruction-fetch stall
+    serviced by the external cache (fpppp's bottleneck, §4.1). *)
+val add_onchip_stall : t -> cpu:int -> int -> unit
+
+(** [kernel t ~cpu n] charges kernel time. *)
+val kernel : t -> cpu:int -> int -> unit
+
+(** [access t ~cpu ~vaddr ~write ~translate] simulates one data
+    reference.  [translate ~cpu ~vpage] returns
+    [(frame, kernel_cycles)] with a nonzero cost when it faulted. *)
+val access :
+  t ->
+  cpu:int ->
+  vaddr:int ->
+  write:bool ->
+  translate:(cpu:int -> vpage:int -> int * int) ->
+  unit
+
+(** [prefetch t ~cpu ~vaddr] models a non-binding prefetch (§6.2):
+    dropped on TLB miss, skipped when already cached/in flight, fills
+    the external cache only; a fifth outstanding prefetch stalls. *)
+val prefetch : t -> cpu:int -> vaddr:int -> unit
+
+(** [harvest_conflicts t ~min_count] returns frames with at least
+    [min_count] conflict misses since the last harvest (hottest first)
+    and resets the counters — feedback for dynamic recoloring. *)
+val harvest_conflicts : t -> min_count:int -> (int * int) list
+
+(** [invalidate_frame_everywhere t ~frame] drops every line of a
+    physical page from every external cache (recoloring moved the
+    data). *)
+val invalidate_frame_everywhere : t -> frame:int -> unit
+
+(** [touch_page t ~cpu ~vaddr ~translate] forces translation (first
+    touch faults) without a cache access — the §5.3 Digital UNIX
+    user-level CDPC path. *)
+val touch_page :
+  t -> cpu:int -> vaddr:int -> translate:(cpu:int -> vpage:int -> int * int) -> unit
+
+(** [l1_cache t ~cpu] / [l2_cache t ~cpu] / [tlb t ~cpu] expose per-CPU
+    components for tests and probes. *)
+val l1_cache : t -> cpu:int -> Cache.t
+
+val l2_cache : t -> cpu:int -> Cache.t
+
+val tlb : t -> cpu:int -> Tlb.t
+
+(** [reset_stats t] zeroes statistics, clocks, in-flight prefetches and
+    the bus account while keeping cache/TLB/directory contents — the
+    warm-up discard (§3.2). *)
+val reset_stats : t -> unit

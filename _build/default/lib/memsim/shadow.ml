@@ -1,0 +1,93 @@
+(** Fully-associative LRU shadow cache, used to split replacement misses
+    into conflict and capacity.
+
+    A reference that misses in the real set-associative cache but would
+    have hit in a fully-associative LRU cache of the same total capacity
+    is a {e conflict} miss — it exists only because of limited
+    associativity and indexing, which is precisely what page coloring
+    manipulates.  A miss in both is a {e capacity} miss.
+
+    The structure is an O(1) LRU: an open hash table from line number to
+    slot, plus an intrusive doubly-linked list over slot arrays. *)
+
+type t = {
+  capacity : int; (* number of lines *)
+  table : (int, int) Hashtbl.t; (* line -> slot *)
+  line_no : int array; (* slot -> line (-1 = free) *)
+  prev : int array;
+  next : int array;
+  mutable head : int; (* most recently used; -1 when empty *)
+  mutable tail : int; (* least recently used; -1 when empty *)
+  mutable free : int list;
+  mutable size : int;
+}
+
+(** [create geom] builds a shadow for a cache of the same byte capacity
+    and line size as [geom] (associativity is ignored: the shadow is
+    fully associative by definition). *)
+let create (g : Config.cache_geom) =
+  let capacity = g.size / g.line in
+  {
+    capacity;
+    table = Hashtbl.create (2 * capacity);
+    line_no = Array.make capacity (-1);
+    prev = Array.make capacity (-1);
+    next = Array.make capacity (-1);
+    head = -1;
+    tail = -1;
+    free = List.init capacity (fun i -> i);
+    size = 0;
+  }
+
+let unlink t slot =
+  let p = t.prev.(slot) and n = t.next.(slot) in
+  if p <> -1 then t.next.(p) <- n else t.head <- n;
+  if n <> -1 then t.prev.(n) <- p else t.tail <- p;
+  t.prev.(slot) <- -1;
+  t.next.(slot) <- -1
+
+let push_front t slot =
+  t.prev.(slot) <- -1;
+  t.next.(slot) <- t.head;
+  if t.head <> -1 then t.prev.(t.head) <- slot;
+  t.head <- slot;
+  if t.tail = -1 then t.tail <- slot
+
+(** [access t line] touches [line]: returns [true] if it was resident
+    (an FA-LRU hit), [false] otherwise.  On a miss the line is inserted,
+    evicting the LRU line when full.  Must be called on {e every}
+    reference, hit or miss in the real cache, to keep recency exact. *)
+let access t line =
+  match Hashtbl.find_opt t.table line with
+  | Some slot ->
+    if t.head <> slot then begin
+      unlink t slot;
+      push_front t slot
+    end;
+    true
+  | None ->
+    let slot =
+      match t.free with
+      | s :: rest ->
+        t.free <- rest;
+        t.size <- t.size + 1;
+        s
+      | [] ->
+        let victim = t.tail in
+        Hashtbl.remove t.table t.line_no.(victim);
+        unlink t victim;
+        victim
+    in
+    t.line_no.(slot) <- line;
+    Hashtbl.replace t.table line slot;
+    push_front t slot;
+    false
+
+(** [mem t line] is a residency probe with no LRU side effect. *)
+let mem t line = Hashtbl.mem t.table line
+
+(** [size t] is the current number of resident lines. *)
+let size t = t.size
+
+(** [capacity t] is the maximum number of resident lines. *)
+let capacity t = t.capacity

@@ -1,0 +1,89 @@
+(** Per-CPU translation lookaside buffer: fully associative, LRU.
+
+    The TLB matters to the paper in two ways: TLB-refill time is the
+    dominant kernel overhead of the workloads (§4.1), and prefetches to
+    unmapped pages are dropped (§6.2), which defeats prefetching in
+    large-stride codes like applu. *)
+
+type t = {
+  entries : int;
+  table : (int, int) Hashtbl.t; (* vpage -> frame *)
+  order : (int, int) Hashtbl.t; (* vpage -> stamp *)
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+(** [create ~entries] builds an empty TLB with [entries] slots. *)
+let create ~entries =
+  if entries <= 0 then invalid_arg "Tlb.create: entries must be positive";
+  {
+    entries;
+    table = Hashtbl.create (2 * entries);
+    order = Hashtbl.create (2 * entries);
+    tick = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+(** [lookup t vpage] returns the cached frame for [vpage] and refreshes
+    its recency, or [None] on a TLB miss.  Counters are updated. *)
+let lookup t vpage =
+  t.tick <- t.tick + 1;
+  match Hashtbl.find_opt t.table vpage with
+  | Some frame ->
+    t.hits <- t.hits + 1;
+    Hashtbl.replace t.order vpage t.tick;
+    Some frame
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+(** [probe t vpage] is [lookup] without statistics or recency effects —
+    used by the prefetch unit, whose TLB probes do not fault (§6.2). *)
+let probe t vpage = Hashtbl.find_opt t.table vpage
+
+(** [insert t ~vpage ~frame] installs a translation, evicting the LRU
+    entry when full. *)
+let insert t ~vpage ~frame =
+  if not (Hashtbl.mem t.table vpage) && Hashtbl.length t.table >= t.entries then begin
+    (* Evict LRU: scan the (small, bounded) order table. *)
+    let victim = ref (-1) and best = ref max_int in
+    Hashtbl.iter
+      (fun vp stamp ->
+        if stamp < !best then begin
+          best := stamp;
+          victim := vp
+        end)
+      t.order;
+    if !victim >= 0 then begin
+      Hashtbl.remove t.table !victim;
+      Hashtbl.remove t.order !victim
+    end
+  end;
+  t.tick <- t.tick + 1;
+  Hashtbl.replace t.table vpage frame;
+  Hashtbl.replace t.order vpage t.tick
+
+(** [invalidate t vpage] drops one translation (page remap / recolor). *)
+let invalidate t vpage =
+  Hashtbl.remove t.table vpage;
+  Hashtbl.remove t.order vpage
+
+(** [flush t] empties the TLB (context switch / recoloring shootdown). *)
+let flush t =
+  Hashtbl.reset t.table;
+  Hashtbl.reset t.order
+
+(** [hits t] / [misses t] are cumulative counters. *)
+let hits t = t.hits
+
+let misses t = t.misses
+
+(** [reset_stats t] zeroes counters, keeping contents. *)
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0
+
+(** [occupancy t] is the number of live translations. *)
+let occupancy t = Hashtbl.length t.table

@@ -1,0 +1,38 @@
+(** Per-CPU fully-associative LRU TLB.  TLB-refill time is the dominant
+    kernel overhead of the workloads (§4.1); prefetches to unmapped
+    pages are dropped (§6.2). *)
+
+type t
+
+(** [create ~entries] builds an empty TLB. *)
+val create : entries:int -> t
+
+(** [lookup t vpage] returns the cached frame and refreshes recency;
+    counters update. *)
+val lookup : t -> int -> int option
+
+(** [probe t vpage] is [lookup] without statistics or recency effects
+    (the prefetch unit's non-faulting probe). *)
+val probe : t -> int -> int option
+
+(** [insert t ~vpage ~frame] installs a translation, evicting LRU when
+    full. *)
+val insert : t -> vpage:int -> frame:int -> unit
+
+(** [invalidate t vpage] drops one translation (remap/recolor
+    shootdown). *)
+val invalidate : t -> int -> unit
+
+(** [flush t] empties the TLB. *)
+val flush : t -> unit
+
+(** [hits t] / [misses t] are cumulative counters. *)
+val hits : t -> int
+
+val misses : t -> int
+
+(** [reset_stats t] zeroes counters, keeping contents. *)
+val reset_stats : t -> unit
+
+(** [occupancy t] is the number of live translations. *)
+val occupancy : t -> int

@@ -1,0 +1,1 @@
+lib/runtime/engine.ml: Array Hashtbl List Pcolor_comp Pcolor_memsim Pcolor_stats Pcolor_util Pcolor_vm Printf Window

@@ -1,0 +1,1 @@
+lib/runtime/engine.mli: Pcolor_comp Pcolor_memsim Pcolor_stats Pcolor_vm

@@ -1,0 +1,1 @@
+lib/runtime/recolor.ml: List Pcolor_memsim Pcolor_util Pcolor_vm

@@ -1,0 +1,1 @@
+lib/runtime/recolor.mli: Pcolor_memsim Pcolor_vm

@@ -1,0 +1,1 @@
+lib/runtime/run.ml: Engine List Option Pcolor_cdpc Pcolor_comp Pcolor_memsim Pcolor_stats Pcolor_vm Recolor

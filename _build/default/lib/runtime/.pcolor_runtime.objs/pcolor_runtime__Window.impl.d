@@ -1,0 +1,1 @@
+lib/runtime/window.ml: List Pcolor_comp

@@ -1,0 +1,1 @@
+lib/runtime/window.mli: Pcolor_comp

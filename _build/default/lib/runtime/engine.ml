@@ -1,0 +1,243 @@
+(** The execution engine: runs a scheduled IR program on the simulated
+    machine, generating each CPU's reference stream and accounting for
+    the SUIF master/slave execution model (Figure 1).
+
+    Parallel regions execute as epochs: each CPU's share of a nest is
+    simulated in turn, then a barrier synchronizes local clocks and
+    charges overheads (load imbalance for parallel nests, sequential or
+    suppressed idling otherwise, plus the software barrier cost).
+    Communication classification across CPUs uses the coherence
+    directory's epoch semantics rather than cycle interleaving — the
+    standard trace-driven approach for the Dubois classification.
+
+    Bus contention is a per-phase fixed point: the phase is simulated at
+    uncontended latencies, the implied bus occupancy is computed against
+    the phase's wall time, and memory stalls are stretched by the
+    resulting queueing factor (see {!Pcolor_memsim.Bus.stretch_factor}). *)
+
+module M = Pcolor_memsim.Machine
+module Ir = Pcolor_comp.Ir
+
+type t = {
+  machine : M.t;
+  kernel : Pcolor_vm.Kernel.t;
+  program : Ir.program;
+  plans : Pcolor_comp.Prefetcher.t;
+  mutable ov : Pcolor_stats.Overheads.t;
+  translate : cpu:int -> vpage:int -> int * int;
+  l2_line_bits : int;
+  page_bits : int;
+  check_bounds : bool;
+  trace : (int, unit) Hashtbl.t option; (* vpage * 64 + cpu *)
+  mutable last_contention : float;
+}
+
+(** [create ~machine ~kernel ~program ~plans] wires an engine.
+    [check_bounds] (default false) validates every reference against its
+    array extent — slow, for tests.  [collect_trace] records every
+    (vpage, cpu) touch during the measured window (Figure 3 data). *)
+let create ?(check_bounds = false) ?(collect_trace = false) ~machine ~kernel ~program ~plans () =
+  Ir.check_program program;
+  let cfg = M.config machine in
+  {
+    machine;
+    kernel;
+    program;
+    plans;
+    ov = Pcolor_stats.Overheads.create ~n_cpus:cfg.n_cpus;
+    translate = (fun ~cpu ~vpage -> Pcolor_vm.Kernel.translate kernel ~cpu ~vpage);
+    l2_line_bits = Pcolor_util.Bits.log2 cfg.l2.line;
+    page_bits = Pcolor_util.Bits.log2 cfg.page_size;
+    check_bounds;
+    trace = (if collect_trace then Some (Hashtbl.create (1 lsl 12)) else None);
+    last_contention = 1.0;
+  }
+
+(* One CPU's share of one nest: walk the iteration space with
+   incrementally maintained element indices per reference. *)
+let run_cpu_nest t (nest : Ir.nest) ~n_cpus ~cpu =
+  let lo0, hi0 = Pcolor_comp.Schedule.range nest ~n_cpus ~cpu in
+  if hi0 > lo0 then begin
+    let refs = Array.of_list nest.refs in
+    let nrefs = Array.length refs in
+    let plan = Pcolor_comp.Prefetcher.find t.plans nest in
+    let depth = Array.length nest.bounds in
+    let elem = Array.make nrefs 0 in
+    let bases = Array.map (fun (r : Ir.ref_) -> r.array.base) refs in
+    let esize = Array.map (fun (r : Ir.ref_) -> r.array.elem_size) refs in
+    let extent = Array.map (fun (r : Ir.ref_) -> Ir.elems r.array) refs in
+    let writes = Array.map (fun (r : Ir.ref_) -> r.is_write) refs in
+    let prev_line = Array.make nrefs (-1) in
+    let instr_per_iter = nest.body_instr + (2 * nrefs) in
+    let machine = t.machine in
+    let translate = t.translate in
+    let rec go d =
+      if d = depth then begin
+        for r = 0 to nrefs - 1 do
+          if t.check_bounds && (elem.(r) < 0 || elem.(r) >= extent.(r)) then
+            invalid_arg
+              (Printf.sprintf "%s: ref %d to %s out of bounds (elem %d, extent %d)" nest.label r
+                 refs.(r).array.aname elem.(r) extent.(r));
+          let vaddr = bases.(r) + (elem.(r) * esize.(r)) in
+          if plan.(r).prefetch then begin
+            let pv = vaddr + (plan.(r).ahead_elems * esize.(r)) in
+            let pl = pv lsr t.l2_line_bits in
+            if pl <> prev_line.(r) then begin
+              prev_line.(r) <- pl;
+              M.prefetch machine ~cpu ~vaddr:pv
+            end
+          end;
+          M.access machine ~cpu ~vaddr ~write:writes.(r) ~translate;
+          match t.trace with
+          | Some tbl -> Hashtbl.replace tbl (((vaddr lsr t.page_bits) * 64) + cpu) ()
+          | None -> ()
+        done;
+        M.tick machine ~cpu instr_per_iter;
+        if nest.extra_onchip_stall > 0 then M.add_onchip_stall machine ~cpu nest.extra_onchip_stall
+      end
+      else begin
+        let lo = if d = 0 then lo0 else 0 in
+        let hi = if d = 0 then hi0 else nest.bounds.(d) in
+        for r = 0 to nrefs - 1 do
+          elem.(r) <- elem.(r) + (refs.(r).coeffs.(d) * lo)
+        done;
+        for _i = lo to hi - 1 do
+          go (d + 1);
+          for r = 0 to nrefs - 1 do
+            elem.(r) <- elem.(r) + refs.(r).coeffs.(d)
+          done
+        done;
+        for r = 0 to nrefs - 1 do
+          elem.(r) <- elem.(r) - (refs.(r).coeffs.(d) * hi)
+        done
+      end
+    in
+    for r = 0 to nrefs - 1 do
+      elem.(r) <- refs.(r).offset
+    done;
+    go 0
+  end
+
+(* Barrier at the end of a nest region: classify waiting time by the
+   nest kind, charge the software barrier cost, and synchronize clocks. *)
+let barrier t (kind : Ir.loop_kind) =
+  let n = M.n_cpus t.machine in
+  let tmax = ref 0 in
+  for cpu = 0 to n - 1 do
+    tmax := max !tmax (M.cpu_time t.machine ~cpu)
+  done;
+  let cost = Pcolor_stats.Overheads.barrier_cost ~n_cpus:n in
+  for cpu = 0 to n - 1 do
+    let wait = float_of_int (!tmax - M.cpu_time t.machine ~cpu) in
+    (match kind with
+    | Ir.Parallel _ -> Pcolor_stats.Overheads.add_imbalance t.ov ~cpu wait
+    | Ir.Sequential -> Pcolor_stats.Overheads.add_sequential t.ov ~cpu wait
+    | Ir.Suppressed -> Pcolor_stats.Overheads.add_suppressed t.ov ~cpu wait);
+    Pcolor_stats.Overheads.add_sync t.ov ~cpu (float_of_int cost);
+    M.set_cpu_time t.machine ~cpu (!tmax + cost)
+  done
+
+let run_nest t nest =
+  let n = M.n_cpus t.machine in
+  for cpu = 0 to n - 1 do
+    run_cpu_nest t nest ~n_cpus:n ~cpu
+  done;
+  barrier t nest.Ir.kind
+
+(* Solve the contention fixed point for one phase occurrence and charge
+   the stretched extra stall to the CPU clocks. Returns the factor. *)
+let settle_contention t ~t0 ~stall0 ~busy0 =
+  let n = M.n_cpus t.machine in
+  let dt = Array.init n (fun cpu -> float_of_int (M.cpu_time t.machine ~cpu - t0.(cpu))) in
+  let ds =
+    Array.init n (fun cpu ->
+        float_of_int (M.total_mem_stall (M.stats t.machine ~cpu) - stall0.(cpu)))
+  in
+  let busy = float_of_int (Pcolor_memsim.Bus.busy_cycles (M.bus t.machine) - busy0) in
+  let f = ref 1.0 in
+  for _ = 1 to 25 do
+    let wall = ref 1.0 in
+    for cpu = 0 to n - 1 do
+      let w = dt.(cpu) +. (ds.(cpu) *. (!f -. 1.0)) in
+      if w > !wall then wall := w
+    done;
+    let rho = busy /. !wall in
+    let f' = Pcolor_memsim.Bus.stretch_factor rho in
+    f := 0.5 *. (!f +. f')
+  done;
+  let f = !f in
+  for cpu = 0 to n - 1 do
+    let extra = int_of_float (ds.(cpu) *. (f -. 1.0)) in
+    if extra > 0 then M.add_stall t.machine ~cpu extra
+  done;
+  t.last_contention <- f;
+  f
+
+let run_phase_once t phase =
+  let n = M.n_cpus t.machine in
+  let t0 = Array.init n (fun cpu -> M.cpu_time t.machine ~cpu) in
+  let stall0 = Array.init n (fun cpu -> M.total_mem_stall (M.stats t.machine ~cpu)) in
+  let busy0 = Pcolor_memsim.Bus.busy_cycles (M.bus t.machine) in
+  List.iter (run_nest t) phase.Ir.nests;
+  settle_contention t ~t0 ~stall0 ~busy0
+
+(** [touch_pages_in_order t vpages] makes the master fault the given
+    virtual pages in order — the Digital UNIX user-level CDPC
+    implementation, which exploits bin hopping's cyclic counter to
+    realize the desired colors without kernel changes (§5.3). *)
+let touch_pages_in_order t vpages =
+  List.iter
+    (fun vpage ->
+      M.touch_page t.machine ~cpu:Pcolor_comp.Schedule.master ~vaddr:(vpage lsl t.page_bits)
+        ~translate:t.translate)
+    vpages
+
+(** [run t ?cap ?after_phase ()] executes the program: startup
+    (master-only initialization), a warm-up pass over each steady phase
+    (discarded, resetting statistics), then the measured representative
+    window with per-phase occurrence weighting.  [after_phase] (if
+    given) runs after every phase occurrence in both passes — the hook
+    the dynamic-recoloring daemon uses.  Returns the weighted totals. *)
+let run t ?(cap = 2) ?(after_phase = fun () -> ()) () =
+  let phases = Array.of_list t.program.phases in
+  (* startup: master executes the initialization section *)
+  if t.program.seq_startup_instr > 0 then begin
+    M.tick t.machine ~cpu:Pcolor_comp.Schedule.master t.program.seq_startup_instr;
+    barrier t Ir.Sequential
+  end;
+  (* warm-up pass: fault pages in, warm caches; then discard statistics *)
+  List.iter
+    (fun (s : Window.step) ->
+      ignore (run_phase_once t phases.(s.phase_idx));
+      after_phase ())
+    (Window.warmup_plan t.program);
+  M.reset_stats t.machine;
+  t.ov <- Pcolor_stats.Overheads.create ~n_cpus:(M.n_cpus t.machine);
+  (match t.trace with Some tbl -> Hashtbl.reset tbl | None -> ());
+  (* measured pass *)
+  let into = Pcolor_stats.Totals.create ~n_cpus:(M.n_cpus t.machine) in
+  List.iter
+    (fun (s : Window.step) ->
+      for _occ = 1 to s.simulate do
+        let start = Pcolor_stats.Totals.snapshot t.machine t.ov in
+        let f = run_phase_once t phases.(s.phase_idx) in
+        after_phase ();
+        let fin = Pcolor_stats.Totals.snapshot t.machine t.ov in
+        Pcolor_stats.Totals.accumulate ~into ~start ~fin ~f ~weight:s.weight
+      done)
+    (Window.plan ~cap t.program);
+  into
+
+(** [trace_points t] is the recorded (vpage, cpu) touch set, empty
+    unless the engine was created with [collect_trace]. *)
+let trace_points t =
+  match t.trace with
+  | None -> []
+  | Some tbl -> Hashtbl.fold (fun k () acc -> (k / 64, k mod 64) :: acc) tbl [] |> List.sort compare
+
+(** [last_contention t] is the stretch factor of the last simulated
+    phase — >1 means the bus was saturated. *)
+let last_contention t = t.last_contention
+
+(** [overheads t] exposes the overhead accumulators. *)
+let overheads t = t.ov

@@ -1,0 +1,41 @@
+(** The execution engine: runs a scheduled IR program on the simulated
+    machine — reference-stream generation per CPU, the SUIF master/slave
+    model with barriers and overhead classification, epoch-based
+    communication, and the per-phase bus-contention fixed point. *)
+
+type t
+
+(** [create ~machine ~kernel ~program ~plans ()] wires an engine.
+    [check_bounds] (slow; tests) validates every reference against its
+    array extent; [collect_trace] records every (vpage, cpu) touch in
+    the measured window. *)
+val create :
+  ?check_bounds:bool ->
+  ?collect_trace:bool ->
+  machine:Pcolor_memsim.Machine.t ->
+  kernel:Pcolor_vm.Kernel.t ->
+  program:Pcolor_comp.Ir.program ->
+  plans:Pcolor_comp.Prefetcher.t ->
+  unit ->
+  t
+
+(** [touch_pages_in_order t vpages] makes the master fault pages in
+    order — the §5.3 Digital-UNIX user-level CDPC implementation. *)
+val touch_pages_in_order : t -> int list -> unit
+
+(** [run t ?cap ?after_phase ()] executes startup, the discarded
+    warm-up pass, then the measured window, returning weighted totals.
+    [after_phase] runs after every phase occurrence (the recoloring
+    hook). *)
+val run : t -> ?cap:int -> ?after_phase:(unit -> unit) -> unit -> Pcolor_stats.Totals.t
+
+(** [trace_points t] is the recorded (vpage, cpu) set (empty unless
+    [collect_trace]). *)
+val trace_points : t -> (int * int) list
+
+(** [last_contention t] is the last phase's stretch factor (> 1 means
+    the bus saturated). *)
+val last_contention : t -> float
+
+(** [overheads t] exposes the overhead accumulators. *)
+val overheads : t -> Pcolor_stats.Overheads.t

@@ -1,0 +1,26 @@
+(** Dynamic page recoloring — the §2.1 dynamic policies the paper cites
+    as unstudied on multiprocessors: conflict-miss counters trigger
+    between-phase page moves, with the multiprocessor costs (page copy
+    on the bus, per-CPU TLB shootdowns, stale-line invalidation)
+    charged explicitly. *)
+
+type t
+
+(** [create ?threshold ?max_per_round ~machine ~kernel ()] builds the
+    daemon ([threshold] conflict misses per page per round, default 12;
+    at most [max_per_round] moves per round, default 16). *)
+val create :
+  ?threshold:int ->
+  ?max_per_round:int ->
+  machine:Pcolor_memsim.Machine.t ->
+  kernel:Pcolor_vm.Kernel.t ->
+  unit ->
+  t
+
+(** [round t ~trigger_cpu] harvests hot pages, recolors up to the
+    per-round bound (spreading victims over distant colors), charges
+    all costs, and returns the number of pages moved. *)
+val round : t -> trigger_cpu:int -> int
+
+(** [stats t] is [(rounds, recolorings, copy_cycles)]. *)
+val stats : t -> int * int * int

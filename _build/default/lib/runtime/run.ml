@@ -1,0 +1,192 @@
+(** Top-level experiment runner: program × machine × policy → report.
+
+    This is the one-call entry point the CLI, the examples and the bench
+    harness use.  It performs the full pipeline the paper describes:
+    compiler summary extraction, data layout (§5.4), CDPC hint generation
+    (§5.2), OS policy construction, and simulated execution of the
+    representative window. *)
+
+module Ir = Pcolor_comp.Ir
+
+(** Page-mapping strategy for a run.  [Cdpc ~via_touch:true] realizes
+    the hints by touching pages in coloring order on a bin-hopping
+    kernel — the paper's Digital UNIX implementation; [via_touch:false]
+    is the IRIX madvise-style kernel extension.
+    [Bin_hopping_unaligned] additionally disables §5.4's data alignment
+    and padding (Figure 9's fourth variant). *)
+type policy_choice =
+  | Page_coloring
+  | Bin_hopping
+  | Bin_hopping_unaligned
+  | Random_colors
+  | Cdpc of { fallback : [ `Page_coloring | `Bin_hopping ]; via_touch : bool }
+  | Dynamic_recoloring of { base : [ `Page_coloring | `Bin_hopping ] }
+      (** extension: a §2.1-style dynamic policy — conflict-miss
+          counters trigger page recoloring between phases, with the
+          multiprocessor costs (copy, TLB shootdowns, cache
+          invalidations) charged *)
+
+(** [policy_name c] is the report label. *)
+let policy_name = function
+  | Page_coloring -> "page-coloring"
+  | Bin_hopping -> "bin-hopping"
+  | Bin_hopping_unaligned -> "bin-hopping-unaligned"
+  | Random_colors -> "random"
+  | Cdpc { via_touch = true; _ } -> "cdpc-touch"
+  | Cdpc { via_touch = false; fallback = `Page_coloring } -> "cdpc"
+  | Cdpc { via_touch = false; fallback = `Bin_hopping } -> "cdpc-bh"
+  | Dynamic_recoloring { base = `Page_coloring } -> "dynamic(pc)"
+  | Dynamic_recoloring { base = `Bin_hopping } -> "dynamic(bh)"
+
+type setup = {
+  cfg : Pcolor_memsim.Config.t;
+  make_program : unit -> Ir.program;
+      (** must return a {e fresh} program: layout mutates array bases *)
+  policy : policy_choice;
+  prefetch : bool;
+  seed : int;
+  cap : int; (** max simulated occurrences per phase (window size) *)
+  mem_frames : int option; (** physical memory size; [None] = ample *)
+  collect_trace : bool;
+  check_bounds : bool;
+  cdpc_ablation : Pcolor_cdpc.Colorer.ablation;
+      (** disable individual CDPC steps for ablation studies *)
+}
+
+(** [default_setup ~cfg ~make_program ~policy] fills conservative
+    defaults (no prefetch, seed 42, window cap 2, ample memory). *)
+let default_setup ~cfg ~make_program ~policy =
+  {
+    cfg;
+    make_program;
+    policy;
+    prefetch = false;
+    seed = 42;
+    cap = 2;
+    mem_frames = None;
+    collect_trace = false;
+    check_bounds = false;
+    cdpc_ablation = Pcolor_cdpc.Colorer.full_algorithm;
+  }
+
+type outcome = {
+  report : Pcolor_stats.Report.t;
+  totals : Pcolor_stats.Totals.t;
+  program : Ir.program;
+  summary : Pcolor_comp.Summary.t;
+  hints_info : Pcolor_cdpc.Colorer.info option;
+  trace : (int * int) list; (* (vpage, cpu) if collected *)
+  kernel : Pcolor_vm.Kernel.t;
+  recolorings : int; (* dynamic-recoloring extension: pages moved *)
+}
+
+(* Page-touch order realizing the hint colors under bin hopping: global
+   coloring-order positions ascending. *)
+let touch_order (info : Pcolor_cdpc.Colorer.info) =
+  let pairs = ref [] in
+  List.iter
+    (fun (ps : Pcolor_cdpc.Colorer.placed_segment) ->
+      let si =
+        {
+          Pcolor_cdpc.Cyclic.pos = ps.pos;
+          len = ps.n_pages;
+          cpus = ps.seg.Pcolor_cdpc.Segment.cpus;
+          arr = ps.seg.Pcolor_cdpc.Segment.array.Ir.id;
+        }
+      in
+      for j = 0 to ps.n_pages - 1 do
+        pairs := (Pcolor_cdpc.Cyclic.position ~seg:si ~rotation:ps.rotation j, ps.first_page + j) :: !pairs
+      done)
+    info.placed;
+  List.sort compare !pairs |> List.map snd
+
+(** [run setup] executes one experiment end to end. *)
+let run setup =
+  let cfg = setup.cfg in
+  let program = setup.make_program () in
+  Ir.check_program program;
+  let summary = Pcolor_comp.Summary.extract ~page_size:cfg.page_size program in
+  let mode =
+    match setup.policy with
+    | Bin_hopping_unaligned -> Pcolor_cdpc.Align.Natural
+    | _ -> Pcolor_cdpc.Align.Aligned
+  in
+  ignore
+    (Pcolor_cdpc.Align.layout ~cfg ~mode ~groups:summary.Pcolor_comp.Summary.groups program.arrays);
+  let n_colors = Pcolor_memsim.Config.n_colors cfg in
+  let hints_info =
+    match setup.policy with
+    | Cdpc _ ->
+      let hints, info =
+        Pcolor_cdpc.Colorer.generate_ablated ~ablation:setup.cdpc_ablation ~cfg ~summary
+          ~program ~n_cpus:cfg.n_cpus
+      in
+      Some (hints, info)
+    | _ -> None
+  in
+  let policy_spec, race_jitter =
+    match setup.policy with
+    | Page_coloring -> (Pcolor_vm.Policy.Base Page_coloring, false)
+    | Bin_hopping | Bin_hopping_unaligned ->
+      (* the kernel counter race needs concurrent faulters *)
+      (Pcolor_vm.Policy.Base Bin_hopping, cfg.n_cpus > 1)
+    | Random_colors -> (Pcolor_vm.Policy.Base Random, false)
+    | Cdpc { via_touch = true; _ } ->
+      (* user-level implementation: plain bin-hopping kernel, pages
+         touched in coloring order at startup (faults serialized) *)
+      (Pcolor_vm.Policy.Base Bin_hopping, false)
+    | Cdpc { via_touch = false; fallback } ->
+      let fb : Pcolor_vm.Policy.base =
+        match fallback with `Page_coloring -> Page_coloring | `Bin_hopping -> Bin_hopping
+      in
+      let hints = fst (Option.get hints_info) in
+      (Pcolor_vm.Policy.Hinted { hints; fallback = fb }, false)
+    | Dynamic_recoloring { base = `Page_coloring } -> (Pcolor_vm.Policy.Base Page_coloring, false)
+    | Dynamic_recoloring { base = `Bin_hopping } ->
+      (Pcolor_vm.Policy.Base Bin_hopping, cfg.n_cpus > 1)
+  in
+  let policy = Pcolor_vm.Policy.create ~n_colors ~seed:setup.seed ~race_jitter policy_spec in
+  let kernel = Pcolor_vm.Kernel.create ~cfg ~policy ?mem_frames:setup.mem_frames () in
+  let machine = Pcolor_memsim.Machine.create cfg in
+  let plans =
+    if setup.prefetch then Pcolor_comp.Prefetcher.plan cfg program else Pcolor_comp.Prefetcher.none
+  in
+  let engine =
+    Engine.create ~check_bounds:setup.check_bounds ~collect_trace:setup.collect_trace ~machine
+      ~kernel ~program ~plans ()
+  in
+  (match setup.policy with
+  | Cdpc { via_touch = true; _ } ->
+    Engine.touch_pages_in_order engine (touch_order (snd (Option.get hints_info)))
+  | _ -> ());
+  let recolorer =
+    match setup.policy with
+    | Dynamic_recoloring _ -> Some (Recolor.create ~machine ~kernel ())
+    | _ -> None
+  in
+  let after_phase () =
+    match recolorer with
+    | Some rc -> ignore (Recolor.round rc ~trigger_cpu:Pcolor_comp.Schedule.master)
+    | None -> ()
+  in
+  let totals = Engine.run engine ~cap:setup.cap ~after_phase () in
+  let pool = Pcolor_vm.Kernel.pool kernel in
+  let report =
+    Pcolor_stats.Report.of_totals ~benchmark:program.name ~machine:cfg.name ~n_cpus:cfg.n_cpus
+      ~policy:(policy_name setup.policy) ~prefetch:setup.prefetch
+      ~page_faults:(Pcolor_vm.Kernel.faults kernel)
+      ~hints_honored:(Pcolor_vm.Frame_pool.honored pool)
+      ~hints_fallback:(Pcolor_vm.Frame_pool.fallbacks pool)
+      totals
+  in
+  {
+    report;
+    totals;
+    program;
+    summary;
+    hints_info = Option.map snd hints_info;
+    trace = Engine.trace_points engine;
+    kernel;
+    recolorings =
+      (match recolorer with Some rc -> (fun (_, r, _) -> r) (Recolor.stats rc) | None -> 0);
+  }

@@ -1,0 +1,64 @@
+(** Top-level experiment runner: program × machine × policy → report,
+    performing the full paper pipeline — summary extraction, data
+    layout (§5.4), CDPC hint generation (§5.2), OS policy construction,
+    and simulated execution of the representative window. *)
+
+module Ir = Pcolor_comp.Ir
+
+(** Page-mapping strategy.  [Cdpc ~via_touch:true] realizes hints by
+    touching pages in coloring order on a bin-hopping kernel (the
+    Digital UNIX path); [via_touch:false] is the IRIX madvise-style
+    kernel extension.  [Bin_hopping_unaligned] additionally disables
+    §5.4 alignment/padding.  [Dynamic_recoloring] is the §2.1-style
+    reactive extension. *)
+type policy_choice =
+  | Page_coloring
+  | Bin_hopping
+  | Bin_hopping_unaligned
+  | Random_colors
+  | Cdpc of { fallback : [ `Page_coloring | `Bin_hopping ]; via_touch : bool }
+  | Dynamic_recoloring of { base : [ `Page_coloring | `Bin_hopping ] }
+
+(** [policy_name c] is the report label. *)
+val policy_name : policy_choice -> string
+
+type setup = {
+  cfg : Pcolor_memsim.Config.t;
+  make_program : unit -> Ir.program;
+      (** must return a fresh program: layout mutates array bases *)
+  policy : policy_choice;
+  prefetch : bool;
+  seed : int;
+  cap : int;  (** representative-window phase occurrence cap *)
+  mem_frames : int option;  (** physical memory; [None] = ample *)
+  collect_trace : bool;
+  check_bounds : bool;
+  cdpc_ablation : Pcolor_cdpc.Colorer.ablation;
+}
+
+(** [default_setup ~cfg ~make_program ~policy] fills conservative
+    defaults (no prefetch, seed 42, cap 2, ample memory, full
+    algorithm). *)
+val default_setup :
+  cfg:Pcolor_memsim.Config.t ->
+  make_program:(unit -> Ir.program) ->
+  policy:policy_choice ->
+  setup
+
+type outcome = {
+  report : Pcolor_stats.Report.t;
+  totals : Pcolor_stats.Totals.t;
+  program : Ir.program;
+  summary : Pcolor_comp.Summary.t;
+  hints_info : Pcolor_cdpc.Colorer.info option;
+  trace : (int * int) list;  (** (vpage, cpu), if collected *)
+  kernel : Pcolor_vm.Kernel.t;
+  recolorings : int;  (** dynamic-recoloring extension: pages moved *)
+}
+
+(** [touch_order info] is the page sequence whose first-touch order
+    realizes the hint colors under bin hopping (§5.3). *)
+val touch_order : Pcolor_cdpc.Colorer.info -> int list
+
+(** [run setup] executes one experiment end to end. *)
+val run : setup -> outcome

@@ -1,0 +1,1 @@
+lib/stats/overheads.ml: Array Pcolor_util

@@ -1,0 +1,1 @@
+lib/stats/report.ml: Array Float Format List Pcolor_memsim Pcolor_util Totals

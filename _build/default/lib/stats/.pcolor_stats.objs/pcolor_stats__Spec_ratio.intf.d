@@ -1,0 +1,1 @@
+lib/stats/spec_ratio.mli:

@@ -1,0 +1,1 @@
+lib/stats/totals.ml: Array Overheads Pcolor_memsim

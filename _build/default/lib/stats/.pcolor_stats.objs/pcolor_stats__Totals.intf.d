@@ -1,0 +1,1 @@
+lib/stats/totals.mli: Overheads Pcolor_memsim

@@ -1,0 +1,132 @@
+(** Per-run experiment report: every metric the paper's tables and
+    figures consume, derived from a weighted {!Totals} accumulator. *)
+
+type t = {
+  benchmark : string;
+  machine : string;
+  n_cpus : int;
+  policy : string;
+  prefetch : bool;
+  (* time, in cycles *)
+  wall_cycles : float; (* weighted wall-clock of the steady state *)
+  combined_cycles : float; (* summed over CPUs (Figure 2 metric) *)
+  exec_cycles : float; (* useful instruction execution *)
+  mem_stall_cycles : float;
+  (* memory behaviour *)
+  instructions : float;
+  mcpi : float; (* memory cycles per instruction (useful execution only) *)
+  mcpi_onchip : float; (* stall from on-chip misses that hit the L2 *)
+  mcpi_by_class : float array; (* per Mclass, external misses *)
+  mcpi_prefetch : float; (* late-prefetch + full-queue stalls *)
+  l2_misses_by_class : float array;
+  l2_miss_rate : float; (* external misses / L1 misses *)
+  (* overheads (summed over CPUs) *)
+  ov_kernel : float;
+  ov_imbalance : float;
+  ov_sequential : float;
+  ov_suppressed : float;
+  ov_sync : float;
+  (* bus *)
+  bus_occupancy : float; (* [0,1]; demand may exceed 1 pre-stretch *)
+  bus_data_frac : float;
+  bus_wb_frac : float;
+  bus_upg_frac : float;
+  (* prefetching *)
+  pf_issued : float;
+  pf_dropped : float;
+  pf_useful : float;
+  (* VM *)
+  tlb_misses : float;
+  page_faults : int;
+  hints_honored : int;
+  hints_fallback : int;
+}
+
+(** [of_totals ~benchmark ~machine ~n_cpus ~policy ~prefetch ~page_faults
+    ~hints_honored ~hints_fallback totals] computes the report. *)
+let of_totals ~benchmark ~machine ~n_cpus ~policy ~prefetch ~page_faults ~hints_honored
+    ~hints_fallback (tt : Totals.t) =
+  let instr = tt.instructions in
+  let per_instr v = if instr <= 0.0 then 0.0 else v /. instr in
+  let mem_stall = Totals.total_mem_stall tt in
+  let combined = Totals.sum_time tt in
+  let l2_misses = Array.fold_left ( +. ) 0.0 tt.miss in
+  let bus_busy = tt.bus_data +. tt.bus_wb +. tt.bus_upg in
+  let occupancy = if tt.wall <= 0.0 then 0.0 else bus_busy /. tt.wall in
+  let frac v = if bus_busy <= 0.0 then 0.0 else v /. bus_busy in
+  {
+    benchmark;
+    machine;
+    n_cpus;
+    policy;
+    prefetch;
+    wall_cycles = tt.wall;
+    combined_cycles = combined;
+    exec_cycles = instr;
+    mem_stall_cycles = mem_stall;
+    instructions = instr;
+    mcpi = per_instr mem_stall;
+    mcpi_onchip = per_instr tt.stall_onchip;
+    mcpi_by_class = Array.map per_instr tt.stall;
+    mcpi_prefetch = per_instr (tt.stall_pf_late +. tt.stall_pf_full);
+    l2_misses_by_class = Array.copy tt.miss;
+    l2_miss_rate = (if tt.l1_misses <= 0.0 then 0.0 else l2_misses /. tt.l1_misses);
+    ov_kernel = tt.kernel;
+    ov_imbalance = Array.fold_left ( +. ) 0.0 tt.ov_imbalance;
+    ov_sequential = Array.fold_left ( +. ) 0.0 tt.ov_sequential;
+    ov_suppressed = Array.fold_left ( +. ) 0.0 tt.ov_suppressed;
+    ov_sync = Array.fold_left ( +. ) 0.0 tt.ov_sync;
+    bus_occupancy = Float.min occupancy 1.0;
+    bus_data_frac = frac tt.bus_data;
+    bus_wb_frac = frac tt.bus_wb;
+    bus_upg_frac = frac tt.bus_upg;
+    pf_issued = tt.pf_issued;
+    pf_dropped = tt.pf_dropped;
+    pf_useful = tt.pf_useful;
+    tlb_misses = tt.tlb_misses;
+    page_faults;
+    hints_honored;
+    hints_fallback;
+  }
+
+(** [total_overhead r] sums the five overhead categories. *)
+let total_overhead r = r.ov_kernel +. r.ov_imbalance +. r.ov_sequential +. r.ov_suppressed +. r.ov_sync
+
+(** [replacement_misses r] is the conflict+capacity external miss count
+    (the paper's "replacement misses"). *)
+let replacement_misses r =
+  let module C = Pcolor_memsim.Mclass in
+  r.l2_misses_by_class.(C.index Capacity) +. r.l2_misses_by_class.(C.index Conflict)
+
+(** [conflict_misses r] isolates the class CDPC attacks. *)
+let conflict_misses r = r.l2_misses_by_class.(Pcolor_memsim.Mclass.index Conflict)
+
+(** [speedup ~base r] is base wall time over [r]'s wall time. *)
+let speedup ~base r = Pcolor_util.Stat.ratio base.wall_cycles r.wall_cycles
+
+(** [pp fmt r] prints a multi-line human-readable report. *)
+let pp fmt r =
+  let module C = Pcolor_memsim.Mclass in
+  Format.fprintf fmt "@[<v>%s on %s: %d cpu(s), policy=%s%s@," r.benchmark r.machine r.n_cpus
+    r.policy
+    (if r.prefetch then " +prefetch" else "");
+  Format.fprintf fmt "  wall %.3e cycles, combined %.3e, instructions %.3e@," r.wall_cycles
+    r.combined_cycles r.instructions;
+  Format.fprintf fmt "  MCPI %.3f (onchip %.3f, prefetch %.3f" r.mcpi r.mcpi_onchip r.mcpi_prefetch;
+  List.iter
+    (fun c -> Format.fprintf fmt ", %s %.3f" (C.to_string c) r.mcpi_by_class.(C.index c))
+    C.all;
+  Format.fprintf fmt ")@,";
+  Format.fprintf fmt "  L2 misses:";
+  List.iter
+    (fun c -> Format.fprintf fmt " %s %.0f" (C.to_string c) r.l2_misses_by_class.(C.index c))
+    C.all;
+  Format.fprintf fmt "@,";
+  Format.fprintf fmt
+    "  overhead: kernel %.2e imbalance %.2e sequential %.2e suppressed %.2e sync %.2e@,"
+    r.ov_kernel r.ov_imbalance r.ov_sequential r.ov_suppressed r.ov_sync;
+  Format.fprintf fmt "  bus: %.1f%% occupied (data %.0f%%, wb %.0f%%, upg %.0f%%)@,"
+    (100.0 *. r.bus_occupancy) (100.0 *. r.bus_data_frac) (100.0 *. r.bus_wb_frac)
+    (100.0 *. r.bus_upg_frac);
+  Format.fprintf fmt "  vm: %d faults, hints %d honored / %d fallback, %.0f TLB misses@]"
+    r.page_faults r.hints_honored r.hints_fallback r.tlb_misses

@@ -1,0 +1,66 @@
+(** Per-run experiment report: every metric the paper's tables and
+    figures consume, derived from a weighted {!Totals} accumulator. *)
+
+type t = {
+  benchmark : string;
+  machine : string;
+  n_cpus : int;
+  policy : string;
+  prefetch : bool;
+  wall_cycles : float;  (** weighted wall-clock of the steady state *)
+  combined_cycles : float;  (** summed over CPUs (Figure 2's metric) *)
+  exec_cycles : float;  (** useful instruction execution *)
+  mem_stall_cycles : float;
+  instructions : float;
+  mcpi : float;  (** memory cycles per instruction *)
+  mcpi_onchip : float;  (** stall from on-chip misses hitting the L2 *)
+  mcpi_by_class : float array;  (** per {!Pcolor_memsim.Mclass}, external misses *)
+  mcpi_prefetch : float;  (** late-prefetch + full-queue stalls *)
+  l2_misses_by_class : float array;
+  l2_miss_rate : float;  (** external misses / L1 misses *)
+  ov_kernel : float;
+  ov_imbalance : float;
+  ov_sequential : float;
+  ov_suppressed : float;
+  ov_sync : float;
+  bus_occupancy : float;  (** clamped to [0, 1] *)
+  bus_data_frac : float;
+  bus_wb_frac : float;
+  bus_upg_frac : float;
+  pf_issued : float;
+  pf_dropped : float;
+  pf_useful : float;
+  tlb_misses : float;
+  page_faults : int;
+  hints_honored : int;
+  hints_fallback : int;
+}
+
+(** [of_totals ...] computes the report from an accumulator. *)
+val of_totals :
+  benchmark:string ->
+  machine:string ->
+  n_cpus:int ->
+  policy:string ->
+  prefetch:bool ->
+  page_faults:int ->
+  hints_honored:int ->
+  hints_fallback:int ->
+  Totals.t ->
+  t
+
+(** [total_overhead r] sums the five overhead categories. *)
+val total_overhead : t -> float
+
+(** [replacement_misses r] is conflict + capacity (the paper's grouped
+    class). *)
+val replacement_misses : t -> float
+
+(** [conflict_misses r] isolates the class CDPC attacks. *)
+val conflict_misses : t -> float
+
+(** [speedup ~base r] is base wall time over [r]'s. *)
+val speedup : base:t -> t -> float
+
+(** [pp fmt r] prints a multi-line human-readable report. *)
+val pp : Format.formatter -> t -> unit

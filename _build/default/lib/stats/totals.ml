@@ -1,0 +1,158 @@
+(** Weighted accumulation of simulation statistics.
+
+    The representative-execution-window technique (§3.2) simulates each
+    steady-state phase a small number of times and weights the measured
+    deltas by the phase's real occurrence count.  [Totals] is the flat
+    record those weighted deltas accumulate into; the engine snapshots it
+    from the machine at phase boundaries, subtracts, applies the bus
+    contention stretch [f] to stall fields, multiplies by the phase
+    weight, and folds into the run's accumulator. *)
+
+type t = {
+  n_cpus : int;
+  mutable instructions : float;
+  mutable l1_hits : float;
+  mutable l1_misses : float;
+  mutable l2_hits : float;
+  miss : float array; (* 5 classes, Mclass.index order *)
+  mutable stall_onchip : float;
+  stall : float array; (* stall cycles per miss class *)
+  mutable stall_pf_late : float;
+  mutable stall_pf_full : float;
+  mutable kernel : float;
+  mutable tlb_misses : float;
+  mutable fault_cycles : float;
+  mutable pf_issued : float;
+  mutable pf_dropped : float;
+  mutable pf_useless : float;
+  mutable pf_useful : float;
+  mutable bus_data : float;
+  mutable bus_wb : float;
+  mutable bus_upg : float;
+  time : float array; (* per-CPU cycle counters *)
+  ov_imbalance : float array;
+  ov_sequential : float array;
+  ov_suppressed : float array;
+  ov_sync : float array;
+  mutable wall : float; (* accumulated weighted wall-clock cycles *)
+}
+
+(** [create ~n_cpus] is a zeroed accumulator. *)
+let create ~n_cpus =
+  {
+    n_cpus;
+    instructions = 0.0;
+    l1_hits = 0.0;
+    l1_misses = 0.0;
+    l2_hits = 0.0;
+    miss = Array.make 5 0.0;
+    stall_onchip = 0.0;
+    stall = Array.make 5 0.0;
+    stall_pf_late = 0.0;
+    stall_pf_full = 0.0;
+    kernel = 0.0;
+    tlb_misses = 0.0;
+    fault_cycles = 0.0;
+    pf_issued = 0.0;
+    pf_dropped = 0.0;
+    pf_useless = 0.0;
+    pf_useful = 0.0;
+    bus_data = 0.0;
+    bus_wb = 0.0;
+    bus_upg = 0.0;
+    time = Array.make n_cpus 0.0;
+    ov_imbalance = Array.make n_cpus 0.0;
+    ov_sequential = Array.make n_cpus 0.0;
+    ov_suppressed = Array.make n_cpus 0.0;
+    ov_sync = Array.make n_cpus 0.0;
+    wall = 0.0;
+  }
+
+(** [snapshot machine ov] reads the machine's cumulative statistics and
+    the overhead accumulators into an absolute [t]. *)
+let snapshot machine (ov : Overheads.t) =
+  let module M = Pcolor_memsim.Machine in
+  let n = M.n_cpus machine in
+  let t = create ~n_cpus:n in
+  for cpu = 0 to n - 1 do
+    let s = M.stats machine ~cpu in
+    t.instructions <- t.instructions +. float_of_int s.M.instructions;
+    t.l1_hits <- t.l1_hits +. float_of_int s.l1_hits;
+    t.l1_misses <- t.l1_misses +. float_of_int s.l1_misses;
+    t.l2_hits <- t.l2_hits +. float_of_int s.l2_hits;
+    Array.iteri (fun i v -> t.miss.(i) <- t.miss.(i) +. float_of_int v) s.l2_miss_counts;
+    t.stall_onchip <- t.stall_onchip +. float_of_int s.stall_onchip;
+    Array.iteri (fun i v -> t.stall.(i) <- t.stall.(i) +. float_of_int v) s.stall_by_class;
+    t.stall_pf_late <- t.stall_pf_late +. float_of_int s.stall_pf_late;
+    t.stall_pf_full <- t.stall_pf_full +. float_of_int s.stall_pf_full;
+    t.kernel <- t.kernel +. float_of_int s.kernel_cycles;
+    t.tlb_misses <- t.tlb_misses +. float_of_int s.tlb_misses;
+    t.fault_cycles <- t.fault_cycles +. float_of_int s.page_fault_cycles;
+    t.pf_issued <- t.pf_issued +. float_of_int s.pf_issued;
+    t.pf_dropped <- t.pf_dropped +. float_of_int s.pf_dropped_tlb;
+    t.pf_useless <- t.pf_useless +. float_of_int s.pf_useless;
+    t.pf_useful <- t.pf_useful +. float_of_int s.pf_useful;
+    t.time.(cpu) <- float_of_int (M.cpu_time machine ~cpu);
+    t.ov_imbalance.(cpu) <- ov.imbalance.(cpu);
+    t.ov_sequential.(cpu) <- ov.sequential.(cpu);
+    t.ov_suppressed.(cpu) <- ov.suppressed.(cpu);
+    t.ov_sync.(cpu) <- ov.sync.(cpu)
+  done;
+  let d, w, u = Pcolor_memsim.Bus.categories (M.bus machine) in
+  t.bus_data <- float_of_int d;
+  t.bus_wb <- float_of_int w;
+  t.bus_upg <- float_of_int u;
+  t
+
+(** [accumulate ~into ~start ~fin ~f ~weight] folds the delta
+    [fin - start] into the accumulator: stall fields are stretched by
+    the contention factor [f]; per-CPU time deltas gain the stretched
+    extra stall; everything is multiplied by the phase [weight].  The
+    weighted wall-clock is the maximum stretched per-CPU delta. *)
+let accumulate ~into ~start ~fin ~f ~weight =
+  let d a b = (a -. b) *. weight in
+  into.instructions <- into.instructions +. d fin.instructions start.instructions;
+  into.l1_hits <- into.l1_hits +. d fin.l1_hits start.l1_hits;
+  into.l1_misses <- into.l1_misses +. d fin.l1_misses start.l1_misses;
+  into.l2_hits <- into.l2_hits +. d fin.l2_hits start.l2_hits;
+  Array.iteri (fun i _ -> into.miss.(i) <- into.miss.(i) +. d fin.miss.(i) start.miss.(i)) into.miss;
+  into.stall_onchip <- into.stall_onchip +. d fin.stall_onchip start.stall_onchip;
+  Array.iteri
+    (fun i _ -> into.stall.(i) <- into.stall.(i) +. (d fin.stall.(i) start.stall.(i) *. f))
+    into.stall;
+  into.stall_pf_late <- into.stall_pf_late +. (d fin.stall_pf_late start.stall_pf_late *. f);
+  into.stall_pf_full <- into.stall_pf_full +. (d fin.stall_pf_full start.stall_pf_full *. f);
+  into.kernel <- into.kernel +. d fin.kernel start.kernel;
+  into.tlb_misses <- into.tlb_misses +. d fin.tlb_misses start.tlb_misses;
+  into.fault_cycles <- into.fault_cycles +. d fin.fault_cycles start.fault_cycles;
+  into.pf_issued <- into.pf_issued +. d fin.pf_issued start.pf_issued;
+  into.pf_dropped <- into.pf_dropped +. d fin.pf_dropped start.pf_dropped;
+  into.pf_useless <- into.pf_useless +. d fin.pf_useless start.pf_useless;
+  into.pf_useful <- into.pf_useful +. d fin.pf_useful start.pf_useful;
+  into.bus_data <- into.bus_data +. d fin.bus_data start.bus_data;
+  into.bus_wb <- into.bus_wb +. d fin.bus_wb start.bus_wb;
+  into.bus_upg <- into.bus_upg +. d fin.bus_upg start.bus_upg;
+  let wall_delta = ref 0.0 in
+  for cpu = 0 to into.n_cpus - 1 do
+    (* The engine already added the stretched extra stall to the raw CPU
+       clocks, so the time delta is final. *)
+    let dt = fin.time.(cpu) -. start.time.(cpu) in
+    into.time.(cpu) <- into.time.(cpu) +. (dt *. weight);
+    if dt > !wall_delta then wall_delta := dt;
+    into.ov_imbalance.(cpu) <-
+      into.ov_imbalance.(cpu) +. d fin.ov_imbalance.(cpu) start.ov_imbalance.(cpu);
+    into.ov_sequential.(cpu) <-
+      into.ov_sequential.(cpu) +. d fin.ov_sequential.(cpu) start.ov_sequential.(cpu);
+    into.ov_suppressed.(cpu) <-
+      into.ov_suppressed.(cpu) +. d fin.ov_suppressed.(cpu) start.ov_suppressed.(cpu);
+    into.ov_sync.(cpu) <- into.ov_sync.(cpu) +. d fin.ov_sync.(cpu) start.ov_sync.(cpu)
+  done;
+  into.wall <- into.wall +. (!wall_delta *. weight)
+
+(** [total_mem_stall t] is all memory-system stall cycles. *)
+let total_mem_stall t =
+  t.stall_onchip +. Array.fold_left ( +. ) 0.0 t.stall +. t.stall_pf_late +. t.stall_pf_full
+
+(** [sum_time t] is the combined (summed over CPUs) cycle count —
+    Figure 2's combined-execution-time metric. *)
+let sum_time t = Array.fold_left ( +. ) 0.0 t.time

@@ -1,0 +1,52 @@
+(** Weighted accumulation of simulation statistics: the flat record the
+    representative-window technique (§3.2) folds phase deltas into,
+    with the bus-contention stretch applied to stall fields and the
+    phase occurrence weight to everything. *)
+
+type t = {
+  n_cpus : int;
+  mutable instructions : float;
+  mutable l1_hits : float;
+  mutable l1_misses : float;
+  mutable l2_hits : float;
+  miss : float array;  (** 5 classes, {!Pcolor_memsim.Mclass.index} order *)
+  mutable stall_onchip : float;
+  stall : float array;  (** stall cycles per miss class *)
+  mutable stall_pf_late : float;
+  mutable stall_pf_full : float;
+  mutable kernel : float;
+  mutable tlb_misses : float;
+  mutable fault_cycles : float;
+  mutable pf_issued : float;
+  mutable pf_dropped : float;
+  mutable pf_useless : float;
+  mutable pf_useful : float;
+  mutable bus_data : float;
+  mutable bus_wb : float;
+  mutable bus_upg : float;
+  time : float array;  (** per-CPU cycle counters *)
+  ov_imbalance : float array;
+  ov_sequential : float array;
+  ov_suppressed : float array;
+  ov_sync : float array;
+  mutable wall : float;  (** accumulated weighted wall-clock cycles *)
+}
+
+(** [create ~n_cpus] is a zeroed accumulator. *)
+val create : n_cpus:int -> t
+
+(** [snapshot machine ov] reads cumulative machine statistics and
+    overhead accumulators into an absolute record. *)
+val snapshot : Pcolor_memsim.Machine.t -> Overheads.t -> t
+
+(** [accumulate ~into ~start ~fin ~f ~weight] folds the delta
+    [fin − start]: stall fields stretched by [f], everything multiplied
+    by [weight]; the weighted wall adds the maximum per-CPU delta. *)
+val accumulate : into:t -> start:t -> fin:t -> f:float -> weight:float -> unit
+
+(** [total_mem_stall t] is all memory-system stall cycles. *)
+val total_mem_stall : t -> float
+
+(** [sum_time t] is the combined (summed over CPUs) cycle count —
+    Figure 2's metric. *)
+val sum_time : t -> float

@@ -1,0 +1,84 @@
+(** ASCII rendering of the paper's graphical figures.
+
+    Figure 3/5 are page-access scatter plots (page index × processor);
+    Figures 2/6/7/8/9 are stacked bar charts.  We render both as text so
+    the bench harness regenerates every figure without a display. *)
+
+(** [bar ~width ~max_v v] renders a horizontal bar of '#' proportional to
+    [v / max_v] in a field of [width] characters. *)
+let bar ~width ~max_v v =
+  let filled =
+    if max_v <= 0.0 then 0
+    else
+      let f = int_of_float (Float.round (float_of_int width *. v /. max_v)) in
+      max 0 (min width f)
+  in
+  String.make filled '#' ^ String.make (width - filled) ' '
+
+(** [stacked_bar ~width ~max_v segments] renders contiguous segments, one
+    character class per segment, e.g. [("x", 1.2); ("o", 0.4)].
+    Segment glyphs must be single characters. *)
+let stacked_bar ~width ~max_v segments =
+  let buf = Buffer.create width in
+  let total_used = ref 0 in
+  List.iter
+    (fun (glyph, v) ->
+      if String.length glyph <> 1 then invalid_arg "Chart.stacked_bar: glyph must be one char";
+      let cells =
+        if max_v <= 0.0 then 0
+        else int_of_float (Float.round (float_of_int width *. v /. max_v))
+      in
+      let cells = max 0 (min cells (width - !total_used)) in
+      Buffer.add_string buf (String.make cells glyph.[0]);
+      total_used := !total_used + cells)
+    segments;
+  Buffer.add_string buf (String.make (width - !total_used) ' ');
+  Buffer.contents buf
+
+(** Access-pattern scatter plot (Figures 3 and 5).
+
+    [scatter ~title ~cols ~n_rows points] maps a set of
+    [(position, row)] points — position is a page index in virtual or
+    coloring order, row is a processor id — onto a [n_rows] × [cols]
+    character grid.  Cells touched by exactly one processor print that
+    processor's hex digit; cells touched by several print ['*'].
+    [x_max] fixes the horizontal scale (e.g. total pages). *)
+let scatter ~title ~cols ~n_rows ~x_max points =
+  let grid = Array.make_matrix n_rows cols ' ' in
+  List.iter
+    (fun (pos, row) ->
+      if row >= 0 && row < n_rows && pos >= 0 && pos < x_max then begin
+        let c = if x_max <= cols then pos else pos * cols / x_max in
+        let c = min (cols - 1) c in
+        let glyph =
+          if row < 10 then Char.chr (Char.code '0' + row)
+          else Char.chr (Char.code 'a' + row - 10)
+        in
+        if grid.(row).(c) = ' ' || grid.(row).(c) = glyph then grid.(row).(c) <- glyph
+        else grid.(row).(c) <- '*'
+      end)
+    points;
+  let buf = Buffer.create (n_rows * (cols + 8)) in
+  if title <> "" then begin
+    Buffer.add_string buf title;
+    Buffer.add_char buf '\n'
+  end;
+  for r = 0 to n_rows - 1 do
+    Buffer.add_string buf (Printf.sprintf "cpu%2d |" r);
+    Buffer.add_string buf (String.init cols (fun c -> grid.(r).(c)));
+    Buffer.add_string buf "|\n"
+  done;
+  Buffer.contents buf
+
+(** [density points ~x_max ~buckets] returns per-bucket occupancy in
+    [0,1]: the fraction of positions inside each of [buckets] equal
+    slices of [0,x_max) that appear in [points].  Used to quantify the
+    sparse-vs-dense contrast between Figures 3 and 5. *)
+let density points ~x_max ~buckets =
+  if buckets <= 0 || x_max <= 0 then invalid_arg "Chart.density";
+  let seen = Hashtbl.create 1024 in
+  List.iter (fun p -> if p >= 0 && p < x_max then Hashtbl.replace seen p ()) points;
+  let counts = Array.make buckets 0 in
+  Hashtbl.iter (fun p () -> counts.(p * buckets / x_max) <- counts.(p * buckets / x_max) + 1) seen;
+  let bucket_span = float_of_int x_max /. float_of_int buckets in
+  Array.map (fun c -> float_of_int c /. bucket_span) counts

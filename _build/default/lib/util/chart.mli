@@ -1,0 +1,21 @@
+(** ASCII rendering of the paper's graphical figures: bars for the
+    stacked-bar panels, scatter grids for the Figure 3/5 access-pattern
+    plots. *)
+
+(** [bar ~width ~max_v v] is a horizontal '#' bar proportional to
+    [v / max_v]. *)
+val bar : width:int -> max_v:float -> float -> string
+
+(** [stacked_bar ~width ~max_v segments] renders contiguous
+    single-character segments, e.g. [[("x", 1.2); ("o", 0.4)]].  Raises
+    [Invalid_argument] on multi-character glyphs. *)
+val stacked_bar : width:int -> max_v:float -> (string * float) list -> string
+
+(** [scatter ~title ~cols ~n_rows ~x_max points] maps
+    [(position, row)] points onto a character grid; single-processor
+    cells print the processor's hex digit, contested cells ['*']. *)
+val scatter : title:string -> cols:int -> n_rows:int -> x_max:int -> (int * int) list -> string
+
+(** [density points ~x_max ~buckets] is per-bucket occupancy in [0,1]
+    over equal slices of [\[0, x_max)]. *)
+val density : int list -> x_max:int -> buckets:int -> float array

@@ -1,0 +1,31 @@
+(** Plain-text table rendering — one consistent look for all benchmark
+    and experiment output. *)
+
+type align = Left | Right
+
+type t
+
+(** [create ~title headers] starts a table; alignment defaults to
+    [Right] for every column except the first.  Raises
+    [Invalid_argument] on an aligns/headers length mismatch. *)
+val create : ?aligns:align list -> title:string -> string list -> t
+
+(** [add_row t cells] appends a row (short rows padded; long rows
+    raise). *)
+val add_row : t -> string list -> unit
+
+(** [add_separator t] draws a rule after the last added row. *)
+val add_separator : t -> unit
+
+(** Cell formatters. *)
+val fcell : ?prec:int -> float -> string
+
+val icell : int -> string
+
+val pcell : float -> string
+
+(** [render t] produces the table as a string, title first. *)
+val render : t -> string
+
+(** [print t] renders to stdout followed by a blank line. *)
+val print : t -> unit

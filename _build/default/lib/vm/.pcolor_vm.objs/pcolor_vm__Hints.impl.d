@@ -1,0 +1,1 @@
+lib/vm/hints.ml: Array Hashtbl

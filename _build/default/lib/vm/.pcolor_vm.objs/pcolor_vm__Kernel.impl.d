@@ -1,0 +1,1 @@
+lib/vm/kernel.ml: Array Frame_pool Option Page_table Pcolor_memsim Policy

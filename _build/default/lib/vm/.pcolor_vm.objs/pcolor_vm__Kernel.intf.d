@@ -1,0 +1,1 @@
+lib/vm/kernel.mli: Frame_pool Page_table Pcolor_memsim Policy

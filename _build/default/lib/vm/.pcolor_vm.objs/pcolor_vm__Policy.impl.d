@@ -1,0 +1,1 @@
+lib/vm/policy.ml: Hints Pcolor_util Printf

@@ -1,0 +1,94 @@
+(** Physical page-frame allocator with per-color free lists.
+
+    Operating systems group frames into colors: two frames have the same
+    color iff they map to the same region of a physically-indexed cache
+    (§2.1).  A frame's color is [frame mod n_colors].  The allocator
+    serves a preferred color when it can and falls back to the nearest
+    color with free frames otherwise — this is the "hints are honored as
+    much as possible" behaviour the paper requires of the OS (§5),
+    exercised by shrinking the pool to create memory pressure. *)
+
+type t = {
+  n_colors : int;
+  free : int list array; (* per color, free frame numbers (LIFO) *)
+  mutable free_count : int;
+  total : int;
+  mutable fallbacks : int; (* allocations that could not honor the color *)
+  mutable honored : int;
+}
+
+(** [create ~frames ~n_colors] builds a pool of frames [0..frames-1].
+    [frames] should normally be a multiple of [n_colors] (real memories
+    are); uneven pools are allowed and simply have richer low colors. *)
+let create ~frames ~n_colors =
+  if frames <= 0 || n_colors <= 0 then invalid_arg "Frame_pool.create";
+  let free = Array.make n_colors [] in
+  (* Build LIFO lists so that frame numbers come out ascending. *)
+  for f = frames - 1 downto 0 do
+    let c = f mod n_colors in
+    free.(c) <- f :: free.(c)
+  done;
+  { n_colors; free; free_count = frames; total = frames; fallbacks = 0; honored = 0 }
+
+(** [n_colors t] is the machine's color count. *)
+let n_colors t = t.n_colors
+
+(** [color_of t frame] is [frame mod n_colors]. *)
+let color_of t frame = frame mod t.n_colors
+
+(** [free_frames t] is the number of unallocated frames. *)
+let free_frames t = t.free_count
+
+(** [free_of_color t color] counts free frames of one color. *)
+let free_of_color t color = List.length t.free.(color)
+
+(** [honored t] / [fallbacks t] count allocations that did / did not get
+    the requested color. *)
+let honored t = t.honored
+
+let fallbacks t = t.fallbacks
+
+(** [alloc t ~preferred] takes a frame, preferring color [preferred]
+    (reduced modulo the color count).  Under pressure it scans outward
+    from the preferred color — nearest colors first, alternating sides —
+    which keeps fallback conflicts as far from the request as possible.
+    Returns [None] when memory is exhausted. *)
+let alloc t ~preferred =
+  if t.free_count = 0 then None
+  else begin
+    let preferred = ((preferred mod t.n_colors) + t.n_colors) mod t.n_colors in
+    let take c =
+      match t.free.(c) with
+      | [] -> None
+      | f :: rest ->
+        t.free.(c) <- rest;
+        t.free_count <- t.free_count - 1;
+        Some f
+    in
+    let rec scan d =
+      if d > t.n_colors / 2 + 1 then None
+      else
+        let right = (preferred + d) mod t.n_colors in
+        let left = (preferred - d + (2 * t.n_colors)) mod t.n_colors in
+        match take right with
+        | Some f -> Some f
+        | None -> ( match take left with Some f -> Some f | None -> scan (d + 1))
+    in
+    match take preferred with
+    | Some f ->
+      t.honored <- t.honored + 1;
+      Some f
+    | None ->
+      let r = scan 1 in
+      if r <> None then t.fallbacks <- t.fallbacks + 1;
+      r
+  end
+
+(** [release t frame] returns a frame to its color's free list.  No
+    double-free detection beyond the caller's discipline (test suites
+    check balance via {!free_frames}). *)
+let release t frame =
+  if frame < 0 || frame >= t.total then invalid_arg "Frame_pool.release: bad frame";
+  let c = color_of t frame in
+  t.free.(c) <- frame :: t.free.(c);
+  t.free_count <- t.free_count + 1

@@ -1,0 +1,39 @@
+(** Physical page-frame allocator with per-color free lists.
+
+    Frames are grouped into colors ([frame mod n_colors], §2.1); the
+    allocator serves a preferred color when it can and falls back to the
+    nearest color with free frames — the "hints are honored as much as
+    possible" OS behaviour (§5). *)
+
+type t
+
+(** [create ~frames ~n_colors] builds a pool of frames [0..frames-1].
+    Raises [Invalid_argument] on non-positive arguments. *)
+val create : frames:int -> n_colors:int -> t
+
+(** [n_colors t] is the machine's color count. *)
+val n_colors : t -> int
+
+(** [color_of t frame] is [frame mod n_colors]. *)
+val color_of : t -> int -> int
+
+(** [free_frames t] counts unallocated frames. *)
+val free_frames : t -> int
+
+(** [free_of_color t color] counts free frames of one color. *)
+val free_of_color : t -> int -> int
+
+(** [honored t] / [fallbacks t] count allocations that did / did not
+    receive the requested color. *)
+val honored : t -> int
+
+val fallbacks : t -> int
+
+(** [alloc t ~preferred] takes a frame, preferring color [preferred]
+    (reduced modulo the color count) and scanning outward under
+    pressure.  [None] when memory is exhausted. *)
+val alloc : t -> preferred:int -> int option
+
+(** [release t frame] returns a frame to its color's free list.  Raises
+    [Invalid_argument] on an out-of-range frame. *)
+val release : t -> int -> unit

@@ -1,0 +1,47 @@
+(** Page-coloring hints: the CDPC interface to the operating system.
+
+    "The interface to the operating system consists of a sequence of
+    virtual pages with their associated preferred color. Applications do
+    not request particular pages of memory, but only suggest a particular
+    coloring for a range of pages. The information is treated as a hint
+    by the operating system." (§5.3)
+
+    In IRIX the table is installed through a [madvise] extension and
+    consulted by the VM subsystem at fault time; we model exactly that. *)
+
+type t = {
+  table : (int, int) Hashtbl.t; (* vpage -> preferred color *)
+  n_colors : int;
+}
+
+(** [create ~n_colors] is an empty hint table for a machine with
+    [n_colors] page colors. *)
+let create ~n_colors =
+  if n_colors <= 0 then invalid_arg "Hints.create";
+  { table = Hashtbl.create (1 lsl 12); n_colors }
+
+(** [n_colors t] is the color-space size hints are expressed in. *)
+let n_colors t = t.n_colors
+
+(** [set t ~vpage ~color] installs or replaces one page's hint.  Raises
+    [Invalid_argument] if [color] is out of range — the run-time library
+    must produce colors valid for the actual machine. *)
+let set t ~vpage ~color =
+  if color < 0 || color >= t.n_colors then invalid_arg "Hints.set: color out of range";
+  Hashtbl.replace t.table vpage color
+
+(** [find t vpage] is the preferred color, if any was advised. *)
+let find t vpage = Hashtbl.find_opt t.table vpage
+
+(** [count t] is the number of advised pages. *)
+let count t = Hashtbl.length t.table
+
+(** [iter t f] applies [f ~vpage ~color] to every hint. *)
+let iter t f = Hashtbl.iter (fun vpage color -> f ~vpage ~color) t.table
+
+(** [color_histogram t] counts advised pages per color — the CDPC
+    round-robin step makes this near-uniform, which tests assert. *)
+let color_histogram t =
+  let h = Array.make t.n_colors 0 in
+  Hashtbl.iter (fun _ c -> h.(c) <- h.(c) + 1) t.table;
+  h

@@ -1,0 +1,29 @@
+(** Page-coloring hints: the CDPC interface to the operating system — a
+    table of (virtual page → preferred color) treated as advisory at
+    page-fault time (§5.3; madvise-style in IRIX). *)
+
+type t
+
+(** [create ~n_colors] is an empty hint table for a machine with
+    [n_colors] page colors. *)
+val create : n_colors:int -> t
+
+(** [n_colors t] is the color-space size. *)
+val n_colors : t -> int
+
+(** [set t ~vpage ~color] installs or replaces one page's hint.  Raises
+    [Invalid_argument] on an out-of-range color. *)
+val set : t -> vpage:int -> color:int -> unit
+
+(** [find t vpage] is the preferred color, if advised. *)
+val find : t -> int -> int option
+
+(** [count t] is the number of advised pages. *)
+val count : t -> int
+
+(** [iter t f] applies [f ~vpage ~color] to every hint. *)
+val iter : t -> (vpage:int -> color:int -> unit) -> unit
+
+(** [color_histogram t] counts advised pages per color (CDPC's
+    round-robin step makes this near-uniform). *)
+val color_histogram : t -> int array

@@ -1,0 +1,110 @@
+(** The VM kernel: page-fault handling that ties a mapping policy to the
+    physical frame pool, exposing the [translate] callback that the
+    memory-system simulator expects.
+
+    On a fault the kernel asks the policy for a preferred color, asks the
+    pool for a frame of that color (the pool falls back under pressure),
+    installs the mapping, and charges the configured fault cost.  This is
+    the entire OS surface the paper's technique needs — the hint table
+    simply changes the answer the policy gives (§5.3). *)
+
+type t = {
+  cfg : Pcolor_memsim.Config.t;
+  pool : Frame_pool.t;
+  table : Page_table.t;
+  policy : Policy.t;
+  mutable faults : int;
+  mutable color_granted : int array; (* per color: frames handed out *)
+}
+
+(** [create ~cfg ~policy ~mem_frames] builds a kernel managing
+    [mem_frames] physical frames (default: 4× the aggregate L2 capacity,
+    a machine with comfortable memory).  Use a small [mem_frames] to
+    create memory pressure and exercise hint fallback. *)
+let create ~cfg ~policy ?mem_frames () =
+  let n_colors = Pcolor_memsim.Config.n_colors cfg in
+  let default_frames =
+    (* Ample memory: enough for any SPEC95fp data set (>= 256 MB) and
+       never less than 4x the aggregate external-cache capacity. *)
+    let l2_frames = cfg.Pcolor_memsim.Config.l2.size / cfg.page_size in
+    max (4 * l2_frames * cfg.n_cpus) (256 * 1024 * 1024 / cfg.page_size)
+  in
+  let frames = Option.value mem_frames ~default:default_frames in
+  {
+    cfg;
+    pool = Frame_pool.create ~frames ~n_colors;
+    table = Page_table.create ();
+    policy;
+    faults = 0;
+    color_granted = Array.make n_colors 0;
+  }
+
+(** [translate t ~cpu ~vpage] is the {!Pcolor_memsim.Machine.access}
+    callback: returns [(frame, kernel_cycles)], where [kernel_cycles] is
+    zero for an already-mapped page and the configured page-fault cost
+    when this call had to allocate.  Raises [Out_of_memory] if the pool
+    is exhausted. *)
+let translate t ~cpu:_ ~vpage =
+  match Page_table.find t.table vpage with
+  | Some frame -> (frame, 0)
+  | None ->
+    t.faults <- t.faults + 1;
+    let preferred = Policy.preferred_color t.policy ~vpage in
+    let frame =
+      match Frame_pool.alloc t.pool ~preferred with
+      | Some f -> f
+      | None -> raise Out_of_memory
+    in
+    t.color_granted.(Frame_pool.color_of t.pool frame) <-
+      t.color_granted.(Frame_pool.color_of t.pool frame) + 1;
+    Page_table.map t.table ~vpage ~frame;
+    (frame, t.cfg.page_fault_cycles)
+
+(** [recolor t ~vpage ~preferred] remaps a page onto a frame of a
+    different color — the §2.1 dynamic policies' repair action.  The
+    new frame is allocated at [preferred] (with the usual fallback),
+    the old frame is released, and the mapping is replaced.  Returns
+    [(old_frame, new_frame)], or [None] when the page is unmapped, the
+    pool is exhausted, or the "new" frame would have the same color
+    (recoloring to the same color is useless).  The caller is
+    responsible for charging copy/TLB-shootdown costs and invalidating
+    stale cache lines. *)
+let recolor t ~vpage ~preferred =
+  match Page_table.find t.table vpage with
+  | None -> None
+  | Some old_frame -> (
+    match Frame_pool.alloc t.pool ~preferred with
+    | None -> None
+    | Some new_frame ->
+      if Frame_pool.color_of t.pool new_frame = Frame_pool.color_of t.pool old_frame then begin
+        Frame_pool.release t.pool new_frame;
+        None
+      end
+      else begin
+        ignore (Page_table.unmap t.table vpage);
+        Page_table.map t.table ~vpage ~frame:new_frame;
+        Frame_pool.release t.pool old_frame;
+        let c = Frame_pool.color_of t.pool new_frame in
+        t.color_granted.(c) <- t.color_granted.(c) + 1;
+        Some (old_frame, new_frame)
+      end)
+
+(** [policy t] / [pool t] / [page_table t] expose kernel internals for
+    inspection and tests. *)
+let policy t = t.policy
+
+let pool t = t.pool
+
+let page_table t = t.table
+
+(** [faults t] counts page faults taken so far. *)
+let faults t = t.faults
+
+(** [color_histogram t] is how many frames of each color have been
+    granted — the measurable footprint of the mapping policy. *)
+let color_histogram t = Array.copy t.color_granted
+
+(** [color_of_vpage t vpage] is the cache color the page landed on, if
+    mapped: the ground truth CDPC tries to control. *)
+let color_of_vpage t vpage =
+  Option.map (fun frame -> Frame_pool.color_of t.pool frame) (Page_table.find t.table vpage)

@@ -1,0 +1,42 @@
+(** The VM kernel: page-fault handling tying a mapping policy to the
+    physical frame pool; provides the [translate] callback the memory
+    system expects, and the recoloring repair action of the dynamic
+    extension. *)
+
+type t
+
+(** [create ~cfg ~policy ?mem_frames ()] builds a kernel managing
+    [mem_frames] physical frames (default: ample — at least 256 MB and
+    4× the aggregate external-cache capacity).  Shrink [mem_frames] to
+    exercise hint fallback under memory pressure. *)
+val create : cfg:Pcolor_memsim.Config.t -> policy:Policy.t -> ?mem_frames:int -> unit -> t
+
+(** [translate t ~cpu ~vpage] returns [(frame, kernel_cycles)]:
+    [kernel_cycles] is zero for a mapped page and the configured fault
+    cost when allocation happened.  Raises [Out_of_memory] when the
+    pool is exhausted. *)
+val translate : t -> cpu:int -> vpage:int -> int * int
+
+(** [recolor t ~vpage ~preferred] remaps a page to a frame of a
+    different color, returning [(old_frame, new_frame)]; [None] when
+    unmapped, exhausted, or the color would not change.  The caller
+    charges copy/TLB costs and invalidates stale cache lines. *)
+val recolor : t -> vpage:int -> preferred:int -> (int * int) option
+
+(** [policy t] / [pool t] / [page_table t] expose internals for
+    inspection and tests. *)
+val policy : t -> Policy.t
+
+val pool : t -> Frame_pool.t
+
+val page_table : t -> Page_table.t
+
+(** [faults t] counts page faults taken. *)
+val faults : t -> int
+
+(** [color_histogram t] is frames granted per color. *)
+val color_histogram : t -> int array
+
+(** [color_of_vpage t vpage] is the cache color the page landed on, if
+    mapped — the ground truth CDPC tries to control. *)
+val color_of_vpage : t -> int -> int option

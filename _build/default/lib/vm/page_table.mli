@@ -1,0 +1,30 @@
+(** Per-address-space virtual→physical page map (one table per parallel
+    program; per-CPU TLBs cache its entries). *)
+
+type t
+
+(** [create ()] is an empty page table. *)
+val create : unit -> t
+
+(** [find t vpage] is the frame backing [vpage], if mapped. *)
+val find : t -> int -> int option
+
+(** [find_by_frame t frame] is the inverse lookup, used by the
+    recoloring daemon. *)
+val find_by_frame : t -> int -> int option
+
+(** [mem t vpage] tests mappedness. *)
+val mem : t -> int -> bool
+
+(** [map t ~vpage ~frame] installs a mapping; raises
+    [Invalid_argument] if [vpage] is already mapped. *)
+val map : t -> vpage:int -> frame:int -> unit
+
+(** [unmap t vpage] removes a mapping, returning the frame it held. *)
+val unmap : t -> int -> int option
+
+(** [mapped_count t] is the number of live mappings. *)
+val mapped_count : t -> int
+
+(** [iter t f] applies [f ~vpage ~frame] to every mapping. *)
+val iter : t -> (vpage:int -> frame:int -> unit) -> unit

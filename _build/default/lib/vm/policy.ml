@@ -1,0 +1,98 @@
+(** Page-mapping policies (§2.1).
+
+    - {b Page coloring} maps consecutive virtual pages to consecutive
+      colors ([color = vpage mod n_colors]), exploiting spatial locality;
+      IRIX and Windows NT use it.
+    - {b Bin hopping} cycles a global counter through the colors in
+      page-fault order, exploiting temporal locality; Digital UNIX uses
+      it.  Concurrent faults from several CPUs race for the counter, so
+      the outcome is not deterministic on a real machine — modeled here
+      by an optional seeded jitter that occasionally skips counter values
+      (as if another CPU's fault interleaved).
+    - {b Random} assigns uniformly random colors; a useful baseline that
+      spreads load but ignores all locality.
+    - {b Hinted} (CDPC) consults a {!Hints} table first and falls back to
+      one of the static policies for unadvised pages, matching both the
+      paper's IRIX implementation (fallback: page coloring) and its
+      Digital UNIX implementation (fallback: bin hopping). *)
+
+type base = Page_coloring | Bin_hopping | Random
+
+type spec = Base of base | Hinted of { hints : Hints.t; fallback : base }
+
+type t = {
+  spec : spec;
+  n_colors : int;
+  mutable next_bin : int; (* bin-hopping cursor *)
+  rng : Pcolor_util.Rng.t; (* Random colors and bin-hopping race jitter *)
+  race_jitter : bool;
+  mutable hint_hits : int;
+  mutable hint_misses : int;
+}
+
+(** [create ~n_colors ~seed ?race_jitter spec] instantiates a policy.
+    [race_jitter] (default off) enables the bin-hopping fault-race model;
+    keep it off while touching pages from a single thread (the §5.3
+    Digital UNIX trick relies on startup faults being serialized). *)
+let create ~n_colors ~seed ?(race_jitter = false) spec =
+  if n_colors <= 0 then invalid_arg "Policy.create";
+  (match spec with
+  | Hinted { hints; _ } when Hints.n_colors hints <> n_colors ->
+    invalid_arg "Policy.create: hint table built for a different color count"
+  | _ -> ());
+  {
+    spec;
+    n_colors;
+    next_bin = 0;
+    rng = Pcolor_util.Rng.create seed;
+    race_jitter;
+    hint_hits = 0;
+    hint_misses = 0;
+  }
+
+(** [name t] is a short label for reports. *)
+let name t =
+  let base_name = function
+    | Page_coloring -> "page-coloring"
+    | Bin_hopping -> "bin-hopping"
+    | Random -> "random"
+  in
+  match t.spec with
+  | Base b -> base_name b
+  | Hinted { fallback; _ } -> Printf.sprintf "cdpc(%s)" (base_name fallback)
+
+let base_color t b vpage =
+  match b with
+  | Page_coloring -> vpage mod t.n_colors
+  | Bin_hopping ->
+    let c = t.next_bin in
+    let step =
+      if t.race_jitter && Pcolor_util.Rng.int t.rng 100 < 25 then
+        (* concurrent faults from other CPUs stole counter values *)
+        2 + Pcolor_util.Rng.int t.rng 2
+      else 1
+    in
+    t.next_bin <- (t.next_bin + step) mod t.n_colors;
+    c
+  | Random -> Pcolor_util.Rng.int t.rng t.n_colors
+
+(** [preferred_color t ~vpage] decides the color the OS will request
+    from the frame pool for a faulting page.  Bin hopping and Random
+    advance internal state, so call this exactly once per fault. *)
+let preferred_color t ~vpage =
+  match t.spec with
+  | Base b -> base_color t b vpage
+  | Hinted { hints; fallback } -> (
+    match Hints.find hints vpage with
+    | Some c ->
+      t.hint_hits <- t.hint_hits + 1;
+      c
+    | None ->
+      t.hint_misses <- t.hint_misses + 1;
+      base_color t fallback vpage)
+
+(** [hint_hits t] / [hint_misses t] count faults served from the hint
+    table versus the fallback policy. *)
+let hint_hits t = t.hint_hits
+
+let hint_misses t = t.hint_misses

@@ -1,0 +1,33 @@
+(** Page-mapping policies (§2.1): page coloring (consecutive virtual
+    pages → consecutive colors; IRIX, Windows NT), bin hopping (cyclic
+    counter in fault order, with an optional seeded model of the
+    concurrent-fault race; Digital UNIX), uniform random, and the
+    CDPC-hinted policy that consults a {!Hints} table and falls back to
+    a static policy for unadvised pages. *)
+
+type base = Page_coloring | Bin_hopping | Random
+
+type spec = Base of base | Hinted of { hints : Hints.t; fallback : base }
+
+type t
+
+(** [create ~n_colors ~seed ?race_jitter spec] instantiates a policy.
+    [race_jitter] (default off) enables the bin-hopping fault-race
+    model; keep it off when faults are serialized (uniprocessor, or the
+    §5.3 startup-touch trick).  Raises [Invalid_argument] when a hint
+    table's color space disagrees with [n_colors]. *)
+val create : n_colors:int -> seed:int -> ?race_jitter:bool -> spec -> t
+
+(** [name t] is a short label for reports. *)
+val name : t -> string
+
+(** [preferred_color t ~vpage] decides the color the OS will request
+    for a faulting page.  Bin hopping and Random advance internal
+    state: call exactly once per fault. *)
+val preferred_color : t -> vpage:int -> int
+
+(** [hint_hits t] / [hint_misses t] count faults served from the hint
+    table versus the fallback policy. *)
+val hint_hits : t -> int
+
+val hint_misses : t -> int

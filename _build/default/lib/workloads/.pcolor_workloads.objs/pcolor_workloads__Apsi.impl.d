@@ -1,0 +1,1 @@
+lib/workloads/apsi.ml: Array Gen List Pcolor_comp Printf

@@ -1,0 +1,1 @@
+lib/workloads/fpppp.ml: Gen Pcolor_comp

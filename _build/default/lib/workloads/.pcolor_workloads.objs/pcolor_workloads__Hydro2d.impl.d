@@ -1,0 +1,1 @@
+lib/workloads/hydro2d.ml: Array Gen List Pcolor_comp Printf

@@ -1,0 +1,1 @@
+lib/workloads/mgrid.ml: Array Float Gen Pcolor_comp

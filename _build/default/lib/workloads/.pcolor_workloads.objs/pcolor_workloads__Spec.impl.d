@@ -1,0 +1,1 @@
+lib/workloads/spec.ml: Applu Apsi Fpppp Hydro2d List Mgrid Pcolor_comp Printf String Su2cor Swim Tomcatv Turb3d Wave5

@@ -1,0 +1,1 @@
+lib/workloads/su2cor.ml: Gen Pcolor_comp

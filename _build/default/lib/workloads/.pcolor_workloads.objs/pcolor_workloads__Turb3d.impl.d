@@ -1,0 +1,1 @@
+lib/workloads/turb3d.ml: Gen Pcolor_comp

@@ -1,0 +1,1 @@
+lib/workloads/wave5.ml: Gen Pcolor_comp

@@ -1,0 +1,72 @@
+(** 110.applu — parabolic/elliptic PDE solver (SSOR).
+
+    Table 1: 31 MB.  The grid is 33³, so parallel loops have exactly 33
+    iterations — the paper's example of load imbalance: "16 processors
+    do not execute such loops more efficiently than 11" (§4.1).  The
+    jacobian arrays dominate the data set; everything is capacity-bound
+    on 1 MB caches (CDPC no help) but fits the aggregate 4 MB caches
+    (CDPC helps, §6.1).  Loop tiling marks the nests [tiled], which
+    wrecks prefetch software pipelining, and the large strides make
+    prefetches cross unmapped TLB entries and get dropped (§6.2). *)
+
+module Ir = Pcolor_comp.Ir
+
+(** [program ?scale ()] builds a fresh applu instance.  The distributed
+    trip count stays 33 at every scale. *)
+let program ?(scale = 1) () =
+  let c = Gen.ctx () in
+  let grid = 33 in
+  let cj = max 64 (800 / scale) in (* jacobian row width *)
+  let cf = max 16 (160 / scale) in (* field row width *)
+  let ja = Gen.arr3 c "A" ~d0:grid ~d1:grid ~d2:cj in
+  let jb = Gen.arr3 c "B" ~d0:grid ~d1:grid ~d2:cj in
+  let jc = Gen.arr3 c "Cj" ~d0:grid ~d1:grid ~d2:cj in
+  let jd = Gen.arr3 c "Dj" ~d0:grid ~d1:grid ~d2:cj in
+  let u = Gen.arr3 c "Uf" ~d0:grid ~d1:grid ~d2:cf in
+  let rsd = Gen.arr3 c "RSD" ~d0:grid ~d1:grid ~d2:cf in
+  let flux = Gen.arr3 c "FLUX" ~d0:grid ~d1:grid ~d2:cf in
+  let jacld =
+    Ir.make_nest ~label:"applu.jacld" ~kind:Gen.parallel_blocked
+      ~bounds:[| grid; grid; cj |]
+      ~refs:
+        [
+          Gen.full3 ja ~write:true;
+          Gen.full3 jb ~write:true;
+          Gen.full3 jc ~write:false;
+          Gen.full3 jd ~write:false;
+        ]
+      ~body_instr:18 ~tiled:true ()
+  in
+  let blts =
+    Ir.make_nest ~label:"applu.blts" ~kind:Gen.parallel_blocked
+      ~bounds:[| grid - 2; grid - 2; cf - 2 |]
+      ~refs:
+        [
+          Gen.interior3 rsd ~di:0 ~dj:0 ~dk:0 ~write:true;
+          Gen.interior3 rsd ~di:(-1) ~dj:0 ~dk:0 ~write:false;
+          Gen.interior3 u ~di:0 ~dj:0 ~dk:0 ~write:false;
+          (* jacobian read with a large k-stride: prefetches cross pages *)
+          Ir.ref_to ja ~coeffs:[| grid * cj; cj; 5 |] ~offset:0 ~write:false;
+        ]
+      ~body_instr:22 ~tiled:true ()
+  in
+  let rhs =
+    Ir.make_nest ~label:"applu.rhs" ~kind:Gen.parallel_blocked
+      ~bounds:[| grid - 2; grid - 2; cf - 2 |]
+      ~refs:
+        [
+          Gen.interior3 u ~di:0 ~dj:0 ~dk:0 ~write:false;
+          Gen.interior3 u ~di:1 ~dj:0 ~dk:0 ~write:false;
+          Gen.interior3 flux ~di:0 ~dj:0 ~dk:0 ~write:true;
+          Gen.interior3 rsd ~di:0 ~dj:0 ~dk:0 ~write:true;
+        ]
+      ~body_instr:16 ~tiled:true ()
+  in
+  Gen.program c ~name:"applu"
+    ~phases:
+      [
+        { Ir.pname = "jacld"; nests = [ jacld ] };
+        { Ir.pname = "ssor"; nests = [ blts; rhs ] };
+      ]
+    ~steady:[ (0, 50); (1, 50) ]
+    ()

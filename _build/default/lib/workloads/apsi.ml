@@ -1,0 +1,47 @@
+(** 141.apsi — mesoscale pollutant distribution.
+
+    Table 1: 9 MB.  Personality (§4.1): fine-grained loop-level
+    parallelism that the compiler {e suppresses} because synchronization
+    and communication costs would dominate — the master runs most loops
+    alone while slaves idle, so the benchmark barely speeds up and is
+    insensitive to the page-mapping policy (Table 2: 156–160 s across
+    all policies).  The paper omits it from Figure 6 because CDPC has no
+    effect. *)
+
+module Ir = Pcolor_comp.Ir
+
+(** [program ?scale ()] builds a fresh apsi instance. *)
+let program ?(scale = 1) () =
+  let c = Gen.ctx () in
+  let n = Gen.side2 ~n_arrays:10 ~mb:9.0 ~scale in
+  let arrays = Array.init 10 (fun i -> Gen.arr2 c (Printf.sprintf "AP%d" i) ~rows:n ~cols:n) in
+  let interior = [| n - 2; n - 2 |] in
+  let suppressed label srcs dst =
+    Ir.make_nest ~label ~kind:Ir.Suppressed ~bounds:interior
+      ~refs:
+        (List.map (fun i -> Gen.interior2 arrays.(i) ~di:0 ~dj:0 ~write:false) srcs
+        @ [ Gen.interior2 arrays.(dst) ~di:0 ~dj:0 ~write:true ])
+      ~body_instr:10 ()
+  in
+  (* one coarse loop the compiler does parallelize *)
+  let coarse =
+    Ir.make_nest ~label:"apsi.coarse" ~kind:Gen.parallel_even ~bounds:interior
+      ~refs:
+        [
+          Gen.interior2 arrays.(0) ~di:0 ~dj:0 ~write:false;
+          Gen.interior2 arrays.(1) ~di:0 ~dj:0 ~write:false;
+          Gen.interior2 arrays.(8) ~di:0 ~dj:0 ~write:true;
+        ]
+      ~body_instr:10 ()
+  in
+  Gen.program c ~name:"apsi"
+    ~phases:
+      [
+        {
+          Ir.pname = "dynamics";
+          nests = [ suppressed "apsi.dkzmh" [ 0; 1; 2 ] 5; suppressed "apsi.wcont" [ 3; 4 ] 6 ];
+        };
+        { Ir.pname = "chemistry"; nests = [ suppressed "apsi.chem" [ 5; 6; 7 ] 9; coarse ] };
+      ]
+    ~steady:[ (0, 90); (1, 90) ]
+    ()

@@ -1,0 +1,41 @@
+(** 145.fpppp — quantum chemistry two-electron integrals.
+
+    Table 1: < 1 MB of data.  Personality (§4.1, §7): "fpppp has
+    essentially no loop-level parallelism" — every nest is sequential —
+    and it is "limited entirely by instruction cache misses fetched from
+    the external cache and puts no load on the shared bus".  The huge
+    straight-line basic blocks are modeled as a large per-iteration
+    instruction cost plus an explicit on-chip instruction-fetch stall.
+    Page-mapping policy is irrelevant (Table 2: 403.7 s under all
+    policies); the paper compiles it with the native compiler. *)
+
+module Ir = Pcolor_comp.Ir
+
+(** [program ?scale ()] builds a fresh fpppp instance ([scale] barely
+    matters for a sub-megabyte data set). *)
+let program ?(scale = 1) () =
+  ignore scale;
+  let c = Gen.ctx () in
+  let n = 96 in
+  let g = Gen.arr2 c "G" ~rows:n ~cols:n in
+  let f = Gen.arr2 c "F" ~rows:n ~cols:n in
+  let d = Gen.arr1 c "Dm" (n * n / 2) in
+  let twoel =
+    Ir.make_nest ~label:"fpppp.twoel" ~kind:Ir.Sequential
+      ~bounds:[| n; n |]
+      ~refs:
+        [
+          Gen.full2 g ~write:false;
+          Gen.full2 f ~write:true;
+        ]
+      ~body_instr:180 ~extra_onchip_stall:60 ()
+  in
+  let shell =
+    Ir.make_nest ~label:"fpppp.shell" ~kind:Ir.Sequential
+      ~bounds:[| n * n / 2 |]
+      ~refs:[ Ir.ref_to d ~coeffs:[| 1 |] ~offset:0 ~write:true ]
+      ~body_instr:120 ~extra_onchip_stall:40 ()
+  in
+  Gen.program c ~name:"fpppp"
+    ~phases:[ { Ir.pname = "scf"; nests = [ twoel; shell ] } ]
+    ~steady:[ (0, 30) ] ()

@@ -1,0 +1,56 @@
+(** 104.hydro2d — astrophysical Navier-Stokes.
+
+    Table 1: 8 MB across many modest 2-D arrays (we model 20).
+    Row-distributed stencil sweeps in two alternating phases.
+    Personality: near-linear speedup; CDPC gains start at two processors
+    with a 1 MB cache; with 4 MB caches the whole 8 MB data set nearly
+    fits and even the sequential run improves (§6.1). *)
+
+module Ir = Pcolor_comp.Ir
+
+(** [program ?scale ()] builds a fresh hydro2d instance. *)
+let program ?(scale = 1) () =
+  let c = Gen.ctx () in
+  let n_arrays = 16 in
+  (* the real benchmark's 402×160 grids: each array is ~half the external
+     cache, so consecutive arrays alternate between two color phases and
+     per-CPU slices cluster into two bands once partitioned *)
+  let rows = Gen.dim2 ~base:402 ~scale and cols = Gen.dim2 ~base:160 ~scale in
+  let arrays =
+    Array.init n_arrays (fun i -> Gen.arr2 c (Printf.sprintf "H%02d" i) ~rows ~cols)
+  in
+  let interior = [| rows - 2; cols - 2 |] in
+  let sweep label srcs dsts =
+    Ir.make_nest ~label ~kind:Gen.parallel_even ~bounds:interior
+      ~refs:
+        (List.concat_map
+           (fun i ->
+             [
+               Gen.interior2 arrays.(i) ~di:0 ~dj:0 ~write:false;
+               Gen.interior2 arrays.(i) ~di:(-1) ~dj:0 ~write:false;
+               Gen.interior2 arrays.(i) ~di:0 ~dj:1 ~write:false;
+             ])
+           srcs
+        @ List.map (fun i -> Gen.interior2 arrays.(i) ~di:0 ~dj:0 ~write:true) dsts)
+      ~body_instr:12 ()
+  in
+  let advection =
+    [
+      sweep "hydro2d.advx" [ 0; 1; 2 ] [ 8; 9 ];
+      sweep "hydro2d.advy" [ 3; 4; 5 ] [ 10; 11 ];
+    ]
+  in
+  let forces =
+    [
+      sweep "hydro2d.force" [ 6; 7; 8 ] [ 12; 13 ];
+      sweep "hydro2d.visc" [ 9; 10; 11 ] [ 14; 15 ];
+    ]
+  in
+  Gen.program c ~name:"hydro2d"
+    ~phases:
+      [
+        { Ir.pname = "advection"; nests = advection };
+        { Ir.pname = "forces"; nests = forces };
+      ]
+    ~steady:[ (0, 100); (1, 100) ]
+    ()

@@ -1,0 +1,81 @@
+(** 107.mgrid — multigrid 3-D potential solver.
+
+    Table 1: 7 MB.  A hierarchy of three grids; restriction and
+    interpolation walk the fine grid with stride-2 coefficients.
+    Personality: replacement misses are comparatively small, so CDPC
+    only shows a slight improvement above eight processors (§6.1). *)
+
+module Ir = Pcolor_comp.Ir
+
+(** [program ?scale ()] builds a fresh mgrid instance. *)
+let program ?(scale = 1) () =
+  let c = Gen.ctx () in
+  (* bytes = (n^3 + (n/2)^3 + (n/4)^3) * 2 arrays * 8 ≈ 18.3 n^3 *)
+  let n =
+    let bytes = 7.0 *. 1048576.0 /. float_of_int scale in
+    max 16 (int_of_float (Float.cbrt (bytes /. 18.3)) / 4 * 4)
+  in
+  let u0 = Gen.arr3 c "U0" ~d0:n ~d1:n ~d2:n in
+  let r0 = Gen.arr3 c "R0" ~d0:n ~d1:n ~d2:n in
+  let u1 = Gen.arr3 c "U1" ~d0:(n / 2) ~d1:(n / 2) ~d2:(n / 2) in
+  let r1 = Gen.arr3 c "R1" ~d0:(n / 2) ~d1:(n / 2) ~d2:(n / 2) in
+  let u2 = Gen.arr3 c "U2" ~d0:(n / 4) ~d1:(n / 4) ~d2:(n / 4) in
+  let r2 = Gen.arr3 c "R2" ~d0:(n / 4) ~d1:(n / 4) ~d2:(n / 4) in
+  let smooth label u r d =
+    Ir.make_nest ~label ~kind:Gen.parallel_even
+      ~bounds:[| d - 2; d - 2; d - 2 |]
+      ~refs:
+        [
+          Gen.interior3 u ~di:0 ~dj:0 ~dk:0 ~write:true;
+          Gen.interior3 u ~di:(-1) ~dj:0 ~dk:0 ~write:false;
+          Gen.interior3 u ~di:1 ~dj:0 ~dk:0 ~write:false;
+          Gen.interior3 u ~di:0 ~dj:(-1) ~dk:0 ~write:false;
+          Gen.interior3 u ~di:0 ~dj:1 ~dk:0 ~write:false;
+          Gen.interior3 r ~di:0 ~dj:0 ~dk:0 ~write:false;
+        ]
+      ~body_instr:20 ()
+  in
+  (* restriction: coarse (i,j,k) reads fine (2i, 2j, 2k) *)
+  let restrict_ label fine coarse d_coarse =
+    let f1 = fine.Ir.dims.(1) and f2 = fine.Ir.dims.(2) in
+    Ir.make_nest ~label ~kind:Gen.parallel_even
+      ~bounds:[| d_coarse; d_coarse; d_coarse |]
+      ~refs:
+        [
+          Ir.ref_to fine ~coeffs:[| 2 * f1 * f2; 2 * f2; 2 |] ~offset:0 ~write:false;
+          Gen.full3 coarse ~write:true;
+        ]
+      ~body_instr:12 ()
+  in
+  (* interpolation: fine (i,j,k) reads coarse (i/2 ...) — modeled as the
+     coarse loop writing its 2x fine neighborhood *)
+  let interp label coarse fine d_coarse =
+    let f1 = fine.Ir.dims.(1) and f2 = fine.Ir.dims.(2) in
+    Ir.make_nest ~label ~kind:Gen.parallel_even
+      ~bounds:[| d_coarse; d_coarse; d_coarse |]
+      ~refs:
+        [
+          Gen.full3 coarse ~write:false;
+          Ir.ref_to fine ~coeffs:[| 2 * f1 * f2; 2 * f2; 2 |] ~offset:0 ~write:true;
+          Ir.ref_to fine ~coeffs:[| 2 * f1 * f2; 2 * f2; 2 |] ~offset:1 ~write:true;
+        ]
+      ~body_instr:14 ()
+  in
+  Gen.program c ~name:"mgrid"
+    ~phases:
+      [
+        { Ir.pname = "fine"; nests = [ smooth "mgrid.smooth0" u0 r0 n ] };
+        {
+          Ir.pname = "vcycle";
+          nests =
+            [
+              restrict_ "mgrid.restrict01" r0 r1 (n / 2);
+              smooth "mgrid.smooth1" u1 r1 (n / 2);
+              restrict_ "mgrid.restrict12" r1 r2 (n / 4);
+              smooth "mgrid.smooth2" u2 r2 (n / 4);
+              interp "mgrid.interp10" u1 u0 (n / 2 - 1);
+            ];
+        };
+      ]
+    ~steady:[ (0, 60); (1, 60) ]
+    ()

@@ -1,0 +1,102 @@
+(** The SPEC95fp workload catalog (Table 1) and benchmark lookup.
+
+    Each entry pairs the paper's reference data-set size with the kernel
+    builder that reproduces the benchmark's documented personality. *)
+
+type descriptor = {
+  name : string;
+  table1_mb : float; (** reference data-set size, Table 1 *)
+  build : ?scale:int -> unit -> Pcolor_comp.Ir.program;
+  character : string; (** one-line personality, from §4.1/§6.1/§7 *)
+  in_figure6 : bool; (** the paper omits apsi and fpppp from Figure 6 *)
+}
+
+(** [all] lists the ten benchmarks in SPEC-number order. *)
+let all =
+  [
+    {
+      name = "tomcatv";
+      table1_mb = 14.0;
+      build = Tomcatv.program;
+      character = "7 equal arrays; stencil; reverse partitions; big CDPC win";
+      in_figure6 = true;
+    };
+    {
+      name = "swim";
+      table1_mb = 14.0;
+      build = Swim.program;
+      character = "13 equal arrays; most policy- and alignment-sensitive";
+      in_figure6 = true;
+    };
+    {
+      name = "su2cor";
+      table1_mb = 23.0;
+      build = Su2cor.program;
+      character = "non-contiguous gauge field; CDPC slightly degrades";
+      in_figure6 = true;
+    };
+    {
+      name = "hydro2d";
+      table1_mb = 8.0;
+      build = Hydro2d.program;
+      character = "many small arrays; CDPC gains from 2 CPUs";
+      in_figure6 = true;
+    };
+    {
+      name = "mgrid";
+      table1_mb = 7.0;
+      build = Mgrid.program;
+      character = "multigrid; few replacement misses; slight CDPC gain";
+      in_figure6 = true;
+    };
+    {
+      name = "applu";
+      table1_mb = 31.0;
+      build = Applu.program;
+      character = "33-iteration loops (imbalance); capacity-bound at 1MB";
+      in_figure6 = true;
+    };
+    {
+      name = "turb3d";
+      table1_mb = 24.0;
+      build = Turb3d.program;
+      character = "4 phases x (11,66,100,120); axis-striding FFT sweeps";
+      in_figure6 = true;
+    };
+    {
+      name = "apsi";
+      table1_mb = 9.0;
+      build = Apsi.program;
+      character = "suppressed fine-grain parallelism; policy-insensitive";
+      in_figure6 = false;
+    };
+    {
+      name = "fpppp";
+      table1_mb = 0.9;
+      build = Fpppp.program;
+      character = "no loop parallelism; instruction-miss bound; no bus load";
+      in_figure6 = false;
+    };
+    {
+      name = "wave5";
+      table1_mb = 40.0;
+      build = Wave5.program;
+      character = "suppressed particle push; high phase variance";
+      in_figure6 = true;
+    };
+  ]
+
+(** [find name] looks a benchmark up by name. *)
+let find name =
+  match List.find_opt (fun d -> d.name = name) all with
+  | Some d -> d
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Spec.find: unknown benchmark %s (know: %s)" name
+         (String.concat ", " (List.map (fun d -> d.name) all)))
+
+(** [names] lists every benchmark name. *)
+let names = List.map (fun d -> d.name) all
+
+(** [figure6_benchmarks] is the eight-benchmark subset of Figure 6. *)
+let figure6_benchmarks = List.filter (fun d -> d.in_figure6) all

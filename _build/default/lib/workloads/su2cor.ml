@@ -1,0 +1,75 @@
+(** 103.su2cor — quantum-physics quark propagator (Monte Carlo).
+
+    Table 1: 23 MB.  The gauge-field array U is referenced through two
+    incompatible layouts; in one of them each processor touches only a
+    thin slice of every distributed unit, so its per-unit gaps exceed a
+    page and CDPC excludes it ("each processor does not access
+    contiguous regions of some important data structures. CDPC is only
+    applied to the remaining data structures, but the mapping happens to
+    conflict with the other data structures" — §6.1, where CDPC slightly
+    {e degrades} su2cor). *)
+
+module Ir = Pcolor_comp.Ir
+
+(** [program ?scale ()] builds a fresh su2cor instance. *)
+let program ?(scale = 1) () =
+  let c = Gen.ctx () in
+  (* Gauge field: d2 stays wide so the sparse slice (8 of d2 elements per
+     unit) leaves a > page gap at any scale. *)
+  let d2 = 1024 and d1 = 16 in
+  let d0 = max 8 (96 / scale) in
+  let u = Gen.arr3 c "U" ~d0 ~d1 ~d2 in
+  (* Workspace propagator arrays: ~11 MB of dense 2-D data. *)
+  let n = Gen.side2 ~n_arrays:3 ~mb:11.0 ~scale in
+  let w1 = Gen.arr2 c "W1" ~rows:n ~cols:n in
+  let w2 = Gen.arr2 c "W2" ~rows:n ~cols:n in
+  let w3 = Gen.arr2 c "W3" ~rows:n ~cols:n in
+  (* Phase gauge: distributed over d0, but only the first 8 of each
+     d2-row is touched -> per-unit gap = (d2-8) elements = 8128 B > page. *)
+  let gauge =
+    Ir.make_nest ~label:"su2cor.gauge" ~kind:Gen.parallel_reverse
+      ~bounds:[| d0; d1; 8 |]
+      ~refs:
+        [
+          Ir.ref_to u ~coeffs:[| d1 * d2; d2; 1 |] ~offset:0 ~write:false;
+          Ir.ref_to u ~coeffs:[| d1 * d2; d2; 1 |] ~offset:2 ~write:true;
+          Ir.ref_to w1 ~coeffs:[| n * n / (d0 * 2); 1; 0 |] ~offset:0 ~write:false;
+        ]
+      ~body_instr:20 ()
+  in
+  let interior = [| n - 2; n - 2 |] in
+  (* the hot propagator sweep stays within the colorable workspaces *)
+  let sweep =
+    Ir.make_nest ~label:"su2cor.sweep" ~kind:Gen.parallel_even ~bounds:interior
+      ~refs:
+        [
+          Gen.interior2 w2 ~di:0 ~dj:0 ~write:false;
+          Gen.interior2 w2 ~di:1 ~dj:0 ~write:false;
+          Gen.interior2 w2 ~di:0 ~dj:1 ~write:false;
+          Gen.interior2 w3 ~di:0 ~dj:0 ~write:true;
+        ]
+      ~body_instr:14 ()
+  in
+  (* the lighter relaxation mixes the excluded W1 with the hinted
+     workspaces — the §6.1 mechanism: "CDPC is only applied to the
+     remaining data structures, but the mapping happens to conflict
+     with the other data structures" *)
+  let relax =
+    Ir.make_nest ~label:"su2cor.relax" ~kind:Gen.parallel_even
+      ~bounds:[| n - 2; (n - 2) / 2 |]
+      ~refs:
+        [
+          Gen.interior2 w3 ~di:0 ~dj:0 ~write:false;
+          Gen.interior2 w1 ~di:0 ~dj:0 ~write:true;
+        ]
+      ~body_instr:12 ()
+  in
+  Gen.program c ~name:"su2cor"
+    ~phases:
+      [
+        { Ir.pname = "gauge"; nests = [ gauge ] };
+        { Ir.pname = "sweep"; nests = [ sweep ] };
+        { Ir.pname = "relax"; nests = [ relax ] };
+      ]
+    ~steady:[ (0, 40); (1, 80); (2, 15) ]
+    ()

@@ -1,0 +1,69 @@
+(** 102.swim — shallow-water weather prediction.
+
+    Table 1: 14 MB — seven 513×513 double arrays (u, v, p and the
+    derived fields cu, cv, z, h), the same grid as tomcatv but with
+    wider loops: every kernel co-uses most of the seven arrays at the
+    same (i, j), so the near-identical color phases of the equal-sized
+    arrays make swim the paper's most policy- and alignment-sensitive
+    benchmark (2.6× slower under page coloring than CDPC at 8 CPUs;
+    CDPC gains appear at eight processors, §6.1/§7). *)
+
+module Ir = Pcolor_comp.Ir
+
+(** [program ?scale ()] builds a fresh swim instance. *)
+let program ?(scale = 1) () =
+  let c = Gen.ctx () in
+  let n = Gen.dim2 ~base:513 ~scale in
+  let mk name = Gen.arr2 c name ~rows:n ~cols:n in
+  let u = mk "U" and v = mk "V" and p = mk "P" in
+  let cu = mk "CU" and cv = mk "CV" and z = mk "Z" and h = mk "H" in
+  let interior = [| n - 2; n - 2 |] in
+  let st a di dj = Gen.interior2 a ~di ~dj ~write:false in
+  let w a = Gen.interior2 a ~di:0 ~dj:0 ~write:true in
+  (* calc1: fluxes — reads u, v, p; writes cu, cv, z, h: all 7 arrays
+     live at the same (i, j) in one loop *)
+  let calc1 =
+    Ir.make_nest ~label:"swim.calc1" ~kind:Gen.parallel_even ~bounds:interior
+      ~refs:
+        [
+          st u 0 0; st u 1 0;
+          st v 0 0; st v 0 1;
+          st p 0 0; st p 1 0; st p 0 1; st p 1 1;
+          w cu; w cv; w z; w h;
+        ]
+      ~body_instr:18 ()
+  in
+  (* calc2: new time level — reads the four derived fields, updates u,v,p *)
+  let calc2 =
+    Ir.make_nest ~label:"swim.calc2" ~kind:Gen.parallel_even ~bounds:interior
+      ~refs:
+        [
+          st cu 0 0; st cu (-1) 0;
+          st cv 0 0; st cv 0 (-1);
+          st z 0 0; st z (-1) (-1);
+          st h 0 0; st h 1 0; st h 0 1;
+          w u; w v; w p;
+        ]
+      ~body_instr:18 ()
+  in
+  (* calc3: time smoothing over u, v, p *)
+  let calc3 =
+    Ir.make_nest ~label:"swim.calc3" ~kind:Gen.parallel_even ~bounds:interior
+      ~refs:
+        [
+          st u 0 0; st u (-1) 0; st u 1 0;
+          st v 0 0; st v 0 (-1); st v 0 1;
+          st p 0 0; st p (-1) 0; st p 0 1;
+          w u; w v; w p;
+        ]
+      ~body_instr:14 ()
+  in
+  Gen.program c ~name:"swim"
+    ~phases:
+      [
+        { Ir.pname = "calc1"; nests = [ calc1 ] };
+        { Ir.pname = "calc2"; nests = [ calc2 ] };
+        { Ir.pname = "calc3"; nests = [ calc3 ] };
+      ]
+    ~steady:[ (0, 120); (1, 120); (2, 120) ]
+    ()

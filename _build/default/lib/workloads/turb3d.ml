@@ -1,0 +1,72 @@
+(** 125.turb3d — isotropic turbulence (3-D FFTs).
+
+    Table 1: 24 MB.  The paper's example of multi-phase steady state:
+    "four phases that each occur 11, 66, 100 and 120 times" (§3.2).  FFT
+    sweeps walk the velocity fields along different axes — the x-sweep
+    is contiguous per CPU, the y- and z-sweeps stride.  Personality:
+    replacement misses are small; CDPC gives a slight improvement above
+    four processors. *)
+
+module Ir = Pcolor_comp.Ir
+
+(** [program ?scale ()] builds a fresh turb3d instance. *)
+let program ?(scale = 1) () =
+  let c = Gen.ctx () in
+  (* 6 velocity/work fields over the 64³ spectral grid (complex pairs
+     fold into a widened innermost dimension): 6 × 4 MB = 24 MB.  The
+     +2 keeps consecutive arrays' color phases staggered. *)
+  let n = 64 in
+  let d2 = max 8 ((128 / scale) + 2) in
+  let u = Gen.arr3 c "U" ~d0:n ~d1:n ~d2 in
+  let v = Gen.arr3 c "V" ~d0:n ~d1:n ~d2 in
+  let w = Gen.arr3 c "W" ~d0:n ~d1:n ~d2 in
+  let wu = Gen.arr3 c "WU" ~d0:n ~d1:n ~d2 in
+  let wv = Gen.arr3 c "WV" ~d0:n ~d1:n ~d2 in
+  let ww = Gen.arr3 c "WW" ~d0:n ~d1:n ~d2 in
+  let full = [| n; n; d2 |] in
+  (* x-sweep: loop (i, j, k), contiguous per CPU *)
+  let xffts =
+    Ir.make_nest ~label:"turb3d.xffts" ~kind:Gen.parallel_even ~bounds:full
+      ~refs:
+        [
+          Gen.full3 u ~write:true; Gen.full3 v ~write:true; Gen.full3 w ~write:true;
+        ]
+      ~body_instr:24 ()
+  in
+  (* y-sweep: loop (i, k, j) — within a distributed i-slab the walk is
+     strided by the row width but still covers the slab densely *)
+  let ysweep_ref a ~write = Ir.ref_to a ~coeffs:[| n * d2; 1; d2 |] ~offset:0 ~write in
+  let yffts =
+    Ir.make_nest ~label:"turb3d.yffts" ~kind:Gen.parallel_even
+      ~bounds:[| n; d2; n |]
+      ~refs:[ ysweep_ref u ~write:true; ysweep_ref v ~write:true; ysweep_ref w ~write:true ]
+      ~body_instr:24 ()
+  in
+  (* z-sweep: loop (j, i, k) distributed over j — every CPU strides
+     across the whole array, touching its j-slab of each i-plane *)
+  let zsweep_ref a ~write = Ir.ref_to a ~coeffs:[| d2; n * d2; 1 |] ~offset:0 ~write in
+  let zffts =
+    Ir.make_nest ~label:"turb3d.zffts" ~kind:Gen.parallel_even
+      ~bounds:[| n; n; d2 |]
+      ~refs:[ zsweep_ref u ~write:true; zsweep_ref v ~write:true; zsweep_ref w ~write:true ]
+      ~body_instr:24 ()
+  in
+  let nonlinear =
+    Ir.make_nest ~label:"turb3d.nonlin" ~kind:Gen.parallel_even ~bounds:full
+      ~refs:
+        [
+          Gen.full3 u ~write:false; Gen.full3 v ~write:false; Gen.full3 w ~write:false;
+          Gen.full3 wu ~write:true; Gen.full3 wv ~write:true; Gen.full3 ww ~write:true;
+        ]
+      ~body_instr:20 ()
+  in
+  Gen.program c ~name:"turb3d"
+    ~phases:
+      [
+        { Ir.pname = "xffts"; nests = [ xffts ] };
+        { Ir.pname = "yffts"; nests = [ yffts ] };
+        { Ir.pname = "zffts"; nests = [ zffts ] };
+        { Ir.pname = "nonlinear"; nests = [ nonlinear ] };
+      ]
+    ~steady:[ (0, 11); (1, 66); (2, 100); (3, 120) ]
+    ()

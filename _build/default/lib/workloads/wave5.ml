@@ -1,0 +1,67 @@
+(** 146.wave5 — plasma particle-in-cell simulation.
+
+    Table 1: 40 MB, the suite's largest data set.  Personality (§4.1):
+    fine-grain parallelism is suppressed (like apsi), and one phase shows
+    large run-to-run cache-miss variation (the particle push, whose
+    gather/scatter pattern we model with a large coprime stride).
+    Table 2 shows little sensitivity to the mapping policy. *)
+
+module Ir = Pcolor_comp.Ir
+
+(** [program ?scale ()] builds a fresh wave5 instance. *)
+let program ?(scale = 1) () =
+  let c = Gen.ctx () in
+  let n = Gen.side2 ~n_arrays:2 ~mb:20.0 ~scale in
+  let ex = Gen.arr2 c "EX" ~rows:n ~cols:n in
+  let ey = Gen.arr2 c "EY" ~rows:n ~cols:n in
+  let nparticles = int_of_float (20.0 *. 1048576.0 /. float_of_int (scale * 3 * 8)) in
+  let px = Gen.arr1 c "PX" nparticles in
+  let pv = Gen.arr1 c "PV" nparticles in
+  let pq = Gen.arr1 c "PQ" nparticles in
+  (* particle push: gather field values with a large coprime stride so
+     successive particles hit spread-out field locations *)
+  let stride = 4093 (* prime, < n*n for any realistic scale *) in
+  let gathers = (n * n - 1) / stride in
+  let push =
+    Ir.make_nest ~label:"wave5.push" ~kind:Ir.Suppressed
+      ~bounds:[| gathers; 16 |]
+      ~refs:
+        [
+          Ir.ref_to ex ~coeffs:[| stride; 1 |] ~offset:0 ~write:false;
+          Ir.ref_to ey ~coeffs:[| stride; 1 |] ~offset:0 ~write:false;
+          Ir.ref_to px ~coeffs:[| 13; 1 |] ~offset:0 ~write:true;
+          Ir.ref_to pv ~coeffs:[| 13; 1 |] ~offset:0 ~write:true;
+        ]
+      ~body_instr:18 ()
+  in
+  let interior = [| n - 2; n - 2 |] in
+  let field =
+    Ir.make_nest ~label:"wave5.field" ~kind:Gen.parallel_even ~bounds:interior
+      ~refs:
+        [
+          Gen.interior2 ex ~di:0 ~dj:0 ~write:true;
+          Gen.interior2 ex ~di:(-1) ~dj:0 ~write:false;
+          Gen.interior2 ey ~di:0 ~dj:0 ~write:true;
+          Gen.interior2 ey ~di:0 ~dj:(-1) ~write:false;
+        ]
+      ~body_instr:12 ()
+  in
+  let charge =
+    Ir.make_nest ~label:"wave5.charge" ~kind:Ir.Suppressed
+      ~bounds:[| nparticles / 8; 4 |]
+      ~refs:
+        [
+          Ir.ref_to pq ~coeffs:[| 8; 2 |] ~offset:0 ~write:false;
+          Ir.ref_to px ~coeffs:[| 8; 2 |] ~offset:0 ~write:false;
+        ]
+      ~body_instr:10 ()
+  in
+  Gen.program c ~name:"wave5"
+    ~phases:
+      [
+        { Ir.pname = "push"; nests = [ push ] };
+        { Ir.pname = "field"; nests = [ field ] };
+        { Ir.pname = "charge"; nests = [ charge ] };
+      ]
+    ~steady:[ (0, 40); (1, 40); (2, 40) ]
+    ()

@@ -1,0 +1,1 @@
+test/helpers.ml: List Pcolor QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Array Float Gen Helpers List Pcolor QCheck

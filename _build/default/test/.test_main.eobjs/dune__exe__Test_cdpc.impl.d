@@ -1,0 +1,1 @@
+test/test_cdpc.ml: Alcotest Array Gen Helpers List Pcolor QCheck

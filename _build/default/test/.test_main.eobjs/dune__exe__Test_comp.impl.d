@@ -1,0 +1,1 @@
+test/test_comp.ml: Alcotest Array Fun Helpers List Pcolor QCheck

@@ -1,0 +1,1 @@
+test/test_engine_details.ml: Alcotest Helpers List Pcolor

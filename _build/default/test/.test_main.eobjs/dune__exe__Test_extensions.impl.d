@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Helpers List Option Pcolor

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Helpers List Option Pcolor Printf

@@ -1,0 +1,1 @@
+test/test_text.ml: Alcotest Helpers List Pcolor

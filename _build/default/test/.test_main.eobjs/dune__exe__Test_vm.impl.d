@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Fun Gen Helpers List Option Pcolor QCheck

@@ -1,0 +1,228 @@
+(* Tests for the CDPC algorithm: segments, set/segment ordering, cyclic
+   assignment, the end-to-end colorer, and the layout pass. *)
+
+module Segment = Pcolor.Cdpc.Segment
+module Order = Pcolor.Cdpc.Order
+module Cyclic = Pcolor.Cdpc.Cyclic
+module Colorer = Pcolor.Cdpc.Colorer
+module Align = Pcolor.Cdpc.Align
+module Ir = Pcolor.Comp.Ir
+module Summary = Pcolor.Comp.Summary
+
+let fig4 () =
+  let cfg = Helpers.tiny_cfg () in
+  let p = Helpers.figure4_program () in
+  let summary = Helpers.layout cfg p in
+  (cfg, p, summary)
+
+let test_segments_fig4 () =
+  let _, p, summary = fig4 () in
+  let { Segment.segments; excluded } = Segment.compute ~summary ~program:p ~n_cpus:2 in
+  let segments = Segment.coalesce segments in
+  Alcotest.(check int) "nothing excluded" 0 (List.length excluded);
+  (* two arrays x two CPU halves = 4 segments *)
+  Alcotest.(check int) "4 segments" 4 (List.length segments);
+  let masks = List.map (fun s -> s.Segment.cpus) segments in
+  Alcotest.(check (list int)) "masks per half" [ 1; 2; 1; 2 ] masks;
+  (* segments exactly tile both arrays *)
+  Alcotest.(check int) "bytes covered" (2 * 8 * 128 * 8) (Segment.total_bytes segments)
+
+let test_segments_boundary_overlap () =
+  (* add a one-row halo: the boundary row is accessed by both CPUs *)
+  let cfg = Helpers.tiny_cfg () in
+  let c = Pcolor.Workloads.Gen.ctx () in
+  let a = Pcolor.Workloads.Gen.arr2 c "A" ~rows:8 ~cols:128 in
+  let nest =
+    Ir.make_nest ~label:"halo" ~kind:Pcolor.Workloads.Gen.parallel_even ~bounds:[| 6; 126 |]
+      ~refs:
+        [
+          Pcolor.Workloads.Gen.interior2 a ~di:(-1) ~dj:0 ~write:false;
+          Pcolor.Workloads.Gen.interior2 a ~di:1 ~dj:0 ~write:false;
+          Pcolor.Workloads.Gen.interior2 a ~di:0 ~dj:0 ~write:true;
+        ]
+      ()
+  in
+  let p =
+    Pcolor.Workloads.Gen.program c ~name:"halo"
+      ~phases:[ { Ir.pname = "s"; nests = [ nest ] } ]
+      ~steady:[ (0, 2) ] ()
+  in
+  let summary = Helpers.layout cfg p in
+  let { Segment.segments; _ } = Segment.compute ~summary ~program:p ~n_cpus:2 in
+  let segments = Segment.coalesce segments in
+  let shared = List.filter (fun s -> s.Segment.cpus = 0b11) segments in
+  Alcotest.(check int) "one shared boundary segment" 1 (List.length shared);
+  (* the shared region is small: the stencil halo around the split *)
+  List.iter
+    (fun s -> Alcotest.(check bool) "halo is narrow" true (Segment.bytes s <= 3 * 128 * 8))
+    shared
+
+let test_order_sets_fig4 () =
+  (* the paper's Figure 4(b): {0}, {0,1}, {1} *)
+  Alcotest.(check (list int)) "shared set between" [ 0b01; 0b11; 0b10 ]
+    (Order.order_sets [ 0b01; 0b10; 0b11 ]);
+  Alcotest.(check (list int)) "empty" [] (Order.order_sets []);
+  Alcotest.(check (list int)) "dedup" [ 0b1 ] (Order.order_sets [ 0b1; 0b1 ])
+
+let test_order_sets_chain () =
+  (* 4 CPUs with neighbor overlaps: a path should chain them *)
+  let masks = [ 0b0001; 0b0011; 0b0010; 0b0110; 0b0100; 0b1100; 0b1000 ] in
+  let ordered = Order.order_sets masks in
+  Alcotest.(check int) "permutation size" (List.length masks) (List.length ordered);
+  Alcotest.(check (list int)) "sorted content" (List.sort compare masks)
+    (List.sort compare ordered);
+  (* consecutive sets in the path should mostly intersect *)
+  let rec adjacent_overlaps = function
+    | a :: (b :: _ as rest) -> (if a land b <> 0 then 1 else 0) + adjacent_overlaps rest
+    | _ -> 0
+  in
+  Alcotest.(check bool) "path includes most edges" true (adjacent_overlaps ordered >= 5)
+
+let prop_order_sets_permutation =
+  QCheck.Test.make ~name:"order_sets permutes its input" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 12) (int_range 1 255))
+    (fun masks ->
+      let distinct = List.sort_uniq compare masks in
+      List.sort compare (Order.order_sets masks) = distinct)
+
+let test_cyclic_overlap_and_distance () =
+  Alcotest.(check bool) "identical intervals overlap" true (Cyclic.circular_overlap ~c:16 0 4 0 4);
+  Alcotest.(check bool) "disjoint" false (Cyclic.circular_overlap ~c:16 0 4 8 4);
+  Alcotest.(check bool) "wrapping overlap" true (Cyclic.circular_overlap ~c:16 14 4 0 4);
+  Alcotest.(check bool) "full circle overlaps" true (Cyclic.circular_overlap ~c:16 0 16 8 2);
+  Alcotest.(check int) "circular distance" 2 (Cyclic.circular_distance ~c:16 15 1)
+
+let test_cyclic_rotations_separate_starts () =
+  (* Figure 4(c): two co-used segments overlapping in the cache must end
+     up with different start colors *)
+  let segs =
+    [|
+      { Cyclic.pos = 0; len = 8; cpus = 1; arr = 0 };
+      { Cyclic.pos = 8; len = 8; cpus = 1; arr = 1 };
+    |]
+  in
+  (* 8 colors: both segments span all colors -> conflict *)
+  let rots = Cyclic.rotations ~n_colors:8 ~grouped:(fun _ _ -> true) segs in
+  Alcotest.(check int) "first unrotated" 0 rots.(0);
+  let start0 = Cyclic.start_color ~n_colors:8 segs.(0) rots.(0) in
+  let start1 = Cyclic.start_color ~n_colors:8 segs.(1) rots.(1) in
+  Alcotest.(check bool) "start colors separated" true
+    (Cyclic.circular_distance ~c:8 start0 start1 >= 3)
+
+let test_cyclic_no_conflict_no_rotation () =
+  let segs =
+    [|
+      { Cyclic.pos = 0; len = 4; cpus = 1; arr = 0 };
+      { Cyclic.pos = 4; len = 4; cpus = 2; arr = 1 }; (* disjoint CPUs *)
+    |]
+  in
+  let rots = Cyclic.rotations ~n_colors:8 ~grouped:(fun _ _ -> true) segs in
+  Alcotest.(check (array int)) "no rotations" [| 0; 0 |] rots
+
+let prop_cyclic_position_bijective =
+  QCheck.Test.make ~name:"cyclic position is a bijection on the segment" ~count:200
+    QCheck.(pair (int_range 1 64) (int_range 0 63))
+    (fun (len, rot) ->
+      let rot = rot mod len in
+      let seg = { Cyclic.pos = 100; len; cpus = 1; arr = 0 } in
+      let ps = List.init len (fun j -> Cyclic.position ~seg ~rotation:rot j) in
+      List.sort_uniq compare ps = List.init len (fun j -> 100 + j))
+
+let test_colorer_fig4 () =
+  let cfg, p, summary = fig4 () in
+  let hints, info = Colorer.generate ~cfg ~summary ~program:p ~n_cpus:2 in
+  (* every accessed page is hinted exactly once *)
+  Alcotest.(check int) "hint count = total pages" info.total_pages (Pcolor.Vm.Hints.count hints);
+  (* round-robin colors balanced: |max - min| <= 1 over used colors *)
+  let hist = Pcolor.Vm.Hints.color_histogram hints in
+  let used = Array.to_list hist |> List.filter (( < ) 0) in
+  Alcotest.(check bool) "balanced round robin" true
+    (List.fold_left max 0 used - List.fold_left min max_int used <= 1);
+  (* objective 1: each CPU's pages spread over distinct colors as much
+     as the color count allows *)
+  for cpu = 0 to 1 do
+    let pages, distinct, worst = Colorer.per_cpu_color_spread info ~cpu in
+    Alcotest.(check bool) "even per-cpu spread" true
+      (worst <= (pages + min pages info.n_colors - 1) / min pages info.n_colors);
+    Alcotest.(check bool) "distinct colors maximal" true (distinct = min pages info.n_colors)
+  done
+
+let test_colorer_excluded_arrays_unhinted () =
+  let cfg = Helpers.tiny_cfg ~n_cpus:2 () in
+  let p = Pcolor.Workloads.Su2cor.program ~scale:16 () in
+  let summary = Helpers.layout cfg p in
+  let hints, info = Colorer.generate ~cfg ~summary ~program:p ~n_cpus:2 in
+  Alcotest.(check bool) "su2cor excludes arrays" true (List.length info.excluded >= 1);
+  List.iter
+    (fun (a : Ir.array_decl) ->
+      let p0 = a.base / cfg.page_size and p1 = (a.base + Ir.bytes a - 1) / cfg.page_size in
+      (* interior pages of excluded arrays carry no hints (a boundary
+         page shared with a neighboring colorable array may) *)
+      for pg = p0 + 1 to p1 - 1 do
+        Alcotest.(check (option int)) "no hint" None (Pcolor.Vm.Hints.find hints pg)
+      done)
+    info.excluded
+
+let test_colorer_points () =
+  let _, p, summary = fig4 () in
+  let cfg = Helpers.tiny_cfg () in
+  let _, info = Colorer.generate ~cfg ~summary ~program:p ~n_cpus:2 in
+  let pts = Colorer.coloring_order_points info in
+  (* every page yields one point per accessing CPU; all positions in range *)
+  Alcotest.(check bool) "nonempty" true (List.length pts >= info.total_pages);
+  List.iter
+    (fun (pos, cpu) ->
+      Alcotest.(check bool) "pos in range" true (pos >= 0 && pos < info.total_pages);
+      Alcotest.(check bool) "cpu in range" true (cpu >= 0 && cpu < 2))
+    pts
+
+let test_align_modes () =
+  let cfg = Helpers.tiny_cfg () in
+  let mk () =
+    let c = Pcolor.Workloads.Gen.ctx () in
+    let a = Pcolor.Workloads.Gen.arr2 c "A" ~rows:3 ~cols:50 in
+    let b = Pcolor.Workloads.Gen.arr2 c "B" ~rows:3 ~cols:50 in
+    (a, b, Pcolor.Workloads.Gen.arrays c)
+  in
+  let a, b, arrays = mk () in
+  let groups = [ (a.Ir.id, b.Ir.id) ] in
+  let end_ = Align.layout ~cfg ~mode:Align.Aligned ~groups arrays in
+  Alcotest.(check bool) "line aligned" true (Align.check_line_aligned ~cfg arrays);
+  Alcotest.(check bool) "end beyond arrays" true (end_ >= b.Ir.base + Ir.bytes b);
+  Alcotest.(check int) "no on-chip start conflicts" 0
+    (Align.onchip_start_conflicts ~cfg ~groups arrays);
+  let a2, b2, arrays2 = mk () in
+  ignore (Align.layout ~cfg ~mode:Align.Natural ~groups:[ (a2.Ir.id, b2.Ir.id) ] arrays2);
+  Alcotest.(check bool) "natural packs tightly" true
+    (b2.Ir.base - (a2.Ir.base + Ir.bytes a2) < 8);
+  Alcotest.(check bool) "natural not line aligned" false (Align.check_line_aligned ~cfg arrays2)
+
+let test_align_requires_layout () =
+  let cfg = Helpers.tiny_cfg () in
+  let p = Helpers.figure4_program () in
+  let summary = Summary.extract ~page_size:cfg.page_size p in
+  Alcotest.(check bool) "segment compute rejects unlaid arrays" true
+    (try
+       ignore (Segment.compute ~summary ~program:p ~n_cpus:2);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    ( "cdpc",
+      [
+        Alcotest.test_case "segments fig4" `Quick test_segments_fig4;
+        Alcotest.test_case "segments boundary halo" `Quick test_segments_boundary_overlap;
+        Alcotest.test_case "order sets fig4" `Quick test_order_sets_fig4;
+        Alcotest.test_case "order sets chain" `Quick test_order_sets_chain;
+        Alcotest.test_case "cyclic overlap/distance" `Quick test_cyclic_overlap_and_distance;
+        Alcotest.test_case "cyclic separates starts" `Quick test_cyclic_rotations_separate_starts;
+        Alcotest.test_case "cyclic no-conflict identity" `Quick test_cyclic_no_conflict_no_rotation;
+        Alcotest.test_case "colorer fig4" `Quick test_colorer_fig4;
+        Alcotest.test_case "colorer exclusions" `Quick test_colorer_excluded_arrays_unhinted;
+        Alcotest.test_case "colorer points" `Quick test_colorer_points;
+        Alcotest.test_case "align modes" `Quick test_align_modes;
+        Alcotest.test_case "segments need layout" `Quick test_align_requires_layout;
+      ] );
+    Helpers.qsuite "cdpc:props" [ prop_order_sets_permutation; prop_cyclic_position_bijective ];
+  ]

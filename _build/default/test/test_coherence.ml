@@ -1,0 +1,199 @@
+(* Tests for the coherence directory and the miss classification it
+   drives inside the machine model. *)
+
+module Dir = Pcolor.Memsim.Directory
+module Mclass = Pcolor.Memsim.Mclass
+module Machine = Pcolor.Memsim.Machine
+
+let test_directory_fresh_line () =
+  let d = Dir.create ~line_size:128 in
+  let v = Dir.inspect d ~cpu:0 ~line:5 ~addr:(5 * 128) in
+  Alcotest.(check bool) "fresh incoherent" false v.coherent;
+  Alcotest.(check bool) "no remote dirty" false v.remote_dirty
+
+let test_directory_read_then_write () =
+  let d = Dir.create ~line_size:128 in
+  ignore (Dir.record_read d ~cpu:0 ~line:1);
+  ignore (Dir.record_read d ~cpu:1 ~line:1);
+  let mask = Dir.record_write d ~cpu:0 ~line:1 ~addr:128 in
+  Alcotest.(check int) "cpu1 invalidated" 0b10 mask;
+  let v0 = Dir.inspect d ~cpu:0 ~line:1 ~addr:128 in
+  Alcotest.(check bool) "writer coherent" true v0.coherent;
+  let v1 = Dir.inspect d ~cpu:1 ~line:1 ~addr:128 in
+  Alcotest.(check bool) "reader invalidated" false v1.coherent;
+  Alcotest.(check bool) "sees true sharing (same word)" true (v1.sharing = `True);
+  let v1' = Dir.inspect d ~cpu:1 ~line:1 ~addr:(128 + 8) in
+  Alcotest.(check bool) "different word: false sharing" true (v1'.sharing = `False)
+
+let test_directory_remote_dirty () =
+  let d = Dir.create ~line_size:128 in
+  ignore (Dir.record_write d ~cpu:0 ~line:7 ~addr:(7 * 128));
+  let v = Dir.inspect d ~cpu:1 ~line:7 ~addr:(7 * 128) in
+  Alcotest.(check bool) "remote dirty" true v.remote_dirty;
+  let forced = Dir.record_read d ~cpu:1 ~line:7 in
+  Alcotest.(check bool) "read forces clean" true forced;
+  let v' = Dir.inspect d ~cpu:1 ~line:7 ~addr:(7 * 128) in
+  Alcotest.(check bool) "now coherent" true v'.coherent
+
+let test_directory_writeback_evict () =
+  let d = Dir.create ~line_size:128 in
+  ignore (Dir.record_write d ~cpu:0 ~line:3 ~addr:(3 * 128));
+  Dir.writeback d ~cpu:0 ~line:3;
+  let v = Dir.inspect d ~cpu:1 ~line:3 ~addr:(3 * 128) in
+  Alcotest.(check bool) "clean after writeback" false v.remote_dirty;
+  Dir.evict d ~cpu:0 ~line:3;
+  let v0 = Dir.inspect d ~cpu:0 ~line:3 ~addr:(3 * 128) in
+  Alcotest.(check bool) "evict clears validity" false v0.coherent
+
+let test_directory_word_mask_reset () =
+  let d = Dir.create ~line_size:128 in
+  ignore (Dir.record_write d ~cpu:0 ~line:1 ~addr:0);
+  (* ownership change resets the written-word mask *)
+  ignore (Dir.record_write d ~cpu:1 ~line:1 ~addr:8);
+  let v = Dir.inspect d ~cpu:0 ~line:1 ~addr:0 in
+  Alcotest.(check bool) "word 0 not in cpu1's mask" true (v.sharing = `False);
+  let v' = Dir.inspect d ~cpu:0 ~line:1 ~addr:8 in
+  Alcotest.(check bool) "word 1 in cpu1's mask" true (v'.sharing = `True)
+
+let test_mclass () =
+  Alcotest.(check bool) "conflict is replacement" true (Mclass.is_replacement Conflict);
+  Alcotest.(check bool) "cold is not" false (Mclass.is_replacement Cold);
+  Alcotest.(check bool) "true-sharing is comm" true (Mclass.is_communication True_sharing);
+  let c = Mclass.make_counts () in
+  Mclass.incr c Capacity;
+  Mclass.incr c Capacity;
+  Mclass.incr c Cold;
+  Alcotest.(check int) "get" 2 (Mclass.get c Capacity);
+  Alcotest.(check int) "total" 3 (Mclass.total c);
+  let c2 = Mclass.make_counts () in
+  Mclass.incr c2 Conflict;
+  Mclass.add_into c c2;
+  Alcotest.(check int) "add_into" 4 (Mclass.total c)
+
+(* --- machine-level classification --- *)
+
+(* Identity translation: vpage = frame, no fault cost. *)
+let ident ~cpu:_ ~vpage = (vpage, 0)
+
+let machine ?(n_cpus = 2) ?(l2_assoc = 1) () =
+  Machine.create (Helpers.tiny_cfg ~n_cpus ~l2_assoc ())
+
+let test_machine_cold_then_hit () =
+  let m = machine () in
+  Machine.access m ~cpu:0 ~vaddr:0 ~write:false ~translate:ident;
+  let s = Machine.stats m ~cpu:0 in
+  Alcotest.(check int) "one cold miss" 1 (Mclass.get s.l2_miss_counts Cold);
+  Machine.access m ~cpu:0 ~vaddr:8 ~write:false ~translate:ident;
+  Alcotest.(check int) "second access L1 hit" 1 s.l1_hits;
+  Alcotest.(check int) "no more L2 misses" 1 (Mclass.total s.l2_miss_counts)
+
+let test_machine_conflict_vs_capacity () =
+  let m = machine () in
+  (* tiny L2: 8 KB direct-mapped, 64 lines of 128 B.  Two addresses 8 KB
+     apart conflict; ping-pong them -> conflict misses (FA would hold
+     both). *)
+  for _ = 1 to 4 do
+    Machine.access m ~cpu:0 ~vaddr:0 ~write:false ~translate:ident;
+    Machine.access m ~cpu:0 ~vaddr:8192 ~write:false ~translate:ident;
+    (* evict from tiny L1 (512 B) so L2 is exercised each round *)
+    for k = 0 to 15 do
+      Machine.access m ~cpu:0 ~vaddr:(100_000 + (k * 32)) ~write:false ~translate:ident
+    done
+  done;
+  let s = Machine.stats m ~cpu:0 in
+  Alcotest.(check bool) "saw conflict misses" true (Mclass.get s.l2_miss_counts Conflict >= 3)
+
+let test_machine_true_sharing () =
+  let m = machine () in
+  Machine.access m ~cpu:0 ~vaddr:0 ~write:true ~translate:ident;
+  Machine.access m ~cpu:1 ~vaddr:0 ~write:false ~translate:ident;
+  let s1 = Machine.stats m ~cpu:1 in
+  (* cpu1's first access ever to the line: counted cold, not sharing *)
+  Alcotest.(check int) "first touch cold" 1 (Mclass.get s1.l2_miss_counts Cold);
+  (* now cpu0 writes again (invalidating cpu1), cpu1 re-reads same word *)
+  Machine.access m ~cpu:0 ~vaddr:0 ~write:true ~translate:ident;
+  Machine.access m ~cpu:1 ~vaddr:0 ~write:false ~translate:ident;
+  Alcotest.(check int) "true sharing" 1 (Mclass.get s1.l2_miss_counts True_sharing)
+
+let test_machine_false_sharing () =
+  let m = machine () in
+  Machine.access m ~cpu:1 ~vaddr:8 ~write:false ~translate:ident; (* cold *)
+  Machine.access m ~cpu:0 ~vaddr:0 ~write:true ~translate:ident; (* invalidates *)
+  Machine.access m ~cpu:1 ~vaddr:8 ~write:false ~translate:ident; (* other word *)
+  let s1 = Machine.stats m ~cpu:1 in
+  Alcotest.(check int) "false sharing" 1 (Mclass.get s1.l2_miss_counts False_sharing)
+
+let test_machine_remote_dirty_latency () =
+  let cfg = Helpers.tiny_cfg () in
+  let m = Machine.create cfg in
+  Machine.access m ~cpu:0 ~vaddr:0 ~write:true ~translate:ident;
+  let t1 = Machine.cpu_time m ~cpu:1 in
+  Machine.access m ~cpu:1 ~vaddr:0 ~write:false ~translate:ident;
+  let dt = Machine.cpu_time m ~cpu:1 - t1 in
+  (* remote-dirty fetch: at least the remote latency (plus TLB cost) *)
+  Alcotest.(check bool) "remote latency charged" true (dt >= cfg.remote_cycles)
+
+let test_machine_tlb_and_fault_accounting () =
+  let cfg = Helpers.tiny_cfg () in
+  let m = Machine.create cfg in
+  let faults = ref 0 in
+  let translate ~cpu:_ ~vpage =
+    incr faults;
+    (vpage, cfg.page_fault_cycles)
+  in
+  Machine.access m ~cpu:0 ~vaddr:0 ~write:false ~translate;
+  let s = Machine.stats m ~cpu:0 in
+  Alcotest.(check int) "tlb miss" 1 s.tlb_misses;
+  Alcotest.(check int) "fault charged" cfg.page_fault_cycles s.page_fault_cycles;
+  Alcotest.(check bool) "kernel time includes tlb+fault" true
+    (s.kernel_cycles >= cfg.page_fault_cycles + cfg.tlb_miss_cycles);
+  (* same page again: TLB hit, no new fault *)
+  Machine.access m ~cpu:0 ~vaddr:8 ~write:false ~translate;
+  Alcotest.(check int) "no second fault" 1 !faults
+
+let test_machine_upgrade_invalidates () =
+  let m = machine () in
+  (* both CPUs read the line -> shared *)
+  Machine.access m ~cpu:0 ~vaddr:0 ~write:false ~translate:ident;
+  Machine.access m ~cpu:1 ~vaddr:0 ~write:false ~translate:ident;
+  (* cpu0 writes: upgrade, cpu1 invalidated *)
+  Machine.access m ~cpu:0 ~vaddr:0 ~write:true ~translate:ident;
+  let _, _, upg = Pcolor.Memsim.Bus.categories (Machine.bus m) in
+  Alcotest.(check bool) "upgrade bus cycles" true (upg > 0);
+  Machine.access m ~cpu:1 ~vaddr:0 ~write:false ~translate:ident;
+  let s1 = Machine.stats m ~cpu:1 in
+  Alcotest.(check int) "cpu1 re-read is true sharing" 1 (Mclass.get s1.l2_miss_counts True_sharing)
+
+let test_machine_reset_stats () =
+  let m = machine () in
+  Machine.access m ~cpu:0 ~vaddr:0 ~write:false ~translate:ident;
+  Machine.tick m ~cpu:0 10;
+  Machine.reset_stats m;
+  let s = Machine.stats m ~cpu:0 in
+  Alcotest.(check int) "instructions reset" 0 s.instructions;
+  Alcotest.(check int) "time reset" 0 (Machine.cpu_time m ~cpu:0);
+  Alcotest.(check int) "miss counts reset" 0 (Mclass.total s.l2_miss_counts);
+  (* cache contents preserved: next access hits L1 *)
+  Machine.access m ~cpu:0 ~vaddr:0 ~write:false ~translate:ident;
+  Alcotest.(check int) "warm after reset" 1 s.l1_hits
+
+let suite =
+  [
+    ( "coherence",
+      [
+        Alcotest.test_case "directory fresh line" `Quick test_directory_fresh_line;
+        Alcotest.test_case "directory read/write" `Quick test_directory_read_then_write;
+        Alcotest.test_case "directory remote dirty" `Quick test_directory_remote_dirty;
+        Alcotest.test_case "directory writeback/evict" `Quick test_directory_writeback_evict;
+        Alcotest.test_case "directory word-mask reset" `Quick test_directory_word_mask_reset;
+        Alcotest.test_case "mclass counters" `Quick test_mclass;
+        Alcotest.test_case "machine cold then hit" `Quick test_machine_cold_then_hit;
+        Alcotest.test_case "machine conflict vs capacity" `Quick test_machine_conflict_vs_capacity;
+        Alcotest.test_case "machine true sharing" `Quick test_machine_true_sharing;
+        Alcotest.test_case "machine false sharing" `Quick test_machine_false_sharing;
+        Alcotest.test_case "machine remote-dirty latency" `Quick test_machine_remote_dirty_latency;
+        Alcotest.test_case "machine tlb/fault accounting" `Quick test_machine_tlb_and_fault_accounting;
+        Alcotest.test_case "machine upgrade" `Quick test_machine_upgrade_invalidates;
+        Alcotest.test_case "machine reset stats" `Quick test_machine_reset_stats;
+      ] );
+  ]
