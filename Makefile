@@ -1,0 +1,27 @@
+# Convenience targets; everything is plain dune underneath.
+#
+#   make build        compile the library, CLI and harness
+#   make test         tier-1 suite (alcotest + qcheck)
+#   make bench-smoke  fast throughput microbenchmark + parallel-vs-
+#                     sequential determinism check (< 2 min); writes
+#                     BENCH_throughput.json
+#   make bench        full reproduction harness at the default scale
+
+DUNE ?= dune
+
+.PHONY: build test bench bench-smoke clean
+
+build:
+	$(DUNE) build
+
+test:
+	$(DUNE) runtest
+
+bench-smoke:
+	PCOLOR_SCALE=64 PCOLOR_FAST=1 $(DUNE) exec bench/main.exe -- throughput
+
+bench:
+	$(DUNE) exec bench/main.exe
+
+clean:
+	$(DUNE) clean

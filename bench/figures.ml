@@ -41,6 +41,13 @@ let figure2 () =
   section
     (Printf.sprintf
        "Figure 2: High-level characterization (page coloring, 1MB-DM machine / scale %d)" scale);
+  prefill
+    (List.concat_map
+       (fun (d : Spec.descriptor) ->
+         List.map
+           (fun n_cpus -> exp ~bench:d.name ~machine:Sgi ~n_cpus ~policy:Run.Page_coloring ())
+           cpu_counts)
+       Spec.all);
   let runs =
     List.map
       (fun (d : Spec.descriptor) ->
@@ -203,6 +210,17 @@ let access_patterns () =
 
 let pc_vs_cdpc ~machine ~benches ~cpus ~title () =
   section title;
+  prefill
+    (List.concat_map
+       (fun bench ->
+         List.concat_map
+           (fun n_cpus ->
+             [
+               exp ~bench ~machine ~n_cpus ~policy:Run.Page_coloring ();
+               exp ~bench ~machine ~n_cpus ~policy:cdpc ();
+             ])
+           cpus)
+       benches);
   let t =
     Table.create ~title:"combined execution time, page coloring vs CDPC (cycles x 1e6; speedup)"
       ("benchmark" :: List.map string_of_int cpus)
@@ -292,6 +310,19 @@ let figure8 () =
   section (Printf.sprintf "Figure 8: CDPC combined with compiler-inserted prefetching (scale %d)" scale);
   let benches = [ "tomcatv"; "swim"; "hydro2d"; "su2cor"; "applu" ] in
   let cpus = if fast then [ 4; 16 ] else [ 4; 8; 16 ] in
+  prefill
+    (List.concat_map
+       (fun bench ->
+         List.concat_map
+           (fun n_cpus ->
+             [
+               exp ~bench ~machine:Sgi ~n_cpus ~policy:Run.Page_coloring ();
+               exp ~bench ~machine:Sgi ~n_cpus ~policy:Run.Page_coloring ~prefetch:true ();
+               exp ~bench ~machine:Sgi ~n_cpus ~policy:cdpc ();
+               exp ~bench ~machine:Sgi ~n_cpus ~policy:cdpc ~prefetch:true ();
+             ])
+           cpus)
+       benches);
   let t =
     Table.create
       ~title:"speedup over page coloring without prefetching (pc+pf / cdpc / cdpc+pf)"
@@ -338,6 +369,16 @@ let figure9 () =
        "Figure 9: AlphaServer-style validation (4MB-DM machine / scale %d; CDPC realized by \
         page-touch order on the bin-hopping kernel, as on Digital UNIX)"
        scale);
+  prefill
+    (List.concat_map
+       (fun (d : Spec.descriptor) ->
+         List.concat_map
+           (fun n_cpus ->
+             List.map
+               (fun (_, policy) -> exp ~bench:d.name ~machine:Alpha ~n_cpus ~policy ())
+               alpha_policies)
+           alpha_cpu_counts)
+       Spec.all);
   let t =
     Table.create
       ~title:"wall time (cycles x 1e6) per policy"
@@ -392,6 +433,17 @@ let figure9 () =
 let table2 () =
   section "Table 2: synthetic SPEC95fp-style ratings on the AlphaServer-style machine";
   let pmax = List.fold_left max 1 alpha_cpu_counts in
+  prefill
+    (List.concat_map
+       (fun (d : Spec.descriptor) ->
+         exp ~bench:d.name ~machine:Alpha ~n_cpus:1 ~policy:Run.Page_coloring ()
+         :: List.concat_map
+              (fun n_cpus ->
+                List.map
+                  (fun (_, policy) -> exp ~bench:d.name ~machine:Alpha ~n_cpus ~policy ())
+                  alpha_policies)
+              alpha_cpu_counts)
+       Spec.all);
   (* reference times: uniprocessor page-coloring walls, reweighted by the
      real SPEC95 reference-time ratios *)
   let refs =

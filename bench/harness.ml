@@ -1,12 +1,20 @@
 (* Shared plumbing for the reproduction harness: run configuration,
    experiment execution with progress reporting, and result caching so
-   Table 2 can reuse Figure 9's runs. *)
+   Table 2 can reuse Figure 9's runs.
+
+   Every experiment is an independent trace-driven simulation owning its
+   private machine/kernel/program, so sections fan their full experiment
+   grid out across PCOLOR_JOBS domains up front (prefill) and then
+   render tables from the cache sequentially — stdout is byte-identical
+   for any job count, and PCOLOR_JOBS=1 restores the sequential order
+   exactly. *)
 
 module Run = Pcolor.Runtime.Run
 module Report = Pcolor.Stats.Report
 module Config = Pcolor.Memsim.Config
 module Spec = Pcolor.Workloads.Spec
 module Table = Pcolor.Util.Table
+module Pool = Pcolor.Util.Pool
 
 (* Scale divisor for data sets and caches.  4 preserves the paper's
    color-space geometry closely (64 colors on the base machine) and
@@ -43,8 +51,22 @@ let cdpc = Run.Cdpc { fallback = `Page_coloring; via_touch = false }
 
 let cdpc_touch = Run.Cdpc { fallback = `Bin_hopping; via_touch = true }
 
-(* Result cache: one experiment may be referenced by several tables. *)
+(* Parallelism: number of worker domains for prefilled experiment
+   grids.  PCOLOR_JOBS=1 restores strictly sequential execution. *)
+let jobs = Pool.default_jobs ()
+
+(* Result cache: one experiment may be referenced by several tables.
+   The mutex makes it safe to fill from several domains; Report.t values
+   are immutable once published. *)
 let cache : (string, Report.t) Hashtbl.t = Hashtbl.create 256
+
+let cache_mutex = Mutex.create ()
+
+let cache_find k = Mutex.protect cache_mutex (fun () -> Hashtbl.find_opt cache k)
+
+let cache_add k r = Mutex.protect cache_mutex (fun () -> Hashtbl.replace cache k r)
+
+let cache_size () = Mutex.protect cache_mutex (fun () -> Hashtbl.length cache)
 
 let key ~bench ~machine ~n_cpus ~policy ~prefetch =
   Printf.sprintf "%s/%s/%d/%s/%b" bench
@@ -53,7 +75,7 @@ let key ~bench ~machine ~n_cpus ~policy ~prefetch =
 
 let experiment ?(prefetch = false) ~bench ~machine ~n_cpus ~policy () =
   let k = key ~bench ~machine ~n_cpus ~policy ~prefetch in
-  match Hashtbl.find_opt cache k with
+  match cache_find k with
   | Some r -> r
   | None ->
     let t0 = Unix.gettimeofday () in
@@ -66,9 +88,49 @@ let experiment ?(prefetch = false) ~bench ~machine ~n_cpus ~policy () =
       }
     in
     let r = (Run.run setup).report in
-    Hashtbl.replace cache k r;
+    cache_add k r;
     Printf.eprintf "  [%5.1fs] %s\n%!" (Unix.gettimeofday () -. t0) k;
     r
+
+(* An experiment grid entry for prefill. *)
+type exp = {
+  e_bench : string;
+  e_machine : machine;
+  e_n_cpus : int;
+  e_policy : Run.policy_choice;
+  e_prefetch : bool;
+}
+
+let exp ?(prefetch = false) ~bench ~machine ~n_cpus ~policy () =
+  { e_bench = bench; e_machine = machine; e_n_cpus = n_cpus; e_policy = policy; e_prefetch = prefetch }
+
+(* [prefill exps] computes every not-yet-cached experiment of the grid
+   on the domain pool.  Results land in the cache only; callers then
+   render tables sequentially, so table output is independent of the
+   completion order. *)
+let prefill exps =
+  let seen = Hashtbl.create 64 in
+  let todo =
+    List.filter
+      (fun e ->
+        let k =
+          key ~bench:e.e_bench ~machine:e.e_machine ~n_cpus:e.e_n_cpus ~policy:e.e_policy
+            ~prefetch:e.e_prefetch
+        in
+        if Hashtbl.mem seen k || cache_find k <> None then false
+        else begin
+          Hashtbl.add seen k ();
+          true
+        end)
+      exps
+  in
+  Pool.run_all ~jobs
+    (List.map
+       (fun e () ->
+         ignore
+           (experiment ~prefetch:e.e_prefetch ~bench:e.e_bench ~machine:e.e_machine
+              ~n_cpus:e.e_n_cpus ~policy:e.e_policy ()))
+       todo)
 
 let section title =
   Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')

@@ -6,6 +6,13 @@
      dune exec bench/main.exe -- figure6      run selected sections
      PCOLOR_SCALE=16 dune exec bench/main.exe quick geometry
      PCOLOR_FAST=1   dune exec bench/main.exe trimmed CPU sweeps
+     PCOLOR_JOBS=8   dune exec bench/main.exe experiment grids on 8 domains
+     PCOLOR_JOBS=1   dune exec bench/main.exe strictly sequential
+
+   Experiments fan out across PCOLOR_JOBS domains (default: the
+   machine's recommended domain count); tables are rendered from the
+   result cache afterwards, so stdout is byte-identical for any job
+   count.
 
    Absolute cycle counts are per representative window on a scaled
    machine (see DESIGN.md); the shapes — who wins, by what factor, where
@@ -23,6 +30,7 @@ let sections =
     ("figure9", Figures.figure9);
     ("table2", Figures.table2);
     ("extensions", Extensions.run);
+    ("throughput", Throughput.run);
     ("micro", Micro.run);
   ]
 
@@ -44,8 +52,10 @@ let () =
   in
   Printf.printf
     "Compiler-Directed Page Coloring for Multiprocessors (ASPLOS 1996) — reproduction\n";
-  Printf.printf "scale 1/%d (PCOLOR_SCALE to change); %s CPU sweeps\n" Harness.scale
-    (if Harness.fast then "trimmed" else "full");
+  Printf.printf "scale 1/%d (PCOLOR_SCALE to change); %s CPU sweeps; %d job(s) (PCOLOR_JOBS)\n"
+    Harness.scale
+    (if Harness.fast then "trimmed" else "full")
+    Harness.jobs;
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun (name, f) ->
@@ -54,4 +64,4 @@ let () =
       Printf.eprintf "[section %s: %.1fs]\n%!" name (Unix.gettimeofday () -. t))
     to_run;
   Printf.printf "\ntotal: %.1fs over %d experiment runs\n" (Unix.gettimeofday () -. t0)
-    (Hashtbl.length Harness.cache)
+    (Harness.cache_size ())

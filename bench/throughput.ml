@@ -1,0 +1,134 @@
+(* Simulator-throughput microbenchmark.
+
+   Two measurements, both written to BENCH_throughput.json so the
+   numbers are tracked across PRs:
+
+   1. single-domain: simulated references per wall-clock second on one
+      domain (the Layer-2 hot-path number — bitset membership, prefetch
+      ring, translation memo);
+   2. sweep: a Figure-9-style grid of independent experiments run
+      sequentially (jobs=1) and on the PCOLOR_JOBS domain pool, with a
+      byte-identity check of the rendered reports (the Layer-1
+      parallel-speedup number).
+
+   Reference counts are the *executed* measured-pass references read
+   from the post-run machine (unweighted), not the window-weighted
+   totals, so refs/sec reflects real simulator work. *)
+
+module M = Pcolor.Memsim.Machine
+module Pool = Pcolor.Util.Pool
+open Harness
+
+let refs_executed (machine : M.t) =
+  let total = ref 0 in
+  for cpu = 0 to M.n_cpus machine - 1 do
+    let s = M.stats machine ~cpu in
+    total := !total + s.M.l1_hits + s.M.l1_misses
+  done;
+  !total
+
+(* One uncached experiment: fresh program, machine and kernel. *)
+let run_once ?(prefetch = false) ~bench ~machine ~n_cpus ~policy () =
+  let d = Spec.find bench in
+  let cfg = machine_cfg machine ~n_cpus in
+  Run.run
+    {
+      (Run.default_setup ~cfg ~make_program:(fun () -> d.build ~scale ()) ~policy) with
+      prefetch;
+    }
+
+(* ---------- 1. single-domain hot path ---------- *)
+
+let single_domain () =
+  (* demand path and prefetch path, one workload each *)
+  let cases =
+    [ ("tomcatv demand", false); ("tomcatv +prefetch", true) ]
+  in
+  let t0 = Unix.gettimeofday () in
+  let refs =
+    List.fold_left
+      (fun acc (_, prefetch) ->
+        let o =
+          run_once ~prefetch ~bench:"tomcatv" ~machine:Sgi ~n_cpus:4 ~policy:Run.Page_coloring ()
+        in
+        acc + refs_executed o.Run.machine)
+      0 cases
+  in
+  let secs = Unix.gettimeofday () -. t0 in
+  let rate = float_of_int refs /. secs in
+  note "  single-domain: %d references in %.2fs = %.3e refs/sec" refs secs rate;
+  (refs, secs, rate)
+
+(* ---------- 2. domain-parallel sweep ---------- *)
+
+let sweep_grid =
+  let benches = [ "tomcatv"; "swim"; "hydro2d"; "mgrid" ] in
+  let cpus = [ 1; 4 ] in
+  let policies = [ Run.Page_coloring; Run.Bin_hopping ] in
+  List.concat_map
+    (fun bench ->
+      List.concat_map
+        (fun n_cpus -> List.map (fun policy -> (bench, n_cpus, policy)) policies)
+        cpus)
+    benches
+
+let run_sweep ~jobs =
+  let n = List.length sweep_grid in
+  let reports = Array.make n "" in
+  let refs = Array.make n 0 in
+  let t0 = Unix.gettimeofday () in
+  Pool.run_all ~jobs
+    (List.mapi
+       (fun i (bench, n_cpus, policy) () ->
+         let o = run_once ~bench ~machine:Alpha ~n_cpus ~policy () in
+         refs.(i) <- refs_executed o.Run.machine;
+         reports.(i) <- Format.asprintf "%a" Report.pp o.Run.report)
+       sweep_grid);
+  let secs = Unix.gettimeofday () -. t0 in
+  (reports, Array.fold_left ( + ) 0 refs, secs)
+
+let sweep () =
+  let seq_reports, seq_refs, seq_secs = run_sweep ~jobs:1 in
+  let par_reports, _, par_secs = run_sweep ~jobs in
+  let identical = seq_reports = par_reports in
+  let speedup = seq_secs /. par_secs in
+  note "  sweep (%d experiments): sequential %.2fs, %d-domain %.2fs = %.2fx speedup"
+    (List.length sweep_grid) seq_secs jobs par_secs speedup;
+  note "  parallel reports byte-identical to sequential: %b" identical;
+  if not identical then failwith "throughput sweep: parallel run diverged from sequential";
+  (seq_refs, seq_secs, par_secs, speedup, identical)
+
+(* ---------- JSON emission ---------- *)
+
+let write_json ~file ~single:(s_refs, s_secs, s_rate) ~sweep:(w_refs, w_seq, w_par, w_speedup, ident)
+    =
+  let oc = open_out file in
+  Printf.fprintf oc
+    {|{
+  "scale": %d,
+  "jobs": %d,
+  "single_domain": { "refs": %d, "seconds": %.4f, "refs_per_sec": %.1f },
+  "sweep": {
+    "experiments": %d,
+    "refs": %d,
+    "seq_seconds": %.4f, "seq_refs_per_sec": %.1f,
+    "par_seconds": %.4f, "par_refs_per_sec": %.1f,
+    "speedup": %.3f,
+    "identical": %b
+  }
+}
+|}
+    scale jobs s_refs s_secs s_rate (List.length sweep_grid) w_refs w_seq
+    (float_of_int w_refs /. w_seq)
+    w_par
+    (float_of_int w_refs /. w_par)
+    w_speedup ident;
+  close_out oc;
+  note "  wrote %s" file
+
+let run () =
+  section
+    (Printf.sprintf "Throughput: simulated refs/sec, single- and %d-domain (PCOLOR_JOBS)" jobs);
+  let single = single_domain () in
+  let sw = sweep () in
+  write_json ~file:"BENCH_throughput.json" ~single ~sweep:sw

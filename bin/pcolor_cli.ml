@@ -139,6 +139,18 @@ let compare_cmd =
         Run.Cdpc { fallback = `Page_coloring; via_touch = false };
       ]
     in
+    (* each policy is an independent simulation: fan them out across
+       PCOLOR_JOBS domains (PCOLOR_JOBS=1 for strictly sequential); the
+       table renders from the ordered results, so output is identical
+       for any job count *)
+    let reports =
+      Pcolor.Util.Pool.map
+        ~jobs:(min (Pcolor.Util.Pool.default_jobs ()) (List.length policies))
+        (fun policy ->
+          (Run.run (setup_of bench machine n_cpus scale policy prefetch seed cap ~trace:false))
+            .report)
+        policies
+    in
     let t =
       Pcolor.Util.Table.create
         ~title:(Printf.sprintf "%s, %d CPUs, scale 1/%d" bench n_cpus scale)
@@ -146,11 +158,7 @@ let compare_cmd =
     in
     let base = ref None in
     List.iter
-      (fun policy ->
-        let r =
-          (Run.run (setup_of bench machine n_cpus scale policy prefetch seed cap ~trace:false))
-            .report
-        in
+      (fun (r : Report.t) ->
         if !base = None then base := Some r;
         let module C = Pcolor.Memsim.Mclass in
         Pcolor.Util.Table.add_row t
@@ -166,7 +174,7 @@ let compare_cmd =
               +. r.l2_misses_by_class.(C.index C.False_sharing));
             Pcolor.Util.Table.pcell (100.0 *. r.bus_occupancy);
           ])
-      policies;
+      reports;
     Pcolor.Util.Table.print t;
     print_endline "(wall-cycle multiplier is relative to the first row; >1 = faster than it)"
   in

@@ -24,6 +24,8 @@
 module Util = struct
   module Rng = Pcolor_util.Rng
   module Bits = Pcolor_util.Bits
+  module Bitset = Pcolor_util.Bitset
+  module Pool = Pcolor_util.Pool
   module Stat = Pcolor_util.Stat
   module Table = Pcolor_util.Table
   module Chart = Pcolor_util.Chart

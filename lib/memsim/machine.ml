@@ -74,10 +74,18 @@ type cpu = {
   l2 : Cache.t;
   shadow : Shadow.t;
   tlb : Tlb.t;
-  seen : (int, unit) Hashtbl.t; (* physical lines ever referenced by this CPU *)
+  seen : Pcolor_util.Bitset.t; (* physical lines ever referenced by this CPU *)
   pf_ready : (int, int) Hashtbl.t; (* physical line -> completion time *)
-  mutable pf_inflight : int list; (* completion times of outstanding prefetches *)
+  pf_inflight : int array; (* completion times of outstanding prefetches *)
+  mutable pf_count : int; (* live entries in [pf_inflight] *)
   mutable time : int; (* local cycle counter *)
+  (* last-translation memo: valid while the TLB generation is unchanged,
+     i.e. across recency refreshes but not across any insert/invalidate/
+     flush — so taking the fast path leaves TLB miss counts, recency
+     order and eviction victims bit-identical to always looking up *)
+  mutable memo_vpage : int; (* -1 = invalid *)
+  mutable memo_frame : int;
+  mutable memo_gen : int;
   stats : cpu_stats;
 }
 
@@ -105,10 +113,14 @@ let create (cfg : Config.t) =
       l2 = Cache.create cfg.l2;
       shadow = Shadow.create cfg.l2;
       tlb = Tlb.create ~entries:cfg.tlb_entries;
-      seen = Hashtbl.create (1 lsl 14);
+      seen = Pcolor_util.Bitset.create (1 lsl 17);
       pf_ready = Hashtbl.create 64;
-      pf_inflight = [];
+      pf_inflight = Array.make (max 1 cfg.max_outstanding_prefetches) 0;
+      pf_count = 0;
       time = 0;
+      memo_vpage = -1;
+      memo_frame = 0;
+      memo_gen = 0;
       stats = make_stats ();
     }
   in
@@ -175,22 +187,40 @@ let vpage_of t vaddr = vaddr lsr t.page_bits
 let paddr_of t ~frame ~vaddr = (frame lsl t.page_bits) lor (vaddr land t.page_mask)
 
 (* Translate a virtual address, servicing TLB misses and delegating page
-   faults to the kernel callback. Returns the physical address. *)
+   faults to the kernel callback. Returns the physical address.
+
+   The per-CPU memo short-circuits the TLB probe for the overwhelmingly
+   common consecutive-references-to-one-page case: while the TLB
+   generation is unchanged the memoized entry is provably still
+   resident, so a real lookup would hit — [Tlb.touch] replays exactly
+   that hit's counter and recency effects. *)
 let translate_addr t c ~translate vaddr =
   let vpage = vpage_of t vaddr in
   let frame =
-    match Tlb.lookup c.tlb vpage with
-    | Some frame -> frame
-    | None ->
-      c.stats.tlb_misses <- c.stats.tlb_misses + 1;
-      kernel t ~cpu:c.id t.cfg.tlb_miss_cycles;
-      let frame, fault_cycles = translate ~cpu:c.id ~vpage in
-      if fault_cycles > 0 then begin
-        kernel t ~cpu:c.id fault_cycles;
-        c.stats.page_fault_cycles <- c.stats.page_fault_cycles + fault_cycles
-      end;
-      Tlb.insert c.tlb ~vpage ~frame;
+    if c.memo_vpage = vpage && c.memo_gen = Tlb.generation c.tlb then begin
+      Tlb.touch c.tlb vpage;
+      c.memo_frame
+    end
+    else begin
+      let frame =
+        match Tlb.lookup c.tlb vpage with
+        | Some frame -> frame
+        | None ->
+          c.stats.tlb_misses <- c.stats.tlb_misses + 1;
+          kernel t ~cpu:c.id t.cfg.tlb_miss_cycles;
+          let frame, fault_cycles = translate ~cpu:c.id ~vpage in
+          if fault_cycles > 0 then begin
+            kernel t ~cpu:c.id fault_cycles;
+            c.stats.page_fault_cycles <- c.stats.page_fault_cycles + fault_cycles
+          end;
+          Tlb.insert c.tlb ~vpage ~frame;
+          frame
+      in
+      c.memo_vpage <- vpage;
+      c.memo_frame <- frame;
+      c.memo_gen <- Tlb.generation c.tlb;
       frame
+    end
   in
   paddr_of t ~frame ~vaddr
 
@@ -219,7 +249,7 @@ let l2_miss t c ~vaddr ~paddr ~pline ~write ~fa_hit ~evicted ~evicted_dirty =
   (* classification *)
   let verdict = Directory.inspect t.dir ~cpu:c.id ~line:pline ~addr:paddr in
   let cls : Mclass.t =
-    if not (Hashtbl.mem c.seen pline) then Cold
+    if not (Pcolor_util.Bitset.mem c.seen pline) then Cold
     else if not verdict.coherent then
       match verdict.sharing with
       | `True -> True_sharing
@@ -253,7 +283,7 @@ let l2_miss t c ~vaddr ~paddr ~pline ~write ~fa_hit ~evicted ~evicted_dirty =
           Cache.clean peer.l1 vaddr
         end)
       t.cpus;
-  Hashtbl.replace c.seen pline ()
+  Pcolor_util.Bitset.set c.seen pline
 
 (* A write that hit a clean line may need a shared->exclusive upgrade. *)
 let upgrade_on_write t c ~vaddr ~paddr ~pline =
@@ -308,10 +338,25 @@ let access t ~cpu ~vaddr ~write ~translate =
         s.pf_useful <- s.pf_useful + 1;
         Hashtbl.remove c.pf_ready pline
       | None -> ());
-      if write && not was_dirty then upgrade_on_write t c ~vaddr ~paddr ~pline;
-      Hashtbl.replace c.seen pline ()
+      if write && not was_dirty then upgrade_on_write t c ~vaddr ~paddr ~pline
+      (* no [seen] insert here: every path that put the line into L2 (a
+         demand miss or a prefetch fill) already recorded it *)
     | Miss { evicted; evicted_dirty } ->
       l2_miss t c ~vaddr ~paddr ~pline ~write ~fa_hit ~evicted ~evicted_dirty)
+
+(* Drop completed prefetches from the in-flight ring (one in-place
+   compaction — the old list representation re-ran [List.filter] and
+   re-counted on every issue). *)
+let retire_prefetches c =
+  let live = ref 0 in
+  for i = 0 to c.pf_count - 1 do
+    let done_at = c.pf_inflight.(i) in
+    if done_at > c.time then begin
+      c.pf_inflight.(!live) <- done_at;
+      incr live
+    end
+  done;
+  c.pf_count <- !live
 
 (** [prefetch t ~cpu ~vaddr] models a non-binding prefetch instruction
     (§6.2): dropped on a TLB miss, ignored when the target is already
@@ -322,7 +367,13 @@ let prefetch t ~cpu ~vaddr =
   let s = c.stats in
   s.pf_issued <- s.pf_issued + 1;
   let vpage = vpage_of t vaddr in
-  match Tlb.probe c.tlb vpage with
+  let translation =
+    (* the memo proves residency while the generation is unchanged, and a
+       probe has no counter or recency effects to replay *)
+    if c.memo_vpage = vpage && c.memo_gen = Tlb.generation c.tlb then Some c.memo_frame
+    else Tlb.probe c.tlb vpage
+  in
+  match translation with
   | None -> s.pf_dropped_tlb <- s.pf_dropped_tlb + 1
   | Some frame ->
     let paddr = paddr_of t ~frame ~vaddr in
@@ -330,19 +381,23 @@ let prefetch t ~cpu ~vaddr =
     if Cache.contains c.l2 paddr || Hashtbl.mem c.pf_ready pline then
       s.pf_useless <- s.pf_useless + 1
     else begin
-      (* Retire completed prefetches, then enforce the 4-slot limit. *)
-      c.pf_inflight <- List.filter (fun done_at -> done_at > c.time) c.pf_inflight;
-      if List.length c.pf_inflight >= t.cfg.max_outstanding_prefetches then begin
-        let earliest = List.fold_left min max_int c.pf_inflight in
-        let wait = earliest - c.time in
+      (* Retire completed prefetches, then enforce the slot limit. *)
+      retire_prefetches c;
+      if c.pf_count >= t.cfg.max_outstanding_prefetches then begin
+        let earliest = ref max_int in
+        for i = 0 to c.pf_count - 1 do
+          if c.pf_inflight.(i) < !earliest then earliest := c.pf_inflight.(i)
+        done;
+        let wait = !earliest - c.time in
         s.stall_pf_full <- s.stall_pf_full + wait;
         c.time <- c.time + wait;
-        c.pf_inflight <- List.filter (fun done_at -> done_at > c.time) c.pf_inflight
+        retire_prefetches c
       end;
       let verdict = Directory.inspect t.dir ~cpu ~line:pline ~addr:paddr in
       let base = if verdict.remote_dirty then t.cfg.remote_cycles else t.cfg.mem_cycles in
       let done_at = c.time + base in
-      c.pf_inflight <- done_at :: c.pf_inflight;
+      c.pf_inflight.(c.pf_count) <- done_at;
+      c.pf_count <- c.pf_count + 1;
       Hashtbl.replace c.pf_ready pline done_at;
       Bus.add_data t.bus t.line_bus;
       ignore (Shadow.access c.shadow pline);
@@ -355,7 +410,7 @@ let prefetch t ~cpu ~vaddr =
         end);
       if Directory.record_read t.dir ~cpu ~line:pline then
         Array.iter (fun peer -> if peer.id <> cpu then Cache.clean peer.l2 paddr) t.cpus;
-      Hashtbl.replace c.seen pline ()
+      Pcolor_util.Bitset.set c.seen pline
     end
 
 (** [harvest_conflicts t ~min_count] returns frames that took at least
@@ -425,7 +480,7 @@ let reset_stats t =
       s.pf_useful <- 0;
       (* the local clock rebases to zero, so in-flight prefetch
          completion times from before the reset are meaningless *)
-      c.pf_inflight <- [];
+      c.pf_count <- 0;
       Hashtbl.reset c.pf_ready;
       c.time <- 0)
     t.cpus;

@@ -10,6 +10,7 @@ type t = {
   table : (int, int) Hashtbl.t; (* vpage -> frame *)
   order : (int, int) Hashtbl.t; (* vpage -> stamp *)
   mutable tick : int;
+  mutable gen : int; (* bumped on every content change (insert/invalidate/flush) *)
   mutable hits : int;
   mutable misses : int;
 }
@@ -22,6 +23,7 @@ let create ~entries =
     table = Hashtbl.create (2 * entries);
     order = Hashtbl.create (2 * entries);
     tick = 0;
+    gen = 0;
     hits = 0;
     misses = 0;
   }
@@ -43,6 +45,21 @@ let lookup t vpage =
     used by the prefetch unit, whose TLB probes do not fault (§6.2). *)
 let probe t vpage = Hashtbl.find_opt t.table vpage
 
+(** [touch t vpage] replays a guaranteed hit on a translation the caller
+    has proven present (a memoized lookup while {!generation} was
+    unchanged): counters and recency advance exactly as {!lookup} would,
+    without re-probing the table. *)
+let touch t vpage =
+  t.tick <- t.tick + 1;
+  t.hits <- t.hits + 1;
+  Hashtbl.replace t.order vpage t.tick
+
+(** [generation t] changes whenever the TLB's {e contents} change —
+    insert, invalidate or flush (recency refreshes do not count).  A
+    translation observed at generation [g] is still present while
+    [generation t = g]; memoization of lookups keys on this. *)
+let generation t = t.gen
+
 (** [insert t ~vpage ~frame] installs a translation, evicting the LRU
     entry when full. *)
 let insert t ~vpage ~frame =
@@ -62,16 +79,19 @@ let insert t ~vpage ~frame =
     end
   end;
   t.tick <- t.tick + 1;
+  t.gen <- t.gen + 1;
   Hashtbl.replace t.table vpage frame;
   Hashtbl.replace t.order vpage t.tick
 
 (** [invalidate t vpage] drops one translation (page remap / recolor). *)
 let invalidate t vpage =
+  t.gen <- t.gen + 1;
   Hashtbl.remove t.table vpage;
   Hashtbl.remove t.order vpage
 
 (** [flush t] empties the TLB (context switch / recoloring shootdown). *)
 let flush t =
+  t.gen <- t.gen + 1;
   Hashtbl.reset t.table;
   Hashtbl.reset t.order
 

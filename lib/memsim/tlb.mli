@@ -15,6 +15,18 @@ val lookup : t -> int -> int option
     (the prefetch unit's non-faulting probe). *)
 val probe : t -> int -> int option
 
+(** [touch t vpage] replays a guaranteed hit on a translation the
+    caller has proven present (memoized lookup at an unchanged
+    {!generation}): counters and recency advance exactly as {!lookup}
+    would, without re-probing the table. *)
+val touch : t -> int -> unit
+
+(** [generation t] changes whenever the TLB's contents change (insert,
+    invalidate, flush); recency refreshes do not count.  A translation
+    observed at generation [g] is still present while the generation is
+    [g] — the memoization key for lookup fast paths. *)
+val generation : t -> int
+
 (** [insert t ~vpage ~frame] installs a translation, evicting LRU when
     full. *)
 val insert : t -> vpage:int -> frame:int -> unit

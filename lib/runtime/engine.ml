@@ -28,7 +28,8 @@ type t = {
   l2_line_bits : int;
   page_bits : int;
   check_bounds : bool;
-  trace : (int, unit) Hashtbl.t option; (* vpage * 64 + cpu *)
+  trace : (int, unit) Hashtbl.t option; (* (vpage lsl trace_cpu_bits) lor cpu *)
+  trace_cpu_bits : int; (* key width reserved for the cpu id *)
   mutable last_contention : float;
 }
 
@@ -50,6 +51,7 @@ let create ?(check_bounds = false) ?(collect_trace = false) ~machine ~kernel ~pr
     page_bits = Pcolor_util.Bits.log2 cfg.page_size;
     check_bounds;
     trace = (if collect_trace then Some (Hashtbl.create (1 lsl 12)) else None);
+    trace_cpu_bits = Pcolor_util.Bits.log2 (Pcolor_util.Bits.next_pow2 (max 2 cfg.n_cpus));
     last_contention = 1.0;
   }
 
@@ -68,9 +70,11 @@ let run_cpu_nest t (nest : Ir.nest) ~n_cpus ~cpu =
     let extent = Array.map (fun (r : Ir.ref_) -> Ir.elems r.array) refs in
     let writes = Array.map (fun (r : Ir.ref_) -> r.is_write) refs in
     let prev_line = Array.make nrefs (-1) in
+    let prev_vpage = Array.make nrefs (-1) in
     let instr_per_iter = nest.body_instr + (2 * nrefs) in
     let machine = t.machine in
     let translate = t.translate in
+    assert (cpu < 1 lsl t.trace_cpu_bits);
     let rec go d =
       if d = depth then begin
         for r = 0 to nrefs - 1 do
@@ -89,7 +93,14 @@ let run_cpu_nest t (nest : Ir.nest) ~n_cpus ~cpu =
           end;
           M.access machine ~cpu ~vaddr ~write:writes.(r) ~translate;
           match t.trace with
-          | Some tbl -> Hashtbl.replace tbl (((vaddr lsr t.page_bits) * 64) + cpu) ()
+          | Some tbl ->
+            (* per-reference last-page memo: the trace is a set, so a
+               reference streaming within one page inserts only once *)
+            let vpage = vaddr lsr t.page_bits in
+            if vpage <> prev_vpage.(r) then begin
+              prev_vpage.(r) <- vpage;
+              Hashtbl.replace tbl ((vpage lsl t.trace_cpu_bits) lor cpu) ()
+            end
           | None -> ()
         done;
         M.tick machine ~cpu instr_per_iter;
@@ -233,7 +244,10 @@ let run t ?(cap = 2) ?(after_phase = fun () -> ()) () =
 let trace_points t =
   match t.trace with
   | None -> []
-  | Some tbl -> Hashtbl.fold (fun k () acc -> (k / 64, k mod 64) :: acc) tbl [] |> List.sort compare
+  | Some tbl ->
+    let mask = (1 lsl t.trace_cpu_bits) - 1 in
+    Hashtbl.fold (fun k () acc -> (k lsr t.trace_cpu_bits, k land mask) :: acc) tbl []
+    |> List.sort compare
 
 (** [last_contention t] is the stretch factor of the last simulated
     phase — >1 means the bus was saturated. *)

@@ -77,6 +77,9 @@ type outcome = {
   hints_info : Pcolor_cdpc.Colorer.info option;
   trace : (int * int) list; (* (vpage, cpu) if collected *)
   kernel : Pcolor_vm.Kernel.t;
+  machine : Pcolor_memsim.Machine.t;
+      (* post-run machine: cumulative (unweighted) measured-pass stats,
+         for throughput accounting and detailed probes *)
   recolorings : int; (* dynamic-recoloring extension: pages moved *)
 }
 
@@ -187,6 +190,7 @@ let run setup =
     hints_info = Option.map snd hints_info;
     trace = Engine.trace_points engine;
     kernel;
+    machine;
     recolorings =
       (match recolorer with Some rc -> (fun (_, r, _) -> r) (Recolor.stats rc) | None -> 0);
   }

@@ -53,6 +53,8 @@ type outcome = {
   hints_info : Pcolor_cdpc.Colorer.info option;
   trace : (int * int) list;  (** (vpage, cpu), if collected *)
   kernel : Pcolor_vm.Kernel.t;
+  machine : Pcolor_memsim.Machine.t;
+      (** post-run machine: cumulative (unweighted) measured-pass stats *)
   recolorings : int;  (** dynamic-recoloring extension: pages moved *)
 }
 

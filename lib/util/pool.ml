@@ -1,0 +1,143 @@
+(** A small fixed-size domain pool (stdlib [Domain] + [Mutex] /
+    [Condition], no dependencies) for fanning independent work units —
+    one trace-driven simulation each — across cores.
+
+    Workers pull tasks from a shared FIFO under a mutex ("work-stealing
+    lite": one queue, idle workers steal the head).  With [jobs <= 1]
+    every task runs inline in the submitting domain, in submission
+    order, so a single-job pool is byte-identical to the sequential
+    program — the determinism escape hatch [PCOLOR_JOBS=1] relies on
+    this.
+
+    Tasks must not submit to the pool they run on (no nested submit);
+    the first exception a task raises is re-raised from {!wait}. *)
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work : (unit -> unit) Queue.t;
+  have_work : Condition.t; (* signalled on submit and shutdown *)
+  all_done : Condition.t; (* signalled when [pending] reaches zero *)
+  mutable pending : int; (* tasks queued or running *)
+  mutable stop : bool;
+  mutable failure : exn option; (* first task exception, re-raised by wait *)
+  mutable workers : unit Domain.t list;
+}
+
+(** [default_jobs ()] is the pool width requested by the environment:
+    [PCOLOR_JOBS] if set (clamped to >= 1), otherwise
+    [Domain.recommended_domain_count ()]. *)
+let default_jobs () =
+  match Sys.getenv_opt "PCOLOR_JOBS" with
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> n
+    | _ -> failwith "PCOLOR_JOBS must be a positive integer")
+  | None -> Domain.recommended_domain_count ()
+
+let rec worker t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.work && not t.stop do
+    Condition.wait t.have_work t.mutex
+  done;
+  if Queue.is_empty t.work then Mutex.unlock t.mutex (* stop *)
+  else begin
+    let task = Queue.pop t.work in
+    Mutex.unlock t.mutex;
+    (try task ()
+     with e ->
+       Mutex.lock t.mutex;
+       if t.failure = None then t.failure <- Some e;
+       Mutex.unlock t.mutex);
+    Mutex.lock t.mutex;
+    t.pending <- t.pending - 1;
+    if t.pending = 0 then Condition.broadcast t.all_done;
+    Mutex.unlock t.mutex;
+    worker t
+  end
+
+(** [create ~jobs] starts a pool of [jobs] worker domains ([jobs <= 1]
+    starts none and runs tasks inline). *)
+let create ~jobs =
+  let t =
+    {
+      jobs = max 1 jobs;
+      mutex = Mutex.create ();
+      work = Queue.create ();
+      have_work = Condition.create ();
+      all_done = Condition.create ();
+      pending = 0;
+      stop = false;
+      failure = None;
+      workers = [];
+    }
+  in
+  if t.jobs > 1 then t.workers <- List.init t.jobs (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+(** [jobs t] is the pool width (>= 1). *)
+let jobs t = t.jobs
+
+(** [submit t task] enqueues [task]; with a single-job pool it runs
+    [task] before returning. *)
+let submit t task =
+  if t.jobs <= 1 then task ()
+  else begin
+    Mutex.lock t.mutex;
+    t.pending <- t.pending + 1;
+    Queue.push task t.work;
+    Condition.signal t.have_work;
+    Mutex.unlock t.mutex
+  end
+
+(** [wait t] blocks until every submitted task has finished, then
+    re-raises the first task exception, if any. *)
+let wait t =
+  if t.jobs > 1 then begin
+    Mutex.lock t.mutex;
+    while t.pending > 0 do
+      Condition.wait t.all_done t.mutex
+    done;
+    Mutex.unlock t.mutex
+  end;
+  match t.failure with
+  | Some e ->
+    t.failure <- None;
+    raise e
+  | None -> ()
+
+let stop_and_join t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.have_work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+(** [shutdown t] waits for outstanding tasks, then joins the worker
+    domains.  The pool must not be used afterwards. *)
+let shutdown t =
+  (try wait t
+   with e ->
+     stop_and_join t;
+     raise e);
+  stop_and_join t
+
+(** [run_all ~jobs tasks] runs [tasks] to completion on a one-shot pool;
+    [jobs <= 1] runs them inline in list order. *)
+let run_all ~jobs tasks =
+  if jobs <= 1 then List.iter (fun task -> task ()) tasks
+  else begin
+    let t = create ~jobs in
+    List.iter (submit t) tasks;
+    shutdown t
+  end
+
+(** [map ~jobs f xs] is [List.map f xs] computed on a one-shot pool;
+    results keep list order regardless of scheduling. *)
+let map ~jobs f xs =
+  let input = Array.of_list xs in
+  let out = Array.make (Array.length input) None in
+  run_all ~jobs
+    (List.init (Array.length input) (fun i () -> out.(i) <- Some (f input.(i))));
+  Array.to_list (Array.map Option.get out)
