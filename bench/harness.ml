@@ -55,6 +55,23 @@ let cdpc_touch = Run.Cdpc { fallback = `Bin_hopping; via_touch = true }
    grids.  PCOLOR_JOBS=1 restores strictly sequential execution. *)
 let jobs = Pool.default_jobs ()
 
+(* Optional structured tracing: PCOLOR_TRACE=path streams every
+   experiment's phase spans and VM events into one Chrome-trace JSONL
+   file (each experiment gets its own trace pid). *)
+let trace_sink =
+  lazy
+    (match Sys.getenv_opt "PCOLOR_TRACE" with
+    | None -> None
+    | Some path ->
+      let sink = Pcolor.Obs.Trace.open_sink ~path in
+      at_exit (fun () -> Pcolor.Obs.Trace.close sink);
+      Some sink)
+
+let obs_ctx () =
+  match Lazy.force trace_sink with
+  | None -> Pcolor.Obs.Ctx.disabled
+  | Some sink -> Pcolor.Obs.Ctx.create ~trace:(Pcolor.Obs.Trace.buffer sink) ()
+
 (* Result cache: one experiment may be referenced by several tables.
    The mutex makes it safe to fill from several domains; Report.t values
    are immutable once published. *)
@@ -85,6 +102,7 @@ let experiment ?(prefetch = false) ~bench ~machine ~n_cpus ~policy () =
       {
         (Run.default_setup ~cfg ~make_program:(fun () -> d.build ~scale ()) ~policy) with
         prefetch;
+        obs = obs_ctx ();
       }
     in
     let r = (Run.run setup).report in
@@ -136,3 +154,47 @@ let section title =
   Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
 
 let note fmt = Printf.printf (fmt ^^ "\n")
+
+(* ---- machine-readable section artifacts ---- *)
+
+(* [cache_keys ()] is the sorted key set currently cached. *)
+let cache_keys () =
+  Mutex.protect cache_mutex (fun () -> Hashtbl.fold (fun k _ acc -> k :: acc) cache [])
+  |> List.sort compare
+
+(* [provenance ()] stamps scale/jobs into the artifact header. *)
+let provenance () = Pcolor.Obs.Provenance.collect ~scale ~jobs ()
+
+(* [sanitize_section name] maps a section name to a filename fragment
+   ("figure3+5" -> "figure3_5"). *)
+let sanitize_section name =
+  String.map (fun c -> if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') then c else '_') name
+
+(* [write_section_artifact ~section ~seconds ~keys] dumps the named
+   experiments' reports (JSON per DESIGN §9) to BENCH_<section>.json.
+   [keys] is the set of cache keys the section populated. *)
+let write_section_artifact ~section:name ~seconds ~keys =
+  let module J = Pcolor.Obs.Json in
+  let experiments =
+    List.filter_map
+      (fun k ->
+        Option.map
+          (fun r -> J.Obj [ ("key", J.Str k); ("report", Report.to_json r) ])
+          (cache_find k))
+      keys
+  in
+  let file = Printf.sprintf "BENCH_%s.json" (sanitize_section name) in
+  let oc = open_out file in
+  output_string oc
+    (J.pretty
+       (J.Obj
+          [
+            ("schema_version", J.Int Pcolor.Obs.Provenance.schema_version);
+            ("section", J.Str name);
+            ("seconds", J.Float seconds);
+            ("provenance", Pcolor.Obs.Provenance.to_json (provenance ()));
+            ("experiments", J.Arr experiments);
+          ]));
+  output_char oc '\n';
+  close_out oc;
+  Printf.eprintf "  wrote %s (%d experiments)\n%!" file (List.length experiments)

@@ -35,6 +35,7 @@ let sections =
   ]
 
 let () =
+  Pcolor.Obs.Log.init ();
   let requested = List.tl (Array.to_list Sys.argv) in
   let to_run =
     match requested with
@@ -59,9 +60,20 @@ let () =
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun (name, f) ->
+      let keys_before = Harness.cache_keys () in
       let t = Unix.gettimeofday () in
       f ();
-      Printf.eprintf "[section %s: %.1fs]\n%!" name (Unix.gettimeofday () -. t))
+      let seconds = Unix.gettimeofday () -. t in
+      Printf.eprintf "[section %s: %.1fs]\n%!" name seconds;
+      (* machine-readable per-section artifact: the experiments this
+         section added to the cache (throughput writes its own richer
+         BENCH_throughput.json; micro has no cached experiments) *)
+      if name <> "throughput" && name <> "micro" then begin
+        let keys =
+          List.filter (fun k -> not (List.mem k keys_before)) (Harness.cache_keys ())
+        in
+        Harness.write_section_artifact ~section:name ~seconds ~keys
+      end)
     to_run;
   Printf.printf "\ntotal: %.1fs over %d experiment runs\n" (Unix.gettimeofday () -. t0)
     (Harness.cache_size ())

@@ -102,27 +102,38 @@ let sweep () =
 
 let write_json ~file ~single:(s_refs, s_secs, s_rate) ~sweep:(w_refs, w_seq, w_par, w_speedup, ident)
     =
+  let module J = Pcolor.Obs.Json in
+  let json =
+    J.Obj
+      [
+        ("schema_version", J.Int Pcolor.Obs.Provenance.schema_version);
+        ("provenance", Pcolor.Obs.Provenance.to_json (provenance ()));
+        ("scale", J.Int scale);
+        ("jobs", J.Int jobs);
+        ( "single_domain",
+          J.Obj
+            [
+              ("refs", J.Int s_refs);
+              ("seconds", J.Float s_secs);
+              ("refs_per_sec", J.Float s_rate);
+            ] );
+        ( "sweep",
+          J.Obj
+            [
+              ("experiments", J.Int (List.length sweep_grid));
+              ("refs", J.Int w_refs);
+              ("seq_seconds", J.Float w_seq);
+              ("seq_refs_per_sec", J.Float (float_of_int w_refs /. w_seq));
+              ("par_seconds", J.Float w_par);
+              ("par_refs_per_sec", J.Float (float_of_int w_refs /. w_par));
+              ("speedup", J.Float w_speedup);
+              ("identical", J.Bool ident);
+            ] );
+      ]
+  in
   let oc = open_out file in
-  Printf.fprintf oc
-    {|{
-  "scale": %d,
-  "jobs": %d,
-  "single_domain": { "refs": %d, "seconds": %.4f, "refs_per_sec": %.1f },
-  "sweep": {
-    "experiments": %d,
-    "refs": %d,
-    "seq_seconds": %.4f, "seq_refs_per_sec": %.1f,
-    "par_seconds": %.4f, "par_refs_per_sec": %.1f,
-    "speedup": %.3f,
-    "identical": %b
-  }
-}
-|}
-    scale jobs s_refs s_secs s_rate (List.length sweep_grid) w_refs w_seq
-    (float_of_int w_refs /. w_seq)
-    w_par
-    (float_of_int w_refs /. w_par)
-    w_speedup ident;
+  output_string oc (J.pretty json);
+  output_char oc '\n';
   close_out oc;
   note "  wrote %s" file
 

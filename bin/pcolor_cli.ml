@@ -71,6 +71,48 @@ let policy_arg =
         ~doc:"Mapping policy: $(b,pc), $(b,bh), $(b,bh-unaligned), $(b,random), $(b,cdpc), \
               $(b,cdpc-bh), $(b,cdpc-touch), $(b,dynamic), $(b,dynamic-bh).")
 
+let trace_arg =
+  let env = Cmd.Env.info "PCOLOR_TRACE" ~doc:"Trace file path (same as $(b,--trace))." in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~env ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSONL stream to $(docv) (load in Perfetto or \
+           chrome://tracing).")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Write the machine-readable run artifact (report + metrics + provenance) to $(docv).")
+
+(* Observability plumbing shared by run/compare: a sink (when tracing)
+   and a constructor for per-run contexts.  Each run gets its own
+   registry and trace buffer so parallel policy runs stay independent. *)
+type obs_io = {
+  sink : Pcolor.Obs.Trace.sink option;
+  fresh_ctx : unit -> Pcolor.Obs.Ctx.t * Pcolor.Obs.Metrics.t option;
+}
+
+let obs_io_of ~trace_path ~metrics_out =
+  let sink = Option.map (fun path -> Pcolor.Obs.Trace.open_sink ~path) trace_path in
+  let fresh_ctx () =
+    let metrics = if metrics_out <> None then Some (Pcolor.Obs.Metrics.create ()) else None in
+    let trace = Option.map Pcolor.Obs.Trace.buffer sink in
+    (Pcolor.Obs.Ctx.create ?metrics ?trace (), metrics)
+  in
+  { sink; fresh_ctx }
+
+let close_obs io = Option.iter Pcolor.Obs.Trace.close io.sink
+
+let write_json_file path json =
+  let oc = open_out path in
+  output_string oc (Pcolor.Obs.Json.pretty json);
+  output_char oc '\n';
+  close_out oc
+
 let config_of machine n_cpus scale =
   let base =
     match machine with
@@ -118,19 +160,36 @@ let list_cmd =
 (* ---- run ---- *)
 
 let run_cmd =
-  let action bench machine n_cpus scale policy prefetch seed cap =
-    let o = Run.run (setup_of bench machine n_cpus scale policy prefetch seed cap ~trace:false) in
-    Format.printf "%a@." Report.pp o.report
+  let action bench machine n_cpus scale policy prefetch seed cap trace_path metrics_out =
+    let io = obs_io_of ~trace_path ~metrics_out in
+    let obs, _metrics = io.fresh_ctx () in
+    let setup =
+      { (setup_of bench machine n_cpus scale policy prefetch seed cap ~trace:false) with obs }
+    in
+    let o = Run.run setup in
+    Format.printf "%a@." Report.pp o.report;
+    Option.iter
+      (fun path ->
+        let provenance =
+          Pcolor.Obs.Provenance.collect ~scale ~jobs:1 ~seed
+            ~config_hash:(Pcolor.Obs.Provenance.hash_value setup.cfg)
+            ()
+        in
+        write_json_file path (Run.artifact_json ~provenance o);
+        Printf.eprintf "wrote run artifact to %s\n%!" path)
+      metrics_out;
+    close_obs io;
+    Option.iter (fun path -> Printf.eprintf "wrote trace to %s\n%!" path) trace_path
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one benchmark under one policy and print the report.")
     Term.(
       const action $ bench_arg $ machine_arg $ cpus_arg $ scale_arg $ policy_arg $ prefetch_arg
-      $ seed_arg $ cap_arg)
+      $ seed_arg $ cap_arg $ trace_arg $ metrics_out_arg)
 
 (* ---- compare ---- *)
 
 let compare_cmd =
-  let action bench machine n_cpus scale prefetch seed cap =
+  let action bench machine n_cpus scale prefetch seed cap trace_path metrics_out =
     let policies =
       [
         Run.Page_coloring;
@@ -139,18 +198,23 @@ let compare_cmd =
         Run.Cdpc { fallback = `Page_coloring; via_touch = false };
       ]
     in
+    let io = obs_io_of ~trace_path ~metrics_out in
+    let jobs = min (Pcolor.Util.Pool.default_jobs ()) (List.length policies) in
     (* each policy is an independent simulation: fan them out across
        PCOLOR_JOBS domains (PCOLOR_JOBS=1 for strictly sequential); the
        table renders from the ordered results, so output is identical
-       for any job count *)
-    let reports =
-      Pcolor.Util.Pool.map
-        ~jobs:(min (Pcolor.Util.Pool.default_jobs ()) (List.length policies))
+       for any job count.  Each policy run gets its own registry and
+       trace buffer (own trace pid), so instrumented parallel runs stay
+       independent and deterministic. *)
+    let outcomes =
+      Pcolor.Util.Pool.map ~jobs
         (fun policy ->
-          (Run.run (setup_of bench machine n_cpus scale policy prefetch seed cap ~trace:false))
-            .report)
+          let obs, _ = io.fresh_ctx () in
+          Run.run
+            { (setup_of bench machine n_cpus scale policy prefetch seed cap ~trace:false) with obs })
         policies
     in
+    let reports = List.map (fun (o : Run.outcome) -> o.report) outcomes in
     let t =
       Pcolor.Util.Table.create
         ~title:(Printf.sprintf "%s, %d CPUs, scale 1/%d" bench n_cpus scale)
@@ -176,12 +240,33 @@ let compare_cmd =
           ])
       reports;
     Pcolor.Util.Table.print t;
-    print_endline "(wall-cycle multiplier is relative to the first row; >1 = faster than it)"
+    print_endline "(wall-cycle multiplier is relative to the first row; >1 = faster than it)";
+    Option.iter
+      (fun path ->
+        let cfg = config_of machine n_cpus scale in
+        let provenance =
+          Pcolor.Obs.Provenance.collect ~scale ~jobs ~seed
+            ~config_hash:(Pcolor.Obs.Provenance.hash_value cfg)
+            ()
+        in
+        let module J = Pcolor.Obs.Json in
+        let runs = List.map (fun o -> Run.artifact_json o) outcomes in
+        write_json_file path
+          (J.Obj
+             [
+               ("schema_version", J.Int Pcolor.Obs.Provenance.schema_version);
+               ("provenance", Pcolor.Obs.Provenance.to_json provenance);
+               ("runs", J.Arr runs);
+             ]);
+        Printf.eprintf "wrote compare artifact to %s\n%!" path)
+      metrics_out;
+    close_obs io;
+    Option.iter (fun path -> Printf.eprintf "wrote trace to %s\n%!" path) trace_path
   in
   Cmd.v (Cmd.info "compare" ~doc:"Compare all mapping policies on one benchmark.")
     Term.(
       const action $ bench_arg $ machine_arg $ cpus_arg $ scale_arg $ prefetch_arg $ seed_arg
-      $ cap_arg)
+      $ cap_arg $ trace_arg $ metrics_out_arg)
 
 (* ---- pattern (Figures 3 and 5) ---- *)
 
@@ -320,6 +405,7 @@ let summary_cmd =
     Term.(const action $ bench_arg $ scale_arg)
 
 let () =
+  Pcolor.Obs.Log.init ();
   let doc = "compiler-directed page coloring for multiprocessors (ASPLOS 1996) — reproduction" in
   exit
     (Cmd.eval

@@ -18,6 +18,7 @@
     - {!Runtime} — execution engine, representative windows, runner
     - {!Workloads} — ten SPEC95fp-personality kernels
     - {!Stats} — overheads, weighted totals, reports, SPEC ratings
+    - {!Obs} — metrics registry, Chrome-trace emitter, run artifacts
 
     For a three-line start, see {!Quick}. *)
 
@@ -96,6 +97,15 @@ module Stats = struct
   module Totals = Pcolor_stats.Totals
   module Report = Pcolor_stats.Report
   module Spec_ratio = Pcolor_stats.Spec_ratio
+end
+
+module Obs = struct
+  module Json = Pcolor_obs.Json
+  module Metrics = Pcolor_obs.Metrics
+  module Trace = Pcolor_obs.Trace
+  module Provenance = Pcolor_obs.Provenance
+  module Ctx = Pcolor_obs.Ctx
+  module Log = Pcolor_obs.Log
 end
 
 (** One-call experiment helpers. *)

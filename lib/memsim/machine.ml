@@ -102,10 +102,17 @@ type t = {
       (* physical page -> conflict misses since last harvest; feeds the
          dynamic-recoloring extension (the TLB-state + miss-counter
          detection of §2.1's dynamic policies) *)
+  obs_trace : Pcolor_obs.Trace.buffer option; (* page-fault instant events *)
+  sample_miss_stall : Pcolor_obs.Metrics.histogram option;
+      (* per-miss stall histogram; allocated only under the
+         PCOLOR_OBS_SAMPLE knob so the hot path stays one branch *)
 }
 
-(** [create cfg] builds an empty machine. *)
-let create (cfg : Config.t) =
+(** [create ?obs cfg] builds an empty machine.  [obs] (default
+    disabled) attaches the observability context: page faults become
+    trace instants, and with sampling on, per-miss stalls feed a
+    histogram. *)
+let create ?(obs = Pcolor_obs.Ctx.disabled) (cfg : Config.t) =
   let mk id =
     {
       id;
@@ -134,6 +141,14 @@ let create (cfg : Config.t) =
     l2_line_bits = Pcolor_util.Bits.log2 cfg.l2.line;
     line_bus = Config.line_bus_cycles cfg;
     conflict_by_frame = Hashtbl.create 1024;
+    obs_trace = Pcolor_obs.Ctx.trace obs;
+    sample_miss_stall =
+      (match Pcolor_obs.Ctx.metrics obs with
+      | Some reg when obs.Pcolor_obs.Ctx.sample ->
+        Some
+          (Pcolor_obs.Metrics.histogram reg "memsim.sampled.miss_stall_cycles"
+             ~bounds:[| 16; 64; 256; 1024; 4096; 16384 |])
+      | _ -> None);
   }
 
 (** [config t] is the machine's configuration. *)
@@ -211,7 +226,13 @@ let translate_addr t c ~translate vaddr =
           let frame, fault_cycles = translate ~cpu:c.id ~vpage in
           if fault_cycles > 0 then begin
             kernel t ~cpu:c.id fault_cycles;
-            c.stats.page_fault_cycles <- c.stats.page_fault_cycles + fault_cycles
+            c.stats.page_fault_cycles <- c.stats.page_fault_cycles + fault_cycles;
+            match t.obs_trace with
+            | Some buf ->
+              Pcolor_obs.Trace.instant buf ~ts:c.time ~tid:c.id ~cat:"vm"
+                ~args:[ ("vpage", Pcolor_obs.Json.Int vpage); ("frame", Pcolor_obs.Json.Int frame); ("cycles", Pcolor_obs.Json.Int fault_cycles) ]
+                "page-fault"
+            | None -> ()
           end;
           Tlb.insert c.tlb ~vpage ~frame;
           frame
@@ -266,6 +287,7 @@ let l2_miss t c ~vaddr ~paddr ~pline ~write ~fa_hit ~evicted ~evicted_dirty =
   let base = if verdict.remote_dirty then t.cfg.remote_cycles else t.cfg.mem_cycles in
   s.stall_by_class.(Mclass.index cls) <- s.stall_by_class.(Mclass.index cls) + base;
   c.time <- c.time + base;
+  (match t.sample_miss_stall with Some h -> Pcolor_obs.Metrics.observe h base | None -> ());
   Bus.add_data t.bus t.line_bus;
   (* directory update *)
   if write then begin
@@ -445,6 +467,43 @@ let invalidate_frame_everywhere t ~frame =
     Digital-UNIX-style user-level CDPC implementation colors pages by
     touching them in a chosen order at startup (§5.3). *)
 let touch_page t ~cpu ~vaddr ~translate = ignore (translate_addr t t.cpus.(cpu) ~translate vaddr)
+
+(** [publish_metrics t reg] registers and sets the machine's summed
+    cross-CPU counters in [reg] — called once per run after the
+    measured pass, so the simulator hot path carries no metric
+    updates.  Deterministic given a deterministic run. *)
+let publish_metrics t reg =
+  let module Mx = Pcolor_obs.Metrics in
+  let sum f = Array.fold_left (fun acc c -> acc + f c.stats) 0 t.cpus in
+  let put name v = Mx.add (Mx.counter reg name) v in
+  put "memsim.instructions" (sum (fun s -> s.instructions));
+  put "memsim.l1_hits" (sum (fun s -> s.l1_hits));
+  put "memsim.l1_misses" (sum (fun s -> s.l1_misses));
+  put "memsim.l2_hits" (sum (fun s -> s.l2_hits));
+  List.iter
+    (fun cls ->
+      put
+        ("memsim.l2_miss." ^ Mclass.to_string cls)
+        (sum (fun s -> Mclass.get s.l2_miss_counts cls)))
+    Mclass.all;
+  put "memsim.stall.onchip_cycles" (sum (fun s -> s.stall_onchip));
+  List.iter
+    (fun cls ->
+      put ("memsim.stall." ^ Mclass.to_string cls ^ "_cycles") (sum (fun s -> s.stall_by_class.(Mclass.index cls))))
+    Mclass.all;
+  put "memsim.stall.prefetch_late_cycles" (sum (fun s -> s.stall_pf_late));
+  put "memsim.stall.prefetch_full_cycles" (sum (fun s -> s.stall_pf_full));
+  put "memsim.kernel_cycles" (sum (fun s -> s.kernel_cycles));
+  put "memsim.tlb_misses" (sum (fun s -> s.tlb_misses));
+  put "memsim.page_fault_cycles" (sum (fun s -> s.page_fault_cycles));
+  put "memsim.prefetch.issued" (sum (fun s -> s.pf_issued));
+  put "memsim.prefetch.dropped_tlb" (sum (fun s -> s.pf_dropped_tlb));
+  put "memsim.prefetch.useless" (sum (fun s -> s.pf_useless));
+  put "memsim.prefetch.useful" (sum (fun s -> s.pf_useful));
+  let data, wb, upg = Bus.categories t.bus in
+  put "memsim.bus.data_cycles" data;
+  put "memsim.bus.writeback_cycles" wb;
+  put "memsim.bus.upgrade_cycles" upg
 
 (** [l1_cache t ~cpu] / [l2_cache t ~cpu] / [tlb t ~cpu] expose per-CPU
     components for tests and detailed probes. *)

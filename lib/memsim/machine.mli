@@ -37,8 +37,10 @@ val mcpi : cpu_stats -> float
 
 type t
 
-(** [create cfg] builds an empty machine. *)
-val create : Config.t -> t
+(** [create ?obs cfg] builds an empty machine.  [obs] (default
+    disabled) attaches observability: page faults emit trace instants;
+    with the sampling knob on, per-miss stalls feed a histogram. *)
+val create : ?obs:Pcolor_obs.Ctx.t -> Config.t -> t
 
 (** [config t] is the machine's configuration. *)
 val config : t -> Config.t
@@ -103,6 +105,12 @@ val invalidate_frame_everywhere : t -> frame:int -> unit
     user-level CDPC path. *)
 val touch_page :
   t -> cpu:int -> vaddr:int -> translate:(cpu:int -> vpage:int -> int * int) -> unit
+
+(** [publish_metrics t reg] registers and sets the machine's summed
+    cross-CPU counters (hits, misses by class, stalls, bus occupancy,
+    prefetch and VM accounting) in [reg] — called once after a run, so
+    the hot path carries no metric updates. *)
+val publish_metrics : t -> Pcolor_obs.Metrics.t -> unit
 
 (** [l1_cache t ~cpu] / [l2_cache t ~cpu] / [tlb t ~cpu] expose per-CPU
     components for tests and probes. *)

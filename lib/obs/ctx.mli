@@ -1,0 +1,33 @@
+(** Per-run observability context: the single handle threaded through
+    machine, kernel and engine.  [disabled] (the default everywhere)
+    reduces every instrumented site to one branch, preserving the
+    byte-identical-output and negligible-overhead contract of
+    DESIGN §8/§9. *)
+
+type t = {
+  metrics : Metrics.t option;  (** per-run registry, snapshotted after the run *)
+  trace : Trace.buffer option;  (** private event buffer (own trace pid) *)
+  sample : bool;  (** enable per-event histograms on the simulator hot path *)
+}
+
+(** Observability off: no registry, no trace, no sampling. *)
+val disabled : t
+
+(** [create ?metrics ?trace ?sample ()] builds a context; [sample]
+    defaults to {!sample_from_env}. *)
+val create : ?metrics:Metrics.t -> ?trace:Trace.buffer -> ?sample:bool -> unit -> t
+
+(** [sample_from_env ()] is true when [PCOLOR_OBS_SAMPLE] is set to
+    [1]/[true]/[on] — the opt-in knob for per-reference signals. *)
+val sample_from_env : unit -> bool
+
+(** [enabled t] is true when any instrument is attached. *)
+val enabled : t -> bool
+
+(** [metrics t] / [trace t] accessors. *)
+val metrics : t -> Metrics.t option
+
+val trace : t -> Trace.buffer option
+
+(** [flush t] drains the trace buffer to its sink, if any. *)
+val flush : t -> unit

@@ -1,0 +1,30 @@
+(** Minimal JSON values and serialization for run artifacts and trace
+    events.  No external dependency: the toolchain image has no JSON
+    library, and the subset needed here (construct, print, validate) is
+    small. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** [to_buffer buf v] appends the compact serialization of [v]. *)
+val to_buffer : Buffer.t -> t -> unit
+
+(** [to_string v] is the compact serialization of [v].  Non-finite
+    floats serialize as [null] (JSON has no representation for them). *)
+val to_string : t -> string
+
+(** [pretty v] is an indented serialization, for files meant to be read
+    by humans as well as machines. *)
+val pretty : t -> string
+
+(** [check s] validates that [s] is one complete JSON value (with
+    optional surrounding whitespace): [Ok ()] or [Error reason].  Used
+    by tests to prove emitted artifacts and trace lines parse without
+    needing an external JSON library. *)
+val check : string -> (unit, string) result

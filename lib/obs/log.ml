@@ -1,0 +1,19 @@
+let src = Logs.Src.create "pcolor" ~doc:"page-coloring runtime diagnostics"
+
+let init () =
+  match Sys.getenv_opt "PCOLOR_LOG" with
+  | None -> ()
+  | Some level_str ->
+    let level =
+      match String.lowercase_ascii level_str with
+      | "debug" -> Some Logs.Debug
+      | "info" -> Some Logs.Info
+      | "warn" | "warning" -> Some Logs.Warning
+      | "error" -> Some Logs.Error
+      | "quiet" | "off" | "none" -> None
+      | other ->
+        Printf.eprintf "PCOLOR_LOG=%s: unknown level (use debug|info|warn|error|quiet); defaulting to info\n%!" other;
+        Some Logs.Info
+    in
+    Logs.set_level ~all:true level;
+    Logs.set_reporter (Logs.format_reporter ~app:Fmt.stderr ~dst:Fmt.stderr ())

@@ -1,0 +1,48 @@
+let schema_version = 1
+
+type t = {
+  timestamp : string;
+  hostname : string;
+  git : string option;
+  scale : int option;
+  jobs : int option;
+  seed : int option;
+  config_hash : string option;
+}
+
+let iso8601_now () =
+  let tm = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+
+(* Best effort: the artifact must never fail because git is absent or
+   the binary runs from an exported tarball. *)
+let git_describe () =
+  try
+    let ic = Unix.open_process_in "git describe --always --dirty 2>/dev/null" in
+    let line = try Some (input_line ic) with End_of_file -> None in
+    match (Unix.close_process_in ic, line) with
+    | Unix.WEXITED 0, Some l when l <> "" -> Some l
+    | _ -> None
+  with _ -> None
+
+let hash_value v = Digest.to_hex (Digest.string (Marshal.to_string v []))
+
+let collect ?scale ?jobs ?seed ?config_hash () =
+  {
+    timestamp = iso8601_now ();
+    hostname = (try Unix.gethostname () with _ -> "unknown");
+    git = git_describe ();
+    scale;
+    jobs;
+    seed;
+    config_hash;
+  }
+
+let to_json t =
+  let opt_int name = function None -> [] | Some v -> [ (name, Json.Int v) ] in
+  let opt_str name = function None -> [] | Some v -> [ (name, Json.Str v) ] in
+  Json.Obj
+    ([ ("schema_version", Json.Int schema_version); ("timestamp", Json.Str t.timestamp); ("hostname", Json.Str t.hostname) ]
+    @ opt_str "git" t.git @ opt_int "scale" t.scale @ opt_int "jobs" t.jobs @ opt_int "seed" t.seed
+    @ opt_str "config_hash" t.config_hash)

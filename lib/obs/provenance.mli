@@ -1,0 +1,29 @@
+(** Run provenance: who/where/what identification stamped into every
+    machine-readable artifact so numbers stay comparable across
+    machines and PRs. *)
+
+(** Artifact schema version; bump when the JSON layout of run
+    artifacts or bench sections changes incompatibly. *)
+val schema_version : int
+
+type t = {
+  timestamp : string;  (** ISO-8601 UTC *)
+  hostname : string;
+  git : string option;  (** [git describe --always --dirty], if available *)
+  scale : int option;  (** PCOLOR_SCALE-style divisor *)
+  jobs : int option;  (** domain-pool width *)
+  seed : int option;
+  config_hash : string option;  (** digest of the machine configuration *)
+}
+
+(** [collect ?scale ?jobs ?seed ?config_hash ()] stamps the current
+    time, host, and git revision (best effort: [git] is [None] when the
+    binary runs outside a repository). *)
+val collect : ?scale:int -> ?jobs:int -> ?seed:int -> ?config_hash:string -> unit -> t
+
+(** [hash_value v] is a short stable digest of any marshalable value —
+    used to fingerprint machine configurations. *)
+val hash_value : 'a -> string
+
+(** [to_json t] includes [schema_version] alongside the fields. *)
+val to_json : t -> Json.t

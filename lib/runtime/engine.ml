@@ -18,6 +18,15 @@
 module M = Pcolor_memsim.Machine
 module Ir = Pcolor_comp.Ir
 
+(* Metric handles created once per engine when a registry is attached,
+   so the phase loop updates bare cells (no name lookups). *)
+type obs_handles = {
+  phase_cycles : Pcolor_obs.Metrics.histogram; (* wall cycles per measured occurrence *)
+  phase_occurrences : Pcolor_obs.Metrics.counter;
+  window_weight_ppm : Pcolor_obs.Metrics.counter; (* summed window weights, parts-per-million *)
+  knee_crossings : Pcolor_obs.Metrics.counter; (* bus entered saturation this many times *)
+}
+
 type t = {
   machine : M.t;
   kernel : Pcolor_vm.Kernel.t;
@@ -31,15 +40,43 @@ type t = {
   trace : (int, unit) Hashtbl.t option; (* (vpage lsl trace_cpu_bits) lor cpu *)
   trace_cpu_bits : int; (* key width reserved for the cpu id *)
   mutable last_contention : float;
+  obs_trace : Pcolor_obs.Trace.buffer option; (* phase spans + instant events *)
+  obs_metrics : obs_handles option;
 }
 
 (** [create ~machine ~kernel ~program ~plans] wires an engine.
     [check_bounds] (default false) validates every reference against its
     array extent — slow, for tests.  [collect_trace] records every
-    (vpage, cpu) touch during the measured window (Figure 3 data). *)
-let create ?(check_bounds = false) ?(collect_trace = false) ~machine ~kernel ~program ~plans () =
+    (vpage, cpu) touch during the measured window (Figure 3 data).
+    [obs] (default disabled) attaches structured tracing (per-CPU phase
+    spans, instant events) and runtime metrics. *)
+let create ?(check_bounds = false) ?(collect_trace = false) ?(obs = Pcolor_obs.Ctx.disabled)
+    ~machine ~kernel ~program ~plans () =
   Ir.check_program program;
   let cfg = M.config machine in
+  let obs_trace = Pcolor_obs.Ctx.trace obs in
+  (match obs_trace with
+  | Some buf ->
+    Pcolor_obs.Trace.process_name buf program.Ir.name;
+    for cpu = 0 to cfg.n_cpus - 1 do
+      Pcolor_obs.Trace.thread_name buf ~tid:cpu (Printf.sprintf "cpu%d" cpu)
+    done
+  | None -> ());
+  let obs_metrics =
+    match Pcolor_obs.Ctx.metrics obs with
+    | None -> None
+    | Some reg ->
+      let module Mx = Pcolor_obs.Metrics in
+      Some
+        {
+          phase_cycles =
+            Mx.histogram reg "runtime.phase_cycles"
+              ~bounds:[| 1_000; 10_000; 100_000; 1_000_000; 10_000_000; 100_000_000 |];
+          phase_occurrences = Mx.counter reg "runtime.phase_occurrences";
+          window_weight_ppm = Mx.counter reg "runtime.window_weight_ppm";
+          knee_crossings = Mx.counter reg "runtime.bus_knee_crossings";
+        }
+  in
   {
     machine;
     kernel;
@@ -53,6 +90,8 @@ let create ?(check_bounds = false) ?(collect_trace = false) ~machine ~kernel ~pr
     trace = (if collect_trace then Some (Hashtbl.create (1 lsl 12)) else None);
     trace_cpu_bits = Pcolor_util.Bits.log2 (Pcolor_util.Bits.next_pow2 (max 2 cfg.n_cpus));
     last_contention = 1.0;
+    obs_trace;
+    obs_metrics;
   }
 
 (* One CPU's share of one nest: walk the iteration space with
@@ -181,15 +220,59 @@ let settle_contention t ~t0 ~stall0 ~busy0 =
     let extra = int_of_float (ds.(cpu) *. (f -. 1.0)) in
     if extra > 0 then M.add_stall t.machine ~cpu extra
   done;
+  (* knee crossing: the bus just went from uncontended to saturated *)
+  if f > 1.0 && t.last_contention <= 1.0 then begin
+    (match t.obs_metrics with
+    | Some h -> Pcolor_obs.Metrics.incr h.knee_crossings
+    | None -> ());
+    let master = Pcolor_comp.Schedule.master in
+    (match t.obs_trace with
+    | Some buf ->
+      Pcolor_obs.Trace.instant buf
+        ~ts:(M.cpu_time t.machine ~cpu:master)
+        ~tid:master ~cat:"bus"
+        ~args:[ ("stretch_factor", Pcolor_obs.Json.Float f) ]
+        "bus-knee"
+    | None -> ());
+    Logs.debug ~src:Pcolor_obs.Log.src (fun m ->
+        m "bus crossed the saturation knee: stretch factor %.3f" f)
+  end;
   t.last_contention <- f;
   f
 
-let run_phase_once t phase =
+let sum_pf_dropped t =
+  let n = M.n_cpus t.machine in
+  let total = ref 0 in
+  for cpu = 0 to n - 1 do
+    total := !total + (M.stats t.machine ~cpu).M.pf_dropped_tlb
+  done;
+  !total
+
+(* One phase occurrence.  With tracing on, each CPU's share becomes a
+   span on its own timeline row (ts = simulated cycles), and dropped
+   prefetches surface as one aggregated instant per occurrence. *)
+let run_phase_once ?(cat = "measured") t phase =
   let n = M.n_cpus t.machine in
   let t0 = Array.init n (fun cpu -> M.cpu_time t.machine ~cpu) in
   let stall0 = Array.init n (fun cpu -> M.total_mem_stall (M.stats t.machine ~cpu)) in
   let busy0 = Pcolor_memsim.Bus.busy_cycles (M.bus t.machine) in
+  let dropped0 = match t.obs_trace with Some _ -> sum_pf_dropped t | None -> 0 in
   List.iter (run_nest t) phase.Ir.nests;
+  (match t.obs_trace with
+  | Some buf ->
+    let name = phase.Ir.pname in
+    for cpu = 0 to n - 1 do
+      Pcolor_obs.Trace.duration_begin buf ~ts:t0.(cpu) ~tid:cpu ~cat name;
+      Pcolor_obs.Trace.duration_end buf ~ts:(M.cpu_time t.machine ~cpu) ~tid:cpu ~cat name
+    done;
+    let dropped = sum_pf_dropped t - dropped0 in
+    if dropped > 0 then
+      Pcolor_obs.Trace.instant buf
+        ~ts:(M.cpu_time t.machine ~cpu:Pcolor_comp.Schedule.master)
+        ~tid:Pcolor_comp.Schedule.master ~cat:"prefetch"
+        ~args:[ ("count", Pcolor_obs.Json.Int dropped) ]
+        "prefetch-drops"
+  | None -> ());
   settle_contention t ~t0 ~stall0 ~busy0
 
 (** [touch_pages_in_order t vpages] makes the master fault the given
@@ -219,21 +302,37 @@ let run t ?(cap = 2) ?(after_phase = fun () -> ()) () =
   (* warm-up pass: fault pages in, warm caches; then discard statistics *)
   List.iter
     (fun (s : Window.step) ->
-      ignore (run_phase_once t phases.(s.phase_idx));
+      ignore (run_phase_once ~cat:"warmup" t phases.(s.phase_idx));
       after_phase ())
     (Window.warmup_plan t.program);
   M.reset_stats t.machine;
   t.ov <- Pcolor_stats.Overheads.create ~n_cpus:(M.n_cpus t.machine);
   (match t.trace with Some tbl -> Hashtbl.reset tbl | None -> ());
   (* measured pass *)
-  let into = Pcolor_stats.Totals.create ~n_cpus:(M.n_cpus t.machine) in
+  let n = M.n_cpus t.machine in
+  let tmax () =
+    let m = ref 0 in
+    for cpu = 0 to n - 1 do
+      m := max !m (M.cpu_time t.machine ~cpu)
+    done;
+    !m
+  in
+  let into = Pcolor_stats.Totals.create ~n_cpus:n in
   List.iter
     (fun (s : Window.step) ->
       for _occ = 1 to s.simulate do
         let start = Pcolor_stats.Totals.snapshot t.machine t.ov in
+        let wall0 = match t.obs_metrics with Some _ -> tmax () | None -> 0 in
         let f = run_phase_once t phases.(s.phase_idx) in
         after_phase ();
         let fin = Pcolor_stats.Totals.snapshot t.machine t.ov in
+        (match t.obs_metrics with
+        | Some h ->
+          let module Mx = Pcolor_obs.Metrics in
+          Mx.observe h.phase_cycles (tmax () - wall0);
+          Mx.incr h.phase_occurrences;
+          Mx.add h.window_weight_ppm (int_of_float (s.weight *. 1e6))
+        | None -> ());
         Pcolor_stats.Totals.accumulate ~into ~start ~fin ~f ~weight:s.weight
       done)
     (Window.plan ~cap t.program);

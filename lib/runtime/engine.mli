@@ -8,10 +8,14 @@ type t
 (** [create ~machine ~kernel ~program ~plans ()] wires an engine.
     [check_bounds] (slow; tests) validates every reference against its
     array extent; [collect_trace] records every (vpage, cpu) touch in
-    the measured window. *)
+    the measured window; [obs] (default disabled) attaches structured
+    tracing (per-CPU phase spans, prefetch-drop and bus-knee instants)
+    and runtime metrics (phase-duration histogram, occurrence and
+    window-weight counters). *)
 val create :
   ?check_bounds:bool ->
   ?collect_trace:bool ->
+  ?obs:Pcolor_obs.Ctx.t ->
   machine:Pcolor_memsim.Machine.t ->
   kernel:Pcolor_vm.Kernel.t ->
   program:Pcolor_comp.Ir.program ->

@@ -90,6 +90,10 @@ let round t ~trigger_cpu =
           (* stale data of the old frame leaves every cache *)
           M.invalidate_frame_everywhere t.machine ~frame:old_frame))
     victims;
+  if !done_count > 0 then
+    Logs.info ~src:Pcolor_obs.Log.src (fun m ->
+        m "recoloring round %d: moved %d of %d hot pages (trigger cpu%d)" t.rounds !done_count
+          (List.length victims) trigger_cpu);
   !done_count
 
 (** [stats t] is [(rounds, recolorings, copy_cycles)]. *)

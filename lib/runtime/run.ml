@@ -51,10 +51,14 @@ type setup = {
   check_bounds : bool;
   cdpc_ablation : Pcolor_cdpc.Colorer.ablation;
       (** disable individual CDPC steps for ablation studies *)
+  obs : Pcolor_obs.Ctx.t;
+      (** observability context (metrics registry, trace buffer);
+          [Ctx.disabled] by default — runs are byte-identical with it off *)
 }
 
 (** [default_setup ~cfg ~make_program ~policy] fills conservative
-    defaults (no prefetch, seed 42, window cap 2, ample memory). *)
+    defaults (no prefetch, seed 42, window cap 2, ample memory,
+    observability off). *)
 let default_setup ~cfg ~make_program ~policy =
   {
     cfg;
@@ -67,6 +71,7 @@ let default_setup ~cfg ~make_program ~policy =
     collect_trace = false;
     check_bounds = false;
     cdpc_ablation = Pcolor_cdpc.Colorer.full_algorithm;
+    obs = Pcolor_obs.Ctx.disabled;
   }
 
 type outcome = {
@@ -81,6 +86,8 @@ type outcome = {
       (* post-run machine: cumulative (unweighted) measured-pass stats,
          for throughput accounting and detailed probes *)
   recolorings : int; (* dynamic-recoloring extension: pages moved *)
+  metrics : Pcolor_obs.Metrics.snapshot option;
+      (* snapshot of the run's registry, if one was attached *)
 }
 
 (* Page-touch order realizing the hint colors under bin hopping: global
@@ -150,13 +157,13 @@ let run setup =
   in
   let policy = Pcolor_vm.Policy.create ~n_colors ~seed:setup.seed ~race_jitter policy_spec in
   let kernel = Pcolor_vm.Kernel.create ~cfg ~policy ?mem_frames:setup.mem_frames () in
-  let machine = Pcolor_memsim.Machine.create cfg in
+  let machine = Pcolor_memsim.Machine.create ~obs:setup.obs cfg in
   let plans =
     if setup.prefetch then Pcolor_comp.Prefetcher.plan cfg program else Pcolor_comp.Prefetcher.none
   in
   let engine =
-    Engine.create ~check_bounds:setup.check_bounds ~collect_trace:setup.collect_trace ~machine
-      ~kernel ~program ~plans ()
+    Engine.create ~check_bounds:setup.check_bounds ~collect_trace:setup.collect_trace
+      ~obs:setup.obs ~machine ~kernel ~program ~plans ()
   in
   (match setup.policy with
   | Cdpc { via_touch = true; _ } ->
@@ -169,11 +176,39 @@ let run setup =
   in
   let after_phase () =
     match recolorer with
-    | Some rc -> ignore (Recolor.round rc ~trigger_cpu:Pcolor_comp.Schedule.master)
+    | Some rc ->
+      let trigger_cpu = Pcolor_comp.Schedule.master in
+      let moved = Recolor.round rc ~trigger_cpu in
+      if moved > 0 then
+        Option.iter
+          (fun buf ->
+            Pcolor_obs.Trace.instant buf
+              ~ts:(Pcolor_memsim.Machine.cpu_time machine ~cpu:trigger_cpu)
+              ~tid:trigger_cpu ~cat:"vm"
+              ~args:[ ("pages_moved", Pcolor_obs.Json.Int moved) ]
+              "recoloring")
+          (Pcolor_obs.Ctx.trace setup.obs)
     | None -> ()
   in
   let totals = Engine.run engine ~cap:setup.cap ~after_phase () in
   let pool = Pcolor_vm.Kernel.pool kernel in
+  let metrics_snapshot =
+    match Pcolor_obs.Ctx.metrics setup.obs with
+    | None -> None
+    | Some reg ->
+      Pcolor_memsim.Machine.publish_metrics machine reg;
+      Pcolor_vm.Kernel.publish_metrics kernel reg;
+      (match recolorer with
+      | Some rc ->
+        let rounds, moved, copy_cycles = Recolor.stats rc in
+        let c name = Pcolor_obs.Metrics.counter reg name in
+        Pcolor_obs.Metrics.add (c "recolor.rounds") rounds;
+        Pcolor_obs.Metrics.add (c "recolor.pages_moved") moved;
+        Pcolor_obs.Metrics.add (c "recolor.copy_cycles") copy_cycles
+      | None -> ());
+      Some (Pcolor_obs.Metrics.snapshot reg)
+  in
+  Pcolor_obs.Ctx.flush setup.obs;
   let report =
     Pcolor_stats.Report.of_totals ~benchmark:program.name ~machine:cfg.name ~n_cpus:cfg.n_cpus
       ~policy:(policy_name setup.policy) ~prefetch:setup.prefetch
@@ -193,4 +228,23 @@ let run setup =
     machine;
     recolorings =
       (match recolorer with Some rc -> (fun (_, r, _) -> r) (Recolor.stats rc) | None -> 0);
+    metrics = metrics_snapshot;
   }
+
+(** [artifact_json ?provenance outcome] is the machine-readable run
+    artifact: schema version, provenance, the report, and the metrics
+    snapshot (when one was collected). *)
+let artifact_json ?provenance outcome =
+  let module J = Pcolor_obs.Json in
+  let fields =
+    [ ("schema_version", J.Int Pcolor_obs.Provenance.schema_version) ]
+    @ (match provenance with
+      | Some p -> [ ("provenance", Pcolor_obs.Provenance.to_json p) ]
+      | None -> [])
+    @ [ ("report", Pcolor_stats.Report.to_json outcome.report) ]
+    @
+    match outcome.metrics with
+    | Some snap -> [ ("metrics", Pcolor_obs.Metrics.to_json snap) ]
+    | None -> []
+  in
+  J.Obj fields

@@ -34,11 +34,14 @@ type setup = {
   collect_trace : bool;
   check_bounds : bool;
   cdpc_ablation : Pcolor_cdpc.Colorer.ablation;
+  obs : Pcolor_obs.Ctx.t;
+      (** observability context; [Ctx.disabled] by default — with it off
+          runs are byte-identical to an uninstrumented build *)
 }
 
 (** [default_setup ~cfg ~make_program ~policy] fills conservative
     defaults (no prefetch, seed 42, cap 2, ample memory, full
-    algorithm). *)
+    algorithm, observability off). *)
 val default_setup :
   cfg:Pcolor_memsim.Config.t ->
   make_program:(unit -> Ir.program) ->
@@ -56,6 +59,9 @@ type outcome = {
   machine : Pcolor_memsim.Machine.t;
       (** post-run machine: cumulative (unweighted) measured-pass stats *)
   recolorings : int;  (** dynamic-recoloring extension: pages moved *)
+  metrics : Pcolor_obs.Metrics.snapshot option;
+      (** end-of-run snapshot of the setup's registry, if one was
+          attached *)
 }
 
 (** [touch_order info] is the page sequence whose first-touch order
@@ -64,3 +70,8 @@ val touch_order : Pcolor_cdpc.Colorer.info -> int list
 
 (** [run setup] executes one experiment end to end. *)
 val run : setup -> outcome
+
+(** [artifact_json ?provenance outcome] is the machine-readable run
+    artifact ([schema_version], provenance, report, metrics snapshot)
+    ready to be written as a JSON file. *)
+val artifact_json : ?provenance:Pcolor_obs.Provenance.t -> outcome -> Pcolor_obs.Json.t

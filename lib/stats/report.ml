@@ -104,6 +104,48 @@ let conflict_misses r = r.l2_misses_by_class.(Pcolor_memsim.Mclass.index Conflic
 (** [speedup ~base r] is base wall time over [r]'s wall time. *)
 let speedup ~base r = Pcolor_util.Stat.ratio base.wall_cycles r.wall_cycles
 
+(** [to_json r] serializes every report field (per-class arrays keyed
+    by miss-class name) for machine-readable artifacts. *)
+let to_json r =
+  let module C = Pcolor_memsim.Mclass in
+  let module J = Pcolor_obs.Json in
+  let by_class arr = J.Obj (List.map (fun c -> (C.to_string c, J.Float arr.(C.index c))) C.all) in
+  J.Obj
+    [
+      ("benchmark", J.Str r.benchmark);
+      ("machine", J.Str r.machine);
+      ("n_cpus", J.Int r.n_cpus);
+      ("policy", J.Str r.policy);
+      ("prefetch", J.Bool r.prefetch);
+      ("wall_cycles", J.Float r.wall_cycles);
+      ("combined_cycles", J.Float r.combined_cycles);
+      ("exec_cycles", J.Float r.exec_cycles);
+      ("mem_stall_cycles", J.Float r.mem_stall_cycles);
+      ("instructions", J.Float r.instructions);
+      ("mcpi", J.Float r.mcpi);
+      ("mcpi_onchip", J.Float r.mcpi_onchip);
+      ("mcpi_by_class", by_class r.mcpi_by_class);
+      ("mcpi_prefetch", J.Float r.mcpi_prefetch);
+      ("l2_misses_by_class", by_class r.l2_misses_by_class);
+      ("l2_miss_rate", J.Float r.l2_miss_rate);
+      ("ov_kernel", J.Float r.ov_kernel);
+      ("ov_imbalance", J.Float r.ov_imbalance);
+      ("ov_sequential", J.Float r.ov_sequential);
+      ("ov_suppressed", J.Float r.ov_suppressed);
+      ("ov_sync", J.Float r.ov_sync);
+      ("bus_occupancy", J.Float r.bus_occupancy);
+      ("bus_data_frac", J.Float r.bus_data_frac);
+      ("bus_wb_frac", J.Float r.bus_wb_frac);
+      ("bus_upg_frac", J.Float r.bus_upg_frac);
+      ("pf_issued", J.Float r.pf_issued);
+      ("pf_dropped", J.Float r.pf_dropped);
+      ("pf_useful", J.Float r.pf_useful);
+      ("tlb_misses", J.Float r.tlb_misses);
+      ("page_faults", J.Int r.page_faults);
+      ("hints_honored", J.Int r.hints_honored);
+      ("hints_fallback", J.Int r.hints_fallback);
+    ]
+
 (** [pp fmt r] prints a multi-line human-readable report. *)
 let pp fmt r =
   let module C = Pcolor_memsim.Mclass in

@@ -62,5 +62,9 @@ val conflict_misses : t -> float
 (** [speedup ~base r] is base wall time over [r]'s. *)
 val speedup : base:t -> t -> float
 
+(** [to_json r] serializes every field (per-class arrays keyed by
+    miss-class name) for machine-readable run artifacts. *)
+val to_json : t -> Pcolor_obs.Json.t
+
 (** [pp fmt r] prints a multi-line human-readable report. *)
 val pp : Format.formatter -> t -> unit

@@ -25,15 +25,52 @@ type t = {
 }
 
 (** [default_jobs ()] is the pool width requested by the environment:
-    [PCOLOR_JOBS] if set (clamped to >= 1), otherwise
-    [Domain.recommended_domain_count ()]. *)
+    [PCOLOR_JOBS] if set, otherwise
+    [Domain.recommended_domain_count ()].  Raises [Failure] with a
+    message naming the offending value when [PCOLOR_JOBS] is not a
+    positive integer. *)
 let default_jobs () =
   match Sys.getenv_opt "PCOLOR_JOBS" with
   | Some s -> (
-    match int_of_string_opt s with
+    match int_of_string_opt (String.trim s) with
     | Some n when n >= 1 -> n
-    | _ -> failwith "PCOLOR_JOBS must be a positive integer")
+    | _ ->
+      failwith
+        (Printf.sprintf
+           "PCOLOR_JOBS=%S is not a positive integer (use PCOLOR_JOBS=N with N >= 1, e.g. \
+            PCOLOR_JOBS=1 for deterministic sequential runs)"
+           s))
   | None -> Domain.recommended_domain_count ()
+
+(* Pool instrumentation reports into the shared process-wide registry:
+   queue metrics are wall-clock-dependent, so they live outside per-run
+   registries and are excluded from determinism checks. *)
+type pool_metrics = {
+  m_submitted : Pcolor_obs.Metrics.counter;
+  m_completed : Pcolor_obs.Metrics.counter;
+  m_busy_us : Pcolor_obs.Metrics.counter; (* summed wall-clock inside tasks *)
+  m_depth_hwm : Pcolor_obs.Metrics.gauge; (* queue-depth high-water mark *)
+}
+
+let pool_metrics =
+  lazy
+    (let reg = Pcolor_obs.Metrics.process () in
+     {
+       m_submitted = Pcolor_obs.Metrics.counter reg "pool.tasks_submitted";
+       m_completed = Pcolor_obs.Metrics.counter reg "pool.tasks_completed";
+       m_busy_us = Pcolor_obs.Metrics.counter reg "pool.busy_us";
+       m_depth_hwm = Pcolor_obs.Metrics.gauge reg "pool.queue_depth_hwm";
+     })
+
+(* Run one task, charging its wall-clock to the busy counter. *)
+let run_task task =
+  let pm = Lazy.force pool_metrics in
+  let t0 = Unix.gettimeofday () in
+  let finally () =
+    Pcolor_obs.Metrics.add pm.m_busy_us (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6));
+    Pcolor_obs.Metrics.incr pm.m_completed
+  in
+  Fun.protect ~finally task
 
 let rec worker t =
   Mutex.lock t.mutex;
@@ -44,7 +81,7 @@ let rec worker t =
   else begin
     let task = Queue.pop t.work in
     Mutex.unlock t.mutex;
-    (try task ()
+    (try run_task task
      with e ->
        Mutex.lock t.mutex;
        if t.failure = None then t.failure <- Some e;
@@ -81,11 +118,14 @@ let jobs t = t.jobs
 (** [submit t task] enqueues [task]; with a single-job pool it runs
     [task] before returning. *)
 let submit t task =
-  if t.jobs <= 1 then task ()
+  let pm = Lazy.force pool_metrics in
+  Pcolor_obs.Metrics.incr pm.m_submitted;
+  if t.jobs <= 1 then run_task task
   else begin
     Mutex.lock t.mutex;
     t.pending <- t.pending + 1;
     Queue.push task t.work;
+    Pcolor_obs.Metrics.set_max pm.m_depth_hwm (Queue.length t.work);
     Condition.signal t.have_work;
     Mutex.unlock t.mutex
   end
@@ -126,7 +166,12 @@ let shutdown t =
 (** [run_all ~jobs tasks] runs [tasks] to completion on a one-shot pool;
     [jobs <= 1] runs them inline in list order. *)
 let run_all ~jobs tasks =
-  if jobs <= 1 then List.iter (fun task -> task ()) tasks
+  if jobs <= 1 then
+    List.iter
+      (fun task ->
+        Pcolor_obs.Metrics.incr (Lazy.force pool_metrics).m_submitted;
+        run_task task)
+      tasks
   else begin
     let t = create ~jobs in
     List.iter (submit t) tasks;

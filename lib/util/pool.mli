@@ -7,8 +7,10 @@
 
 type t
 
-(** [default_jobs ()] is [PCOLOR_JOBS] if set (>= 1), otherwise
-    [Domain.recommended_domain_count ()]. *)
+(** [default_jobs ()] is [PCOLOR_JOBS] if set, otherwise
+    [Domain.recommended_domain_count ()].  Raises [Failure] (naming the
+    offending value) when [PCOLOR_JOBS] is set but not a positive
+    integer. *)
 val default_jobs : unit -> int
 
 (** [create ~jobs] starts a pool of [jobs] worker domains ([jobs <= 1]

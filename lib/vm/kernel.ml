@@ -44,19 +44,26 @@ let create ~cfg ~policy ?mem_frames () =
     zero for an already-mapped page and the configured page-fault cost
     when this call had to allocate.  Raises [Out_of_memory] if the pool
     is exhausted. *)
-let translate t ~cpu:_ ~vpage =
+let translate t ~cpu ~vpage =
   match Page_table.find t.table vpage with
   | Some frame -> (frame, 0)
   | None ->
     t.faults <- t.faults + 1;
     let preferred = Policy.preferred_color t.policy ~vpage in
+    let fallbacks_before = Frame_pool.fallbacks t.pool in
     let frame =
       match Frame_pool.alloc t.pool ~preferred with
       | Some f -> f
       | None -> raise Out_of_memory
     in
-    t.color_granted.(Frame_pool.color_of t.pool frame) <-
-      t.color_granted.(Frame_pool.color_of t.pool frame) + 1;
+    let granted = Frame_pool.color_of t.pool frame in
+    if Frame_pool.fallbacks t.pool > fallbacks_before then
+      Logs.debug ~src:Pcolor_obs.Log.src (fun m ->
+          m "fault cpu%d vpage %d: preferred color %d exhausted, fell back to %d" cpu vpage
+            (((preferred mod Frame_pool.n_colors t.pool) + Frame_pool.n_colors t.pool)
+            mod Frame_pool.n_colors t.pool)
+            granted);
+    t.color_granted.(granted) <- t.color_granted.(granted) + 1;
     Page_table.map t.table ~vpage ~frame;
     (frame, t.cfg.page_fault_cycles)
 
@@ -103,6 +110,23 @@ let faults t = t.faults
 (** [color_histogram t] is how many frames of each color have been
     granted — the measurable footprint of the mapping policy. *)
 let color_histogram t = Array.copy t.color_granted
+
+(** [publish_metrics t reg] registers and sets VM-side counters and
+    the per-color free-list depth distribution in [reg] — called once
+    after a run (the fault path itself carries no metric updates). *)
+let publish_metrics t reg =
+  let module Mx = Pcolor_obs.Metrics in
+  Mx.add (Mx.counter reg "vm.page_faults") t.faults;
+  Mx.add (Mx.counter reg "vm.hints.honored") (Frame_pool.honored t.pool);
+  Mx.add (Mx.counter reg "vm.hints.fallback") (Frame_pool.fallbacks t.pool);
+  Mx.add (Mx.counter reg "vm.frames.granted") (Array.fold_left ( + ) 0 t.color_granted);
+  Mx.set (Mx.gauge reg "vm.frames.free") (Frame_pool.free_frames t.pool);
+  let depth =
+    Mx.histogram reg "vm.free_list.depth" ~bounds:[| 0; 1; 4; 16; 64; 256; 1024; 4096 |]
+  in
+  for color = 0 to Frame_pool.n_colors t.pool - 1 do
+    Mx.observe depth (Frame_pool.free_of_color t.pool color)
+  done
 
 (** [color_of_vpage t vpage] is the cache color the page landed on, if
     mapped: the ground truth CDPC tries to control. *)

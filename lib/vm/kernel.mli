@@ -37,6 +37,11 @@ val faults : t -> int
 (** [color_histogram t] is frames granted per color. *)
 val color_histogram : t -> int array
 
+(** [publish_metrics t reg] registers and sets VM counters (faults,
+    hint honor/fallback, frames granted) and the per-color free-list
+    depth histogram in [reg] — once per run, off the fault path. *)
+val publish_metrics : t -> Pcolor_obs.Metrics.t -> unit
+
 (** [color_of_vpage t vpage] is the cache color the page landed on, if
     mapped — the ground truth CDPC tries to control. *)
 val color_of_vpage : t -> int -> int option
