@@ -122,10 +122,20 @@ type exp = {
 let exp ?(prefetch = false) ~bench ~machine ~n_cpus ~policy () =
   { e_bench = bench; e_machine = machine; e_n_cpus = n_cpus; e_policy = policy; e_prefetch = prefetch }
 
+(* Estimated simulation cost of an experiment, for scheduling only: work
+   scales with CPU count (each CPU runs the partitioned nests) and with
+   the workload's data-set size (Table 1).  Units are arbitrary. *)
+let exp_cost e = float_of_int e.e_n_cpus *. (Spec.find e.e_bench).Spec.table1_mb
+
 (* [prefill exps] computes every not-yet-cached experiment of the grid
    on the domain pool.  Results land in the cache only; callers then
    render tables sequentially, so table output is independent of the
-   completion order. *)
+   completion order.
+
+   Tasks are submitted longest-processing-time-first: grid order groups
+   cheap single-CPU runs before expensive 8/16-CPU ones, so FIFO order
+   regularly started a multi-minute experiment last and left every other
+   domain idle for its whole tail. *)
 let prefill exps =
   let seen = Hashtbl.create 64 in
   let todo =
@@ -142,6 +152,7 @@ let prefill exps =
         end)
       exps
   in
+  let todo = List.stable_sort (fun a b -> compare (exp_cost b) (exp_cost a)) todo in
   Pool.run_all ~jobs
     (List.map
        (fun e () ->

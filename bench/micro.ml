@@ -29,6 +29,47 @@ let test_shadow_access =
          incr i;
          ignore (Shadow.access s (!i land 0x3F))))
 
+(* hot-path table substrate: the open-addressing int table that backs
+   the shadow, directory, prefetch and conflict maps, against the stdlib
+   Hashtbl it replaced.  Same pre-populated key set, same probe
+   sequence: the delta is the data structure, not the workload. *)
+let itab_keys = Array.init 4096 (fun i -> i * 7919)
+
+let test_itab_probe =
+  let t = Pcolor.Util.Itab.create ~capacity:8192 () in
+  Array.iter (fun k -> Pcolor.Util.Itab.set t k k) itab_keys;
+  let i = ref 0 in
+  Test.make ~name:"hot path: Itab find (hit)"
+    (Staged.stage (fun () ->
+         incr i;
+         ignore (Pcolor.Util.Itab.find t itab_keys.(!i land 0xFFF) ~default:(-1))))
+
+let test_hashtbl_probe =
+  let h = Hashtbl.create 8192 in
+  Array.iter (fun k -> Hashtbl.replace h k k) itab_keys;
+  let i = ref 0 in
+  Test.make ~name:"hot path: Hashtbl find_opt (hit)"
+    (Staged.stage (fun () ->
+         incr i;
+         ignore (Hashtbl.find_opt h itab_keys.(!i land 0xFFF))))
+
+let test_itab_upsert =
+  let t = Pcolor.Util.Itab.create ~capacity:8192 () in
+  let i = ref 0 in
+  Test.make ~name:"hot path: Itab add (upsert)"
+    (Staged.stage (fun () ->
+         incr i;
+         Pcolor.Util.Itab.add t (itab_keys.(!i land 0xFFF)) 1))
+
+let test_hashtbl_upsert =
+  let h = Hashtbl.create 8192 in
+  let i = ref 0 in
+  Test.make ~name:"hot path: Hashtbl find_opt+replace (upsert)"
+    (Staged.stage (fun () ->
+         incr i;
+         let k = itab_keys.(!i land 0xFFF) in
+         Hashtbl.replace h k (1 + Option.value ~default:0 (Hashtbl.find_opt h k))))
+
 (* table1: workload construction *)
 let test_program_build =
   Test.make ~name:"table1: build tomcatv (scale 16)"
@@ -83,6 +124,10 @@ let all_tests =
   [
     test_cache_access;
     test_shadow_access;
+    test_itab_probe;
+    test_hashtbl_probe;
+    test_itab_upsert;
+    test_hashtbl_upsert;
     test_program_build;
     test_summary_extract;
     test_hint_generation;

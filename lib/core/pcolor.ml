@@ -26,6 +26,7 @@ module Util = struct
   module Rng = Pcolor_util.Rng
   module Bits = Pcolor_util.Bits
   module Bitset = Pcolor_util.Bitset
+  module Itab = Pcolor_util.Itab
   module Pool = Pcolor_util.Pool
   module Stat = Pcolor_util.Stat
   module Table = Pcolor_util.Table

@@ -20,14 +20,25 @@ type t = {
   mutable misses : int;
 }
 
-type result =
-  | Hit of { was_dirty : bool }
-      (** [was_dirty] is the line's dirty state {e before} this access;
-          a write hitting a clean line is a shared→exclusive upgrade in
-          the coherence layer. *)
-  | Miss of { evicted : int; evicted_dirty : bool }
-      (** [evicted] is the victim's line number, or [-1] if the way was
-          empty. *)
+(* Access results are packed into an immediate int so the per-reference
+   hot path allocates nothing (the old [Hit {…}]/[Miss {…}] variant
+   heap-allocated a block on every reference simulated):
+
+     bit 0   1 = hit, 0 = miss
+     bit 1   dirty flag: [was_dirty] on a hit (the line's dirty state
+             before this access — a write hitting a clean line is a
+             shared→exclusive upgrade in the coherence layer),
+             [evicted_dirty] on a miss
+     bits 2+ on a miss, victim line number + 1 (0 when the way was
+             empty, i.e. victim = -1)
+
+   Read results through {!res_hit}, {!res_dirty} and {!res_victim}. *)
+
+let[@inline] res_hit r = r land 1 <> 0
+
+let[@inline] res_dirty r = r land 2 <> 0
+
+let[@inline] res_victim r = (r lsr 2) - 1
 
 (** [create geom] builds an empty cache of the given geometry. *)
 let create (g : Config.cache_geom) =
@@ -54,24 +65,31 @@ let line_bits t = t.line_bits
 
 let base_of_set t line = (line land t.set_mask) * t.assoc
 
+(* Way search, hoisted to toplevel: as a local [let rec] capturing
+   [t]/[base]/[line] it costs a closure allocation per reference, which
+   is the one thing this module must never do. Returns the slot index,
+   or -1 when the line is not resident. *)
+let rec find_way tags line base assoc i =
+  if i >= assoc then -1
+  else if Array.unsafe_get tags (base + i) = line then base + i
+  else find_way tags line base assoc (i + 1)
+
 (** [access t ~addr ~write] simulates one reference.  On a miss the line
     is allocated (write-allocate) and the LRU way evicted; the result
     reports the victim so the caller can model write-back traffic.
-    Writes set the dirty bit. *)
+    Writes set the dirty bit.  The result is the packed int described
+    above — decode with {!res_hit}/{!res_dirty}/{!res_victim}. *)
 let access t ~addr ~write =
   let line = line_of t addr in
   let base = base_of_set t line in
   t.tick <- t.tick + 1;
-  let rec find i =
-    if i >= t.assoc then -1 else if t.tags.(base + i) = line then base + i else find (i + 1)
-  in
-  let slot = find 0 in
+  let slot = find_way t.tags line base t.assoc 0 in
   if slot >= 0 then begin
     t.hits <- t.hits + 1;
     t.stamp.(slot) <- t.tick;
     let was_dirty = t.dirty.(slot) in
     if write then t.dirty.(slot) <- true;
-    Hit { was_dirty }
+    1 lor (if was_dirty then 2 else 0)
   end
   else begin
     t.misses <- t.misses + 1;
@@ -97,52 +115,39 @@ let access t ~addr ~write =
     t.tags.(v) <- line;
     t.dirty.(v) <- write;
     t.stamp.(v) <- t.tick;
-    Miss { evicted; evicted_dirty }
+    ((evicted + 1) lsl 2) lor (if evicted_dirty then 2 else 0)
   end
 
 (** [contains t addr] is a non-intrusive residency probe (no LRU
     update, no statistics). *)
 let contains t addr =
   let line = line_of t addr in
-  let base = base_of_set t line in
-  let rec find i =
-    if i >= t.assoc then false else t.tags.(base + i) = line || find (i + 1)
-  in
-  find 0
+  find_way t.tags line (base_of_set t line) t.assoc 0 >= 0
 
 (** [invalidate t addr] drops the line if present, returning whether it
     was dirty (the coherence layer uses this for remote-dirty fetches). *)
 let invalidate t addr =
   let line = line_of t addr in
-  let base = base_of_set t line in
-  let rec find i =
-    if i >= t.assoc then None
-    else if t.tags.(base + i) = line then Some (base + i)
-    else find (i + 1)
-  in
-  match find 0 with
-  | None -> None
-  | Some slot ->
+  let slot = find_way t.tags line (base_of_set t line) t.assoc 0 in
+  if slot < 0 then None
+  else begin
     let was_dirty = t.dirty.(slot) in
     t.tags.(slot) <- -1;
     t.dirty.(slot) <- false;
     Some was_dirty
+  end
 
 (** [set_dirty_if_present t addr] marks the line dirty when resident and
     reports whether it was found; used to sink an L1 dirty victim into
     the external cache without modeling a full access. *)
 let set_dirty_if_present t addr =
   let line = line_of t addr in
-  let base = base_of_set t line in
-  let rec go i =
-    if i >= t.assoc then false
-    else if t.tags.(base + i) = line then begin
-      t.dirty.(base + i) <- true;
-      true
-    end
-    else go (i + 1)
-  in
-  go 0
+  let slot = find_way t.tags line (base_of_set t line) t.assoc 0 in
+  if slot >= 0 then begin
+    t.dirty.(slot) <- true;
+    true
+  end
+  else false
 
 (** [clean t addr] clears the dirty bit if the line is resident (after a
     remote CPU fetched the dirty data). *)

@@ -5,14 +5,6 @@
 
 type t
 
-type result =
-  | Hit of { was_dirty : bool }
-      (** dirty state {e before} the access; a write hitting a clean
-          line is a shared→exclusive upgrade in the coherence layer *)
-  | Miss of { evicted : int; evicted_dirty : bool }
-      (** [evicted] is the victim's line number, or [-1] if the way was
-          empty *)
-
 (** [create geom] builds an empty cache. *)
 val create : Config.cache_geom -> t
 
@@ -23,8 +15,23 @@ val line_of : t -> int -> int
 val line_bits : t -> int
 
 (** [access t ~addr ~write] simulates one reference (write-allocate;
-    LRU victim reported for write-back modeling). *)
-val access : t -> addr:int -> write:bool -> result
+    LRU victim reported for write-back modeling).  The result is a
+    packed immediate int — bit 0 hit, bit 1 dirty flag ([was_dirty] on
+    a hit, [evicted_dirty] on a miss), bits 2+ victim line + 1 on a
+    miss — so the per-reference path never heap-allocates.  Decode with
+    {!res_hit}, {!res_dirty} and {!res_victim}. *)
+val access : t -> addr:int -> write:bool -> int
+
+(** [res_hit r] is true when the packed result [r] was a hit. *)
+val res_hit : int -> bool
+
+(** [res_dirty r] is the result's dirty flag: the line's dirty state
+    before the access on a hit, the victim's dirty state on a miss. *)
+val res_dirty : int -> bool
+
+(** [res_victim r] is the victim's line number on a miss, or [-1] when
+    the way was empty (meaningless on a hit). *)
+val res_victim : int -> int
 
 (** [contains t addr] is a non-intrusive residency probe. *)
 val contains : t -> int -> bool

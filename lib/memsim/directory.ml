@@ -12,9 +12,27 @@
       serviced cache-to-cache at the higher remote latency (750 ns in the
       base configuration).
 
-    State is kept per line in a hash table: a validity bitmask over CPUs,
-    the last writer, whether the writer's copy is dirty, and the mask of
-    words written since the last writer change. *)
+    State is kept per line — a validity bitmask over CPUs, the last
+    writer, whether the writer's copy is dirty, and the mask of words
+    written since the last writer change.  The directory is consulted on
+    every external-cache miss and every prefetch, so the representation
+    matters: when the whole per-line state fits in 62 bits (it does for
+    every paper configuration) it is packed into a single immediate int
+    stored in an open-addressing {!Pcolor_util.Itab} — one flat-array
+    probe, no boxing.  Wider configurations (many CPUs or very long
+    lines) fall back to the original record-in-[Hashtbl] representation
+    with identical semantics.
+
+    Packed word layout, low to high:
+    {v
+      bits [0, n_cpus)            valid_mask
+      bits [n_cpus, +wbits)       writer + 1   (0 = never written)
+      next bit                    dirty
+      bits [.., +words_per_line)  wmask
+    v}
+    A line that was never entered packs to 0, and the absent sentinel is
+    also 0 — [inspect] cannot tell them apart and does not need to: both
+    mean "incoherent, never written, clean". *)
 
 type line_state = {
   mutable valid_mask : int; (* bit c set: CPU c's cached copy is coherent *)
@@ -23,60 +41,122 @@ type line_state = {
   mutable wmask : int; (* words written since writer acquired the line *)
 }
 
+type repr =
+  | Packed of Pcolor_util.Itab.t (* line number -> packed word *)
+  | Boxed of (int, line_state) Hashtbl.t (* line number -> state *)
+
 type t = {
-  table : (int, line_state) Hashtbl.t; (* line number -> state *)
+  repr : repr;
   word_shift : int; (* log2 of word size, 8-byte words *)
   words_per_line_mask : int;
+  (* packed-layout geometry (meaningful only for [Packed]) *)
+  valid_all : int; (* (1 lsl n_cpus) - 1 *)
+  writer_shift : int; (* = n_cpus *)
+  writer_mask : int; (* field mask for writer + 1, unshifted *)
+  dirty_bit : int; (* single-bit mask, already shifted *)
+  wmask_shift : int;
 }
 
-(** [create ~line_size] builds an empty directory for [line_size]-byte
-    lines with 8-byte words. *)
-let create ~line_size =
+(** [create ?n_cpus ~line_size] builds an empty directory for
+    [line_size]-byte lines with 8-byte words.  [n_cpus] (default 32)
+    bounds the CPU ids that will be recorded; when the packed state for
+    that bound fits in an immediate int the fast flat representation is
+    used, otherwise the record fallback. *)
+let create ?(n_cpus = 32) ~line_size () =
   if line_size < 8 || not (Pcolor_util.Bits.is_pow2 line_size) then
     invalid_arg "Directory.create: bad line size";
+  if n_cpus < 1 then invalid_arg "Directory.create: bad cpu count";
+  let words_per_line = line_size / 8 in
+  (* writer field holds writer + 1 in [0, n_cpus] *)
+  let writer_bits = Pcolor_util.Bits.log2 (Pcolor_util.Bits.next_pow2 (n_cpus + 1)) in
+  let fits = n_cpus + writer_bits + 1 + words_per_line <= Sys.int_size - 1 in
   {
-    table = Hashtbl.create (1 lsl 16);
+    repr =
+      (if fits then Packed (Pcolor_util.Itab.create ~capacity:(1 lsl 16) ())
+       else Boxed (Hashtbl.create (1 lsl 16)));
     word_shift = 3;
-    words_per_line_mask = (line_size / 8) - 1;
+    words_per_line_mask = words_per_line - 1;
+    valid_all = (1 lsl n_cpus) - 1;
+    writer_shift = n_cpus;
+    writer_mask = (1 lsl writer_bits) - 1;
+    dirty_bit = 1 lsl (n_cpus + writer_bits);
+    wmask_shift = n_cpus + writer_bits + 1;
   }
 
 let word_bit t addr = 1 lsl ((addr lsr t.word_shift) land t.words_per_line_mask)
 
-let get t line =
-  match Hashtbl.find_opt t.table line with
+(* packed-word field accessors *)
+let[@inline] p_valid t w = w land t.valid_all
+
+let[@inline] p_writer t w = ((w lsr t.writer_shift) land t.writer_mask) - 1
+
+let[@inline] p_dirty t w = w land t.dirty_bit <> 0
+
+let[@inline] p_wmask t w = w lsr t.wmask_shift
+
+let[@inline] pack t ~valid ~writer ~dirty ~wmask =
+  valid
+  lor ((writer + 1) lsl t.writer_shift)
+  lor (if dirty then t.dirty_bit else 0)
+  lor (wmask lsl t.wmask_shift)
+
+let get_boxed table line =
+  match Hashtbl.find_opt table line with
   | Some s -> s
   | None ->
     let s = { valid_mask = 0; writer = -1; dirty = false; wmask = 0 } in
-    Hashtbl.add t.table line s;
+    Hashtbl.add table line s;
     s
 
-(** Result of consulting the directory on one reference. *)
-type verdict = {
-  coherent : bool;
-      (** the CPU's cached copy (if any) is still valid; a cache-tag hit
-          with [coherent = false] is an invalidation miss *)
-  sharing : [ `None | `True | `False ];
-      (** for an invalidation miss: whether the accessed word was
-          remotely written *)
-  remote_dirty : bool;
-      (** on a miss, the line must be fetched dirty from another CPU *)
-}
+(* Verdicts are packed into an immediate int too (the directory is hit
+   on every external miss and every prefetch):
+     bit 0  coherent      bit 2  true sharing
+     bit 1  remote_dirty  bit 3  false sharing *)
+
+(** [v_coherent v] — the CPU's cached copy (if any) is still valid; a
+    cache-tag hit with [v_coherent = false] is an invalidation miss. *)
+let[@inline] v_coherent v = v land 1 <> 0
+
+(** [v_remote_dirty v] — on a miss, the line must be fetched dirty from
+    another CPU. *)
+let[@inline] v_remote_dirty v = v land 2 <> 0
+
+(** [v_sharing v] — for an invalidation miss: whether the accessed word
+    was remotely written. *)
+let[@inline] v_sharing v =
+  if v land 4 <> 0 then `True else if v land 8 <> 0 then `False else `None
 
 (** [inspect t ~cpu ~line ~addr] reports the coherence view of CPU [cpu]
     for the reference at [addr] without changing state.  [addr] selects
-    the word for the true/false-sharing test. *)
+    the word for the true/false-sharing test.  Decode the packed verdict
+    with {!v_coherent}, {!v_sharing} and {!v_remote_dirty}. *)
 let inspect t ~cpu ~line ~addr =
-  match Hashtbl.find_opt t.table line with
-  | None -> { coherent = false; sharing = `None; remote_dirty = false }
-  | Some s ->
-    let coherent = s.valid_mask land (1 lsl cpu) <> 0 in
+  match t.repr with
+  | Packed tab ->
+    let w = Pcolor_util.Itab.find tab line ~default:0 in
+    let coherent = w land (1 lsl cpu) <> 0 in
+    let writer = p_writer t w in
     let sharing =
-      if coherent || s.writer < 0 || s.writer = cpu then `None
-      else if s.wmask land word_bit t addr <> 0 then `True
-      else `False
+      if coherent || writer < 0 || writer = cpu then 0
+      else if p_wmask t w land word_bit t addr <> 0 then 4
+      else 8
     in
-    let remote_dirty = s.dirty && s.writer >= 0 && s.writer <> cpu in
-    { coherent; sharing; remote_dirty }
+    (if coherent then 1 else 0)
+    lor (if p_dirty t w && writer >= 0 && writer <> cpu then 2 else 0)
+    lor sharing
+  | Boxed table -> (
+    match Hashtbl.find_opt table line with
+    | None -> 0
+    | Some s ->
+      let coherent = s.valid_mask land (1 lsl cpu) <> 0 in
+      let sharing =
+        if coherent || s.writer < 0 || s.writer = cpu then 0
+        else if s.wmask land word_bit t addr <> 0 then 4
+        else 8
+      in
+      (if coherent then 1 else 0)
+      lor (if s.dirty && s.writer >= 0 && s.writer <> cpu then 2 else 0)
+      lor sharing)
 
 (** [record_read t ~cpu ~line] notes that CPU [cpu] now holds a coherent
     copy.  If the line was dirty at another CPU, that copy transitions to
@@ -84,11 +164,20 @@ let inspect t ~cpu ~line ~addr =
     Returns [true] if this read forced a remote dirty line clean (so the
     caller can also clean the remote cache's dirty bit). *)
 let record_read t ~cpu ~line =
-  let s = get t line in
-  let forced_clean = s.dirty && s.writer >= 0 && s.writer <> cpu in
-  if forced_clean then s.dirty <- false;
-  s.valid_mask <- s.valid_mask lor (1 lsl cpu);
-  forced_clean
+  match t.repr with
+  | Packed tab ->
+    let w = Pcolor_util.Itab.find tab line ~default:0 in
+    let writer = p_writer t w in
+    let forced_clean = p_dirty t w && writer >= 0 && writer <> cpu in
+    let w = if forced_clean then w land lnot t.dirty_bit else w in
+    Pcolor_util.Itab.set tab line (w lor (1 lsl cpu));
+    forced_clean
+  | Boxed table ->
+    let s = get_boxed table line in
+    let forced_clean = s.dirty && s.writer >= 0 && s.writer <> cpu in
+    if forced_clean then s.dirty <- false;
+    s.valid_mask <- s.valid_mask lor (1 lsl cpu);
+    forced_clean
 
 (** [record_write t ~cpu ~line ~addr] makes CPU [cpu] the exclusive owner
     and accumulates the written word into the mask (the mask resets when
@@ -97,34 +186,67 @@ let record_read t ~cpu ~line =
     CPUs whose copies were invalidated — the caller uses a nonempty mask
     to account an upgrade/invalidate bus transaction. *)
 let record_write t ~cpu ~line ~addr =
-  let s = get t line in
-  let me = 1 lsl cpu in
-  let invalidated = s.valid_mask land lnot me in
-  if s.writer <> cpu then begin
-    s.writer <- cpu;
-    s.wmask <- 0
-  end;
-  s.wmask <- s.wmask lor word_bit t addr;
-  s.dirty <- true;
-  s.valid_mask <- me;
-  invalidated
+  match t.repr with
+  | Packed tab ->
+    let w = Pcolor_util.Itab.find tab line ~default:0 in
+    let me = 1 lsl cpu in
+    let invalidated = p_valid t w land lnot me in
+    let wmask = if p_writer t w <> cpu then 0 else p_wmask t w in
+    Pcolor_util.Itab.set tab line
+      (pack t ~valid:me ~writer:cpu ~dirty:true ~wmask:(wmask lor word_bit t addr));
+    invalidated
+  | Boxed table ->
+    let s = get_boxed table line in
+    let me = 1 lsl cpu in
+    let invalidated = s.valid_mask land lnot me in
+    if s.writer <> cpu then begin
+      s.writer <- cpu;
+      s.wmask <- 0
+    end;
+    s.wmask <- s.wmask lor word_bit t addr;
+    s.dirty <- true;
+    s.valid_mask <- me;
+    invalidated
 
 (** [writeback t ~cpu ~line] marks the line clean if [cpu] owned it
     dirty (victim eviction wrote it to memory). *)
 let writeback t ~cpu ~line =
-  match Hashtbl.find_opt t.table line with
-  | Some s when s.writer = cpu -> s.dirty <- false
-  | _ -> ()
+  match t.repr with
+  | Packed tab ->
+    (* min_int sentinel distinguishes "absent" from a present all-zero
+       word, so a writeback to an untracked line does not create one *)
+    let w = Pcolor_util.Itab.find tab line ~default:min_int in
+    if w <> min_int && p_writer t w = cpu then
+      Pcolor_util.Itab.set tab line (w land lnot t.dirty_bit)
+  | Boxed table -> (
+    match Hashtbl.find_opt table line with
+    | Some s when s.writer = cpu -> s.dirty <- false
+    | _ -> ())
 
 (** [evict t ~cpu ~line] clears CPU [cpu]'s validity bit after its cache
     dropped the line, keeping directory state consistent with caches. *)
 let evict t ~cpu ~line =
-  match Hashtbl.find_opt t.table line with
-  | Some s -> s.valid_mask <- s.valid_mask land lnot (1 lsl cpu)
-  | None -> ()
+  match t.repr with
+  | Packed tab ->
+    let w = Pcolor_util.Itab.find tab line ~default:min_int in
+    if w <> min_int then Pcolor_util.Itab.set tab line (w land lnot (1 lsl cpu))
+  | Boxed table -> (
+    match Hashtbl.find_opt table line with
+    | Some s -> s.valid_mask <- s.valid_mask land lnot (1 lsl cpu)
+    | None -> ())
+
+(** [packed t] is true when the flat single-int representation is in use
+    (test/bench helper). *)
+let packed t = match t.repr with Packed _ -> true | Boxed _ -> false
 
 (** [lines t] is the number of lines the directory tracks (test helper). *)
-let lines t = Hashtbl.length t.table
+let lines t =
+  match t.repr with
+  | Packed tab -> Pcolor_util.Itab.length tab
+  | Boxed table -> Hashtbl.length table
 
 (** [reset t] forgets all sharing state. *)
-let reset t = Hashtbl.reset t.table
+let reset t =
+  match t.repr with
+  | Packed tab -> Pcolor_util.Itab.reset tab
+  | Boxed table -> Hashtbl.reset table

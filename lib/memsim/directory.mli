@@ -1,26 +1,39 @@
 (** Line-granularity coherence directory with word-level write masks:
     invalidation on writes, true/false-sharing classification (Dubois et
     al., §4.1), and dirty-remote sourcing at the higher cache-to-cache
-    latency. *)
+    latency.
+
+    Consulted on every external-cache miss and every prefetch, so the
+    per-line state (valid mask, writer, dirty, written-word mask) is
+    packed into a single immediate int in an open-addressing table when
+    it fits in 62 bits — which covers every paper configuration — with
+    the original record-per-line [Hashtbl] as a guarded fallback for
+    wider geometries. *)
 
 type t
 
-(** [create ~line_size] builds an empty directory (8-byte words). *)
-val create : line_size:int -> t
+(** [create ?n_cpus ~line_size ()] builds an empty directory (8-byte
+    words).  [n_cpus] (default 32) bounds recordable CPU ids and selects
+    the packed representation when the state fits an immediate int. *)
+val create : ?n_cpus:int -> line_size:int -> unit -> t
 
-(** The directory's view of one reference. *)
-type verdict = {
-  coherent : bool;
-      (** the CPU's copy (if cached) is valid; cleared only by a remote
-          write, so a miss with [coherent = false] is communication *)
-  sharing : [ `None | `True | `False ];
-      (** whether the accessed word was remotely written *)
-  remote_dirty : bool;  (** the line must be fetched dirty from another CPU *)
-}
+(** [inspect t ~cpu ~line ~addr] reports without changing state; [addr]
+    selects the word for the true/false test.  The verdict is a packed
+    immediate int — decode with {!v_coherent}, {!v_sharing},
+    {!v_remote_dirty}. *)
+val inspect : t -> cpu:int -> line:int -> addr:int -> int
 
-(** [inspect t ~cpu ~line ~addr] reports without changing state;
-    [addr] selects the word for the true/false test. *)
-val inspect : t -> cpu:int -> line:int -> addr:int -> verdict
+(** [v_coherent v] — the CPU's copy (if cached) is valid; cleared only
+    by a remote write, so a miss with [v_coherent v = false] is
+    communication. *)
+val v_coherent : int -> bool
+
+(** [v_sharing v] — whether the accessed word was remotely written. *)
+val v_sharing : int -> [ `None | `True | `False ]
+
+(** [v_remote_dirty v] — the line must be fetched dirty from another
+    CPU. *)
+val v_remote_dirty : int -> bool
 
 (** [record_read t ~cpu ~line] notes a coherent copy at [cpu]; returns
     [true] when this read forced a remote dirty copy clean. *)
@@ -39,6 +52,10 @@ val writeback : t -> cpu:int -> line:int -> unit
     explicit frame invalidation; ordinary evictions keep the bit so
     misses classify as replacement, not communication). *)
 val evict : t -> cpu:int -> line:int -> unit
+
+(** [packed t] is true when the flat single-int representation is in
+    use (test/bench helper). *)
+val packed : t -> bool
 
 (** [lines t] counts tracked lines (test helper). *)
 val lines : t -> int

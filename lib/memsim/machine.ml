@@ -75,7 +75,7 @@ type cpu = {
   shadow : Shadow.t;
   tlb : Tlb.t;
   seen : Pcolor_util.Bitset.t; (* physical lines ever referenced by this CPU *)
-  pf_ready : (int, int) Hashtbl.t; (* physical line -> completion time *)
+  pf_ready : Pcolor_util.Itab.t; (* physical line -> completion time *)
   pf_inflight : int array; (* completion times of outstanding prefetches *)
   mutable pf_count : int; (* live entries in [pf_inflight] *)
   mutable time : int; (* local cycle counter *)
@@ -98,7 +98,7 @@ type t = {
   page_mask : int;
   l2_line_bits : int;
   line_bus : int; (* bus cycles per L2 line transfer *)
-  conflict_by_frame : (int, int) Hashtbl.t;
+  conflict_by_frame : Pcolor_util.Itab.t;
       (* physical page -> conflict misses since last harvest; feeds the
          dynamic-recoloring extension (the TLB-state + miss-counter
          detection of §2.1's dynamic policies) *)
@@ -121,7 +121,7 @@ let create ?(obs = Pcolor_obs.Ctx.disabled) (cfg : Config.t) =
       shadow = Shadow.create cfg.l2;
       tlb = Tlb.create ~entries:cfg.tlb_entries;
       seen = Pcolor_util.Bitset.create (1 lsl 17);
-      pf_ready = Hashtbl.create 64;
+      pf_ready = Pcolor_util.Itab.create ~capacity:64 ();
       pf_inflight = Array.make (max 1 cfg.max_outstanding_prefetches) 0;
       pf_count = 0;
       time = 0;
@@ -134,13 +134,13 @@ let create ?(obs = Pcolor_obs.Ctx.disabled) (cfg : Config.t) =
   {
     cfg;
     cpus = Array.init cfg.n_cpus mk;
-    dir = Directory.create ~line_size:cfg.l2.line;
+    dir = Directory.create ~n_cpus:cfg.n_cpus ~line_size:cfg.l2.line ();
     bus = Bus.create ();
     page_bits = Pcolor_util.Bits.log2 cfg.page_size;
     page_mask = cfg.page_size - 1;
     l2_line_bits = Pcolor_util.Bits.log2 cfg.l2.line;
     line_bus = Config.line_bus_cycles cfg;
-    conflict_by_frame = Hashtbl.create 1024;
+    conflict_by_frame = Pcolor_util.Itab.create ~capacity:1024 ();
     obs_trace = Pcolor_obs.Ctx.trace obs;
     sample_miss_stall =
       (match Pcolor_obs.Ctx.metrics obs with
@@ -271,20 +271,19 @@ let l2_miss t c ~vaddr ~paddr ~pline ~write ~fa_hit ~evicted ~evicted_dirty =
   let verdict = Directory.inspect t.dir ~cpu:c.id ~line:pline ~addr:paddr in
   let cls : Mclass.t =
     if not (Pcolor_util.Bitset.mem c.seen pline) then Cold
-    else if not verdict.coherent then
-      match verdict.sharing with
+    else if not (Directory.v_coherent verdict) then
+      match Directory.v_sharing verdict with
       | `True -> True_sharing
       | `False | `None -> False_sharing
     else if fa_hit then Conflict
     else Capacity
   in
   Mclass.incr s.l2_miss_counts cls;
-  (if cls = Conflict then
-     let frame = paddr lsr t.page_bits in
-     Hashtbl.replace t.conflict_by_frame frame
-       (1 + Option.value ~default:0 (Hashtbl.find_opt t.conflict_by_frame frame)));
+  (* single-probe upsert (the Hashtbl version paid a find_opt plus a
+     replace, re-hashing the key and allocating a [Some] each time) *)
+  if cls = Conflict then Pcolor_util.Itab.add t.conflict_by_frame (paddr lsr t.page_bits) 1;
   (* latency and bus occupancy *)
-  let base = if verdict.remote_dirty then t.cfg.remote_cycles else t.cfg.mem_cycles in
+  let base = if Directory.v_remote_dirty verdict then t.cfg.remote_cycles else t.cfg.mem_cycles in
   s.stall_by_class.(Mclass.index cls) <- s.stall_by_class.(Mclass.index cls) + base;
   c.time <- c.time + base;
   (match t.sample_miss_stall with Some h -> Pcolor_obs.Metrics.observe h base | None -> ());
@@ -324,47 +323,49 @@ let upgrade_on_write t c ~vaddr ~paddr ~pline =
 let access t ~cpu ~vaddr ~write ~translate =
   let c = t.cpus.(cpu) in
   let s = c.stats in
-  match Cache.access c.l1 ~addr:vaddr ~write with
-  | Hit { was_dirty } ->
+  let r1 = Cache.access c.l1 ~addr:vaddr ~write in
+  if Cache.res_hit r1 then begin
     s.l1_hits <- s.l1_hits + 1;
-    if write && not was_dirty then begin
+    if write && not (Cache.res_dirty r1) then begin
       (* Possible shared->exclusive upgrade; L2 must learn the dirty state. *)
       let paddr = translate_addr t c ~translate vaddr in
       let pline = paddr lsr t.l2_line_bits in
       ignore (Cache.set_dirty_if_present c.l2 paddr);
       upgrade_on_write t c ~vaddr ~paddr ~pline
     end
-  | Miss { evicted = _; evicted_dirty = l1_victim_dirty } ->
+  end
+  else begin
     s.l1_misses <- s.l1_misses + 1;
     let paddr = translate_addr t c ~translate vaddr in
     let pline = paddr lsr t.l2_line_bits in
-    (* Sink the L1 victim's dirty data into L2 (approximate: we do not
-       retain the victim's own address mapping, so we skip it; the
+    (* The L1 victim's dirty data is not sunk into L2 (approximate: we do
+       not retain the victim's own address mapping, so we skip it; the
        original write already set the L2 dirty bit on its own path). *)
-    ignore l1_victim_dirty;
     let fa_hit = Shadow.access c.shadow pline in
-    (match Cache.access c.l2 ~addr:paddr ~write with
-    | Hit { was_dirty } ->
+    let r2 = Cache.access c.l2 ~addr:paddr ~write in
+    if Cache.res_hit r2 then begin
       s.l2_hits <- s.l2_hits + 1;
       s.stall_onchip <- s.stall_onchip + t.cfg.l2_hit_cycles;
       c.time <- c.time + t.cfg.l2_hit_cycles;
       (* Was this line prefetched and still in flight? *)
-      (match Hashtbl.find_opt c.pf_ready pline with
-      | Some ready when ready > c.time ->
-        let wait = ready - c.time in
-        s.stall_pf_late <- s.stall_pf_late + wait;
-        c.time <- c.time + wait;
+      let ready = Pcolor_util.Itab.find c.pf_ready pline ~default:min_int in
+      if ready <> min_int then begin
+        if ready > c.time then begin
+          let wait = ready - c.time in
+          s.stall_pf_late <- s.stall_pf_late + wait;
+          c.time <- c.time + wait
+        end;
         s.pf_useful <- s.pf_useful + 1;
-        Hashtbl.remove c.pf_ready pline
-      | Some _ ->
-        s.pf_useful <- s.pf_useful + 1;
-        Hashtbl.remove c.pf_ready pline
-      | None -> ());
-      if write && not was_dirty then upgrade_on_write t c ~vaddr ~paddr ~pline
+        Pcolor_util.Itab.remove c.pf_ready pline
+      end;
+      if write && not (Cache.res_dirty r2) then upgrade_on_write t c ~vaddr ~paddr ~pline
       (* no [seen] insert here: every path that put the line into L2 (a
          demand miss or a prefetch fill) already recorded it *)
-    | Miss { evicted; evicted_dirty } ->
-      l2_miss t c ~vaddr ~paddr ~pline ~write ~fa_hit ~evicted ~evicted_dirty)
+    end
+    else
+      l2_miss t c ~vaddr ~paddr ~pline ~write ~fa_hit ~evicted:(Cache.res_victim r2)
+        ~evicted_dirty:(Cache.res_dirty r2)
+  end
 
 (* Drop completed prefetches from the in-flight ring (one in-place
    compaction — the old list representation re-ran [List.filter] and
@@ -389,18 +390,17 @@ let prefetch t ~cpu ~vaddr =
   let s = c.stats in
   s.pf_issued <- s.pf_issued + 1;
   let vpage = vpage_of t vaddr in
-  let translation =
+  let frame =
     (* the memo proves residency while the generation is unchanged, and a
        probe has no counter or recency effects to replay *)
-    if c.memo_vpage = vpage && c.memo_gen = Tlb.generation c.tlb then Some c.memo_frame
-    else Tlb.probe c.tlb vpage
+    if c.memo_vpage = vpage && c.memo_gen = Tlb.generation c.tlb then c.memo_frame
+    else Tlb.probe_frame c.tlb vpage
   in
-  match translation with
-  | None -> s.pf_dropped_tlb <- s.pf_dropped_tlb + 1
-  | Some frame ->
+  if frame < 0 then s.pf_dropped_tlb <- s.pf_dropped_tlb + 1
+  else begin
     let paddr = paddr_of t ~frame ~vaddr in
     let pline = paddr lsr t.l2_line_bits in
-    if Cache.contains c.l2 paddr || Hashtbl.mem c.pf_ready pline then
+    if Cache.contains c.l2 paddr || Pcolor_util.Itab.mem c.pf_ready pline then
       s.pf_useless <- s.pf_useless + 1
     else begin
       (* Retire completed prefetches, then enforce the slot limit. *)
@@ -416,24 +416,25 @@ let prefetch t ~cpu ~vaddr =
         retire_prefetches c
       end;
       let verdict = Directory.inspect t.dir ~cpu ~line:pline ~addr:paddr in
-      let base = if verdict.remote_dirty then t.cfg.remote_cycles else t.cfg.mem_cycles in
+      let base =
+        if Directory.v_remote_dirty verdict then t.cfg.remote_cycles else t.cfg.mem_cycles
+      in
       let done_at = c.time + base in
       c.pf_inflight.(c.pf_count) <- done_at;
       c.pf_count <- c.pf_count + 1;
-      Hashtbl.replace c.pf_ready pline done_at;
+      Pcolor_util.Itab.set c.pf_ready pline done_at;
       Bus.add_data t.bus t.line_bus;
       ignore (Shadow.access c.shadow pline);
-      (match Cache.access c.l2 ~addr:paddr ~write:false with
-      | Hit _ -> ()
-      | Miss { evicted; evicted_dirty } ->
-        if evicted_dirty then begin
-          Bus.add_writeback t.bus t.line_bus;
-          Directory.writeback t.dir ~cpu ~line:evicted
-        end);
+      let r = Cache.access c.l2 ~addr:paddr ~write:false in
+      if (not (Cache.res_hit r)) && Cache.res_dirty r then begin
+        Bus.add_writeback t.bus t.line_bus;
+        Directory.writeback t.dir ~cpu ~line:(Cache.res_victim r)
+      end;
       if Directory.record_read t.dir ~cpu ~line:pline then
         Array.iter (fun peer -> if peer.id <> cpu then Cache.clean peer.l2 paddr) t.cpus;
       Pcolor_util.Bitset.set c.seen pline
     end
+  end
 
 (** [harvest_conflicts t ~min_count] returns frames that took at least
     [min_count] conflict misses since the last harvest, hottest first,
@@ -442,12 +443,15 @@ let prefetch t ~cpu ~vaddr =
     counters" detection mechanism). *)
 let harvest_conflicts t ~min_count =
   let hot =
-    Hashtbl.fold
+    Pcolor_util.Itab.fold
       (fun frame count acc -> if count >= min_count then (frame, count) :: acc else acc)
       t.conflict_by_frame []
   in
-  Hashtbl.reset t.conflict_by_frame;
-  List.sort (fun (_, a) (_, b) -> compare b a) hot
+  Pcolor_util.Itab.reset t.conflict_by_frame;
+  (* equal counts tie-break on the frame number: the pre-Itab sort left
+     ties in hash-fold order, which was deterministic for a fixed table
+     but fragile across table implementations *)
+  List.sort (fun (fa, a) (fb, b) -> if a <> b then compare b a else compare fa fb) hot
 
 (** [invalidate_frame_everywhere t ~frame] drops every line of a
     physical page from every CPU's external cache (the page's data
@@ -540,8 +544,8 @@ let reset_stats t =
       (* the local clock rebases to zero, so in-flight prefetch
          completion times from before the reset are meaningless *)
       c.pf_count <- 0;
-      Hashtbl.reset c.pf_ready;
+      Pcolor_util.Itab.reset c.pf_ready;
       c.time <- 0)
     t.cpus;
   Bus.reset t.bus;
-  Hashtbl.reset t.conflict_by_frame
+  Pcolor_util.Itab.reset t.conflict_by_frame

@@ -7,18 +7,23 @@
     associativity and indexing, which is precisely what page coloring
     manipulates.  A miss in both is a {e capacity} miss.
 
-    The structure is an O(1) LRU: an open hash table from line number to
-    slot, plus an intrusive doubly-linked list over slot arrays. *)
+    The structure is an O(1) LRU probed on every reference the shadowed
+    cache sees, so the line→slot map is an allocation-free
+    open-addressing {!Pcolor_util.Itab} (a [Hashtbl] here allocated a
+    [Some] per probe and a bucket cell per insert), plus an intrusive
+    doubly-linked list over slot arrays.  Never-used slots are handed
+    out by bumping [next_free]; once the shadow is full, evicted slots
+    are reused directly. *)
 
 type t = {
   capacity : int; (* number of lines *)
-  table : (int, int) Hashtbl.t; (* line -> slot *)
+  table : Pcolor_util.Itab.t; (* line -> slot *)
   line_no : int array; (* slot -> line (-1 = free) *)
   prev : int array;
   next : int array;
   mutable head : int; (* most recently used; -1 when empty *)
   mutable tail : int; (* least recently used; -1 when empty *)
-  mutable free : int list;
+  mutable next_free : int; (* slots >= next_free have never been used *)
   mutable size : int;
 }
 
@@ -29,13 +34,13 @@ let create (g : Config.cache_geom) =
   let capacity = g.size / g.line in
   {
     capacity;
-    table = Hashtbl.create (2 * capacity);
+    table = Pcolor_util.Itab.create ~capacity:(2 * capacity) ();
     line_no = Array.make capacity (-1);
     prev = Array.make capacity (-1);
     next = Array.make capacity (-1);
     head = -1;
     tail = -1;
-    free = List.init capacity (fun i -> i);
+    next_free = 0;
     size = 0;
   }
 
@@ -58,33 +63,37 @@ let push_front t slot =
     evicting the LRU line when full.  Must be called on {e every}
     reference, hit or miss in the real cache, to keep recency exact. *)
 let access t line =
-  match Hashtbl.find_opt t.table line with
-  | Some slot ->
+  let slot = Pcolor_util.Itab.find t.table line ~default:(-1) in
+  if slot >= 0 then begin
     if t.head <> slot then begin
       unlink t slot;
       push_front t slot
     end;
     true
-  | None ->
+  end
+  else begin
     let slot =
-      match t.free with
-      | s :: rest ->
-        t.free <- rest;
+      if t.next_free < t.capacity then begin
+        let s = t.next_free in
+        t.next_free <- s + 1;
         t.size <- t.size + 1;
         s
-      | [] ->
+      end
+      else begin
         let victim = t.tail in
-        Hashtbl.remove t.table t.line_no.(victim);
+        Pcolor_util.Itab.remove t.table t.line_no.(victim);
         unlink t victim;
         victim
+      end
     in
     t.line_no.(slot) <- line;
-    Hashtbl.replace t.table line slot;
+    Pcolor_util.Itab.set t.table line slot;
     push_front t slot;
     false
+  end
 
 (** [mem t line] is a residency probe with no LRU side effect. *)
-let mem t line = Hashtbl.mem t.table line
+let mem t line = Pcolor_util.Itab.mem t.table line
 
 (** [size t] is the current number of resident lines. *)
 let size t = t.size

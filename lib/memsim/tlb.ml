@@ -7,8 +7,8 @@
 
 type t = {
   entries : int;
-  table : (int, int) Hashtbl.t; (* vpage -> frame *)
-  order : (int, int) Hashtbl.t; (* vpage -> stamp *)
+  table : Pcolor_util.Itab.t; (* vpage -> frame *)
+  order : Pcolor_util.Itab.t; (* vpage -> stamp *)
   mutable tick : int;
   mutable gen : int; (* bumped on every content change (insert/invalidate/flush) *)
   mutable hits : int;
@@ -20,8 +20,8 @@ let create ~entries =
   if entries <= 0 then invalid_arg "Tlb.create: entries must be positive";
   {
     entries;
-    table = Hashtbl.create (2 * entries);
-    order = Hashtbl.create (2 * entries);
+    table = Pcolor_util.Itab.create ~capacity:(2 * entries) ();
+    order = Pcolor_util.Itab.create ~capacity:(2 * entries) ();
     tick = 0;
     gen = 0;
     hits = 0;
@@ -32,18 +32,27 @@ let create ~entries =
     its recency, or [None] on a TLB miss.  Counters are updated. *)
 let lookup t vpage =
   t.tick <- t.tick + 1;
-  match Hashtbl.find_opt t.table vpage with
-  | Some frame ->
+  let frame = Pcolor_util.Itab.find t.table vpage ~default:min_int in
+  if frame <> min_int then begin
     t.hits <- t.hits + 1;
-    Hashtbl.replace t.order vpage t.tick;
+    Pcolor_util.Itab.set t.order vpage t.tick;
     Some frame
-  | None ->
+  end
+  else begin
     t.misses <- t.misses + 1;
     None
+  end
 
 (** [probe t vpage] is [lookup] without statistics or recency effects —
     used by the prefetch unit, whose TLB probes do not fault (§6.2). *)
-let probe t vpage = Hashtbl.find_opt t.table vpage
+let probe t vpage =
+  let frame = Pcolor_util.Itab.find t.table vpage ~default:min_int in
+  if frame <> min_int then Some frame else None
+
+(** [probe_frame t vpage] is {!probe} returning [-1] instead of [None]
+    — the prefetch unit probes on every candidate line, so its path
+    must not box an [option]. *)
+let probe_frame t vpage = Pcolor_util.Itab.find t.table vpage ~default:(-1)
 
 (** [touch t vpage] replays a guaranteed hit on a translation the caller
     has proven present (a memoized lookup while {!generation} was
@@ -52,7 +61,7 @@ let probe t vpage = Hashtbl.find_opt t.table vpage
 let touch t vpage =
   t.tick <- t.tick + 1;
   t.hits <- t.hits + 1;
-  Hashtbl.replace t.order vpage t.tick
+  Pcolor_util.Itab.set t.order vpage t.tick
 
 (** [generation t] changes whenever the TLB's {e contents} change —
     insert, invalidate or flush (recency refreshes do not count).  A
@@ -63,10 +72,14 @@ let generation t = t.gen
 (** [insert t ~vpage ~frame] installs a translation, evicting the LRU
     entry when full. *)
 let insert t ~vpage ~frame =
-  if not (Hashtbl.mem t.table vpage) && Hashtbl.length t.table >= t.entries then begin
-    (* Evict LRU: scan the (small, bounded) order table. *)
+  if
+    (not (Pcolor_util.Itab.mem t.table vpage))
+    && Pcolor_util.Itab.length t.table >= t.entries
+  then begin
+    (* Evict LRU: scan the (small, bounded) order table.  Stamps are
+       unique, so the victim is independent of iteration order. *)
     let victim = ref (-1) and best = ref max_int in
-    Hashtbl.iter
+    Pcolor_util.Itab.iter
       (fun vp stamp ->
         if stamp < !best then begin
           best := stamp;
@@ -74,26 +87,26 @@ let insert t ~vpage ~frame =
         end)
       t.order;
     if !victim >= 0 then begin
-      Hashtbl.remove t.table !victim;
-      Hashtbl.remove t.order !victim
+      Pcolor_util.Itab.remove t.table !victim;
+      Pcolor_util.Itab.remove t.order !victim
     end
   end;
   t.tick <- t.tick + 1;
   t.gen <- t.gen + 1;
-  Hashtbl.replace t.table vpage frame;
-  Hashtbl.replace t.order vpage t.tick
+  Pcolor_util.Itab.set t.table vpage frame;
+  Pcolor_util.Itab.set t.order vpage t.tick
 
 (** [invalidate t vpage] drops one translation (page remap / recolor). *)
 let invalidate t vpage =
   t.gen <- t.gen + 1;
-  Hashtbl.remove t.table vpage;
-  Hashtbl.remove t.order vpage
+  Pcolor_util.Itab.remove t.table vpage;
+  Pcolor_util.Itab.remove t.order vpage
 
 (** [flush t] empties the TLB (context switch / recoloring shootdown). *)
 let flush t =
   t.gen <- t.gen + 1;
-  Hashtbl.reset t.table;
-  Hashtbl.reset t.order
+  Pcolor_util.Itab.reset t.table;
+  Pcolor_util.Itab.reset t.order
 
 (** [hits t] / [misses t] are cumulative counters. *)
 let hits t = t.hits
@@ -106,4 +119,4 @@ let reset_stats t =
   t.misses <- 0
 
 (** [occupancy t] is the number of live translations. *)
-let occupancy t = Hashtbl.length t.table
+let occupancy t = Pcolor_util.Itab.length t.table

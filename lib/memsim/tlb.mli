@@ -15,6 +15,10 @@ val lookup : t -> int -> int option
     (the prefetch unit's non-faulting probe). *)
 val probe : t -> int -> int option
 
+(** [probe_frame t vpage] is {!probe} with a [-1] sentinel for "not
+    mapped" — allocation-free. *)
+val probe_frame : t -> int -> int
+
 (** [touch t vpage] replays a guaranteed hit on a translation the
     caller has proven present (memoized lookup at an unchanged
     {!generation}): counters and recency advance exactly as {!lookup}

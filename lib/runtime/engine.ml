@@ -37,7 +37,7 @@ type t = {
   l2_line_bits : int;
   page_bits : int;
   check_bounds : bool;
-  trace : (int, unit) Hashtbl.t option; (* (vpage lsl trace_cpu_bits) lor cpu *)
+  trace : Pcolor_util.Itab.Set.t option; (* (vpage lsl trace_cpu_bits) lor cpu *)
   trace_cpu_bits : int; (* key width reserved for the cpu id *)
   mutable last_contention : float;
   obs_trace : Pcolor_obs.Trace.buffer option; (* phase spans + instant events *)
@@ -77,6 +77,10 @@ let create ?(check_bounds = false) ?(collect_trace = false) ?(obs = Pcolor_obs.C
           knee_crossings = Mx.counter reg "runtime.bus_knee_crossings";
         }
   in
+  let trace_cpu_bits = Pcolor_util.Bits.log2 (Pcolor_util.Bits.next_pow2 (max 2 cfg.n_cpus)) in
+  (* every cpu id must fit the key width reserved for it in trace keys;
+     checked once here instead of per nest on the hot path *)
+  assert (cfg.n_cpus <= 1 lsl trace_cpu_bits);
   {
     machine;
     kernel;
@@ -87,8 +91,8 @@ let create ?(check_bounds = false) ?(collect_trace = false) ?(obs = Pcolor_obs.C
     l2_line_bits = Pcolor_util.Bits.log2 cfg.l2.line;
     page_bits = Pcolor_util.Bits.log2 cfg.page_size;
     check_bounds;
-    trace = (if collect_trace then Some (Hashtbl.create (1 lsl 12)) else None);
-    trace_cpu_bits = Pcolor_util.Bits.log2 (Pcolor_util.Bits.next_pow2 (max 2 cfg.n_cpus));
+    trace = (if collect_trace then Some (Pcolor_util.Itab.Set.create ~capacity:(1 lsl 12) ()) else None);
+    trace_cpu_bits;
     last_contention = 1.0;
     obs_trace;
     obs_metrics;
@@ -113,7 +117,6 @@ let run_cpu_nest t (nest : Ir.nest) ~n_cpus ~cpu =
     let instr_per_iter = nest.body_instr + (2 * nrefs) in
     let machine = t.machine in
     let translate = t.translate in
-    assert (cpu < 1 lsl t.trace_cpu_bits);
     let rec go d =
       if d = depth then begin
         for r = 0 to nrefs - 1 do
@@ -138,7 +141,7 @@ let run_cpu_nest t (nest : Ir.nest) ~n_cpus ~cpu =
             let vpage = vaddr lsr t.page_bits in
             if vpage <> prev_vpage.(r) then begin
               prev_vpage.(r) <- vpage;
-              Hashtbl.replace tbl ((vpage lsl t.trace_cpu_bits) lor cpu) ()
+              Pcolor_util.Itab.Set.add tbl ((vpage lsl t.trace_cpu_bits) lor cpu)
             end
           | None -> ()
         done;
@@ -307,7 +310,7 @@ let run t ?(cap = 2) ?(after_phase = fun () -> ()) () =
     (Window.warmup_plan t.program);
   M.reset_stats t.machine;
   t.ov <- Pcolor_stats.Overheads.create ~n_cpus:(M.n_cpus t.machine);
-  (match t.trace with Some tbl -> Hashtbl.reset tbl | None -> ());
+  (match t.trace with Some tbl -> Pcolor_util.Itab.Set.reset tbl | None -> ());
   (* measured pass *)
   let n = M.n_cpus t.machine in
   let tmax () =
@@ -345,7 +348,9 @@ let trace_points t =
   | None -> []
   | Some tbl ->
     let mask = (1 lsl t.trace_cpu_bits) - 1 in
-    Hashtbl.fold (fun k () acc -> (k lsr t.trace_cpu_bits, k land mask) :: acc) tbl []
+    Pcolor_util.Itab.Set.fold
+      (fun k acc -> (k lsr t.trace_cpu_bits, k land mask) :: acc)
+      tbl []
     |> List.sort compare
 
 (** [last_contention t] is the stretch factor of the last simulated

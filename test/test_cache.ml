@@ -14,7 +14,7 @@ let dm4 () = Cache.create (geom ~size:256 ~assoc:1 ~line:64)
 (* 4 lines, 2-way: 2 sets. *)
 let w2 () = Cache.create (geom ~size:256 ~assoc:2 ~line:64)
 
-let is_hit = function Cache.Hit _ -> true | Cache.Miss _ -> false
+let is_hit r = Cache.res_hit r
 
 let test_dm_basic () =
   let c = dm4 () in
@@ -22,29 +22,28 @@ let test_dm_basic () =
   Alcotest.(check bool) "hit same line" true (is_hit (Cache.access c ~addr:63 ~write:false));
   Alcotest.(check bool) "miss other set" false (is_hit (Cache.access c ~addr:64 ~write:false));
   (* addr 1024 maps to set 0 (1024/64 = 16, 16 mod 4 = 0): evicts line 0 *)
-  (match Cache.access c ~addr:1024 ~write:false with
-  | Cache.Miss { evicted; evicted_dirty } ->
-    Alcotest.(check int) "evicted line 0" 0 evicted;
-    Alcotest.(check bool) "clean victim" false evicted_dirty
-  | Cache.Hit _ -> Alcotest.fail "expected conflict eviction");
+  let r = Cache.access c ~addr:1024 ~write:false in
+  Alcotest.(check bool) "expected conflict eviction" false (Cache.res_hit r);
+  Alcotest.(check int) "evicted line 0" 0 (Cache.res_victim r);
+  Alcotest.(check bool) "clean victim" false (Cache.res_dirty r);
   Alcotest.(check bool) "original line gone" false (Cache.contains c 0)
 
 let test_dirty_writeback () =
   let c = dm4 () in
   ignore (Cache.access c ~addr:0 ~write:true);
-  match Cache.access c ~addr:1024 ~write:false with
-  | Cache.Miss { evicted_dirty; _ } -> Alcotest.(check bool) "dirty victim" true evicted_dirty
-  | Cache.Hit _ -> Alcotest.fail "expected miss"
+  let r = Cache.access c ~addr:1024 ~write:false in
+  Alcotest.(check bool) "expected miss" false (Cache.res_hit r);
+  Alcotest.(check bool) "dirty victim" true (Cache.res_dirty r)
 
 let test_hit_reports_prior_dirty () =
   let c = dm4 () in
   ignore (Cache.access c ~addr:0 ~write:false);
-  (match Cache.access c ~addr:0 ~write:true with
-  | Cache.Hit { was_dirty } -> Alcotest.(check bool) "was clean" false was_dirty
-  | _ -> Alcotest.fail "expected hit");
-  match Cache.access c ~addr:0 ~write:true with
-  | Cache.Hit { was_dirty } -> Alcotest.(check bool) "now dirty" true was_dirty
-  | _ -> Alcotest.fail "expected hit"
+  let r = Cache.access c ~addr:0 ~write:true in
+  Alcotest.(check bool) "expected hit" true (Cache.res_hit r);
+  Alcotest.(check bool) "was clean" false (Cache.res_dirty r);
+  let r = Cache.access c ~addr:0 ~write:true in
+  Alcotest.(check bool) "expected hit" true (Cache.res_hit r);
+  Alcotest.(check bool) "now dirty" true (Cache.res_dirty r)
 
 let test_lru_two_way () =
   let c = w2 () in
@@ -52,9 +51,9 @@ let test_lru_two_way () =
   ignore (Cache.access c ~addr:0 ~write:false);     (* line 0 *)
   ignore (Cache.access c ~addr:128 ~write:false);   (* line 2, same set *)
   ignore (Cache.access c ~addr:0 ~write:false);     (* touch line 0: now MRU *)
-  (match Cache.access c ~addr:256 ~write:false with (* line 4: evicts LRU = line 2 *)
-  | Cache.Miss { evicted; _ } -> Alcotest.(check int) "evicts LRU" 2 evicted
-  | Cache.Hit _ -> Alcotest.fail "expected miss");
+  let r = Cache.access c ~addr:256 ~write:false in  (* line 4: evicts LRU = line 2 *)
+  Alcotest.(check bool) "expected miss" false (Cache.res_hit r);
+  Alcotest.(check int) "evicts LRU" 2 (Cache.res_victim r);
   Alcotest.(check bool) "line 0 kept" true (Cache.contains c 0)
 
 let test_invalidate_clean () =
@@ -64,18 +63,18 @@ let test_invalidate_clean () =
   Alcotest.(check (option bool)) "second invalidate no-op" None (Cache.invalidate c 0);
   ignore (Cache.access c ~addr:64 ~write:true);
   Cache.clean c 64;
-  match Cache.access c ~addr:64 ~write:false with
-  | Cache.Hit { was_dirty } -> Alcotest.(check bool) "cleaned" false was_dirty
-  | _ -> Alcotest.fail "expected hit"
+  let r = Cache.access c ~addr:64 ~write:false in
+  Alcotest.(check bool) "expected hit" true (Cache.res_hit r);
+  Alcotest.(check bool) "cleaned" false (Cache.res_dirty r)
 
 let test_set_dirty_if_present () =
   let c = dm4 () in
   Alcotest.(check bool) "absent" false (Cache.set_dirty_if_present c 0);
   ignore (Cache.access c ~addr:0 ~write:false);
   Alcotest.(check bool) "present" true (Cache.set_dirty_if_present c 0);
-  match Cache.access c ~addr:1024 ~write:false with
-  | Cache.Miss { evicted_dirty; _ } -> Alcotest.(check bool) "became dirty" true evicted_dirty
-  | _ -> Alcotest.fail "expected miss"
+  let r = Cache.access c ~addr:1024 ~write:false in
+  Alcotest.(check bool) "expected miss" false (Cache.res_hit r);
+  Alcotest.(check bool) "became dirty" true (Cache.res_dirty r)
 
 let test_flush_and_stats () =
   let c = dm4 () in
@@ -149,6 +148,31 @@ let prop_shadow_matches_reference =
           model := l :: trimmed;
           got = want)
         lines)
+
+(* Same oracle, but over a sparse key space (lots of Itab collisions and
+   removals) and also checking final residency and size, so the table's
+   backward-shift deletion is exercised, not just the hit sequence. *)
+let prop_shadow_state_matches_reference =
+  QCheck.Test.make ~name:"shadow residency matches FA-LRU reference" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 400) (map (fun k -> k * 977) (int_range 0 40)))
+    (fun lines ->
+      let s = Shadow.create (geom ~size:512 ~assoc:1 ~line:64) in
+      let model = ref [] in
+      let seq_ok =
+        List.for_all
+          (fun l ->
+            let got = Shadow.access s l in
+            let want = List.mem l !model in
+            let without = List.filter (( <> ) l) !model in
+            let trimmed = if List.length without >= 8 then List.filteri (fun i _ -> i < 7) without else without in
+            model := l :: trimmed;
+            got = want)
+          lines
+      in
+      seq_ok
+      && Shadow.size s = List.length !model
+      && List.for_all (Shadow.mem s) !model
+      && List.for_all (fun l -> List.mem l !model || not (Shadow.mem s l)) lines)
 
 let test_tlb_lru () =
   let t = Tlb.create ~entries:2 in
@@ -232,6 +256,7 @@ let suite =
         prop_cache_matches_reference;
         prop_resident_bounded;
         prop_shadow_matches_reference;
+        prop_shadow_state_matches_reference;
         prop_stretch_monotone;
       ];
   ]

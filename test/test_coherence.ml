@@ -6,54 +6,96 @@ module Mclass = Pcolor.Memsim.Mclass
 module Machine = Pcolor.Memsim.Machine
 
 let test_directory_fresh_line () =
-  let d = Dir.create ~line_size:128 in
+  let d = Dir.create ~line_size:128 () in
   let v = Dir.inspect d ~cpu:0 ~line:5 ~addr:(5 * 128) in
-  Alcotest.(check bool) "fresh incoherent" false v.coherent;
-  Alcotest.(check bool) "no remote dirty" false v.remote_dirty
+  Alcotest.(check bool) "fresh incoherent" false (Dir.v_coherent v);
+  Alcotest.(check bool) "no remote dirty" false (Dir.v_remote_dirty v)
 
 let test_directory_read_then_write () =
-  let d = Dir.create ~line_size:128 in
+  let d = Dir.create ~line_size:128 () in
   ignore (Dir.record_read d ~cpu:0 ~line:1);
   ignore (Dir.record_read d ~cpu:1 ~line:1);
   let mask = Dir.record_write d ~cpu:0 ~line:1 ~addr:128 in
   Alcotest.(check int) "cpu1 invalidated" 0b10 mask;
   let v0 = Dir.inspect d ~cpu:0 ~line:1 ~addr:128 in
-  Alcotest.(check bool) "writer coherent" true v0.coherent;
+  Alcotest.(check bool) "writer coherent" true (Dir.v_coherent v0);
   let v1 = Dir.inspect d ~cpu:1 ~line:1 ~addr:128 in
-  Alcotest.(check bool) "reader invalidated" false v1.coherent;
-  Alcotest.(check bool) "sees true sharing (same word)" true (v1.sharing = `True);
+  Alcotest.(check bool) "reader invalidated" false (Dir.v_coherent v1);
+  Alcotest.(check bool) "sees true sharing (same word)" true (Dir.v_sharing v1 = `True);
   let v1' = Dir.inspect d ~cpu:1 ~line:1 ~addr:(128 + 8) in
-  Alcotest.(check bool) "different word: false sharing" true (v1'.sharing = `False)
+  Alcotest.(check bool) "different word: false sharing" true (Dir.v_sharing v1' = `False)
 
 let test_directory_remote_dirty () =
-  let d = Dir.create ~line_size:128 in
+  let d = Dir.create ~line_size:128 () in
   ignore (Dir.record_write d ~cpu:0 ~line:7 ~addr:(7 * 128));
   let v = Dir.inspect d ~cpu:1 ~line:7 ~addr:(7 * 128) in
-  Alcotest.(check bool) "remote dirty" true v.remote_dirty;
+  Alcotest.(check bool) "remote dirty" true (Dir.v_remote_dirty v);
   let forced = Dir.record_read d ~cpu:1 ~line:7 in
   Alcotest.(check bool) "read forces clean" true forced;
   let v' = Dir.inspect d ~cpu:1 ~line:7 ~addr:(7 * 128) in
-  Alcotest.(check bool) "now coherent" true v'.coherent
+  Alcotest.(check bool) "now coherent" true (Dir.v_coherent v')
 
 let test_directory_writeback_evict () =
-  let d = Dir.create ~line_size:128 in
+  let d = Dir.create ~line_size:128 () in
   ignore (Dir.record_write d ~cpu:0 ~line:3 ~addr:(3 * 128));
   Dir.writeback d ~cpu:0 ~line:3;
   let v = Dir.inspect d ~cpu:1 ~line:3 ~addr:(3 * 128) in
-  Alcotest.(check bool) "clean after writeback" false v.remote_dirty;
+  Alcotest.(check bool) "clean after writeback" false (Dir.v_remote_dirty v);
   Dir.evict d ~cpu:0 ~line:3;
   let v0 = Dir.inspect d ~cpu:0 ~line:3 ~addr:(3 * 128) in
-  Alcotest.(check bool) "evict clears validity" false v0.coherent
+  Alcotest.(check bool) "evict clears validity" false (Dir.v_coherent v0)
 
 let test_directory_word_mask_reset () =
-  let d = Dir.create ~line_size:128 in
+  let d = Dir.create ~line_size:128 () in
   ignore (Dir.record_write d ~cpu:0 ~line:1 ~addr:0);
   (* ownership change resets the written-word mask *)
   ignore (Dir.record_write d ~cpu:1 ~line:1 ~addr:8);
   let v = Dir.inspect d ~cpu:0 ~line:1 ~addr:0 in
-  Alcotest.(check bool) "word 0 not in cpu1's mask" true (v.sharing = `False);
+  Alcotest.(check bool) "word 0 not in cpu1's mask" true (Dir.v_sharing v = `False);
   let v' = Dir.inspect d ~cpu:0 ~line:1 ~addr:8 in
-  Alcotest.(check bool) "word 1 in cpu1's mask" true (v'.sharing = `True)
+  Alcotest.(check bool) "word 1 in cpu1's mask" true (Dir.v_sharing v' = `True)
+
+(* The packed single-int representation must be observationally identical
+   to the record-in-Hashtbl fallback.  n_cpus = 63 with 128 B lines needs
+   63 + 6 + 1 + 16 = 86 bits, forcing the boxed repr; the default fits
+   packed.  Drive both with the same random op sequence and compare every
+   return value and verdict. *)
+let prop_directory_packed_matches_boxed =
+  QCheck.Test.make ~name:"directory packed repr matches boxed repr" ~count:300
+    QCheck.(
+      list_of_size (Gen.int_range 1 150)
+        (quad (int_range 0 4) (int_range 0 3) (int_range 0 15) (int_range 0 15)))
+    (fun ops ->
+      let dp = Dir.create ~line_size:128 () in
+      let db = Dir.create ~n_cpus:63 ~line_size:128 () in
+      assert (Dir.packed dp);
+      assert (not (Dir.packed db));
+      List.for_all
+        (fun (op, cpu, line, word) ->
+          let addr = (line * 128) + (word * 8) in
+          let step_ok =
+            match op with
+            | 0 -> Dir.record_read dp ~cpu ~line = Dir.record_read db ~cpu ~line
+            | 1 ->
+              Dir.record_write dp ~cpu ~line ~addr = Dir.record_write db ~cpu ~line ~addr
+            | 2 ->
+              Dir.writeback dp ~cpu ~line;
+              Dir.writeback db ~cpu ~line;
+              true
+            | 3 ->
+              Dir.evict dp ~cpu ~line;
+              Dir.evict db ~cpu ~line;
+              true
+            | _ -> true
+          in
+          let vp = Dir.inspect dp ~cpu ~line ~addr in
+          let vb = Dir.inspect db ~cpu ~line ~addr in
+          step_ok
+          && Dir.v_coherent vp = Dir.v_coherent vb
+          && Dir.v_remote_dirty vp = Dir.v_remote_dirty vb
+          && Dir.v_sharing vp = Dir.v_sharing vb
+          && Dir.lines dp = Dir.lines db)
+        ops)
 
 let test_mclass () =
   Alcotest.(check bool) "conflict is replacement" true (Mclass.is_replacement Conflict);
@@ -177,6 +219,23 @@ let test_machine_reset_stats () =
   Machine.access m ~cpu:0 ~vaddr:0 ~write:false ~translate:ident;
   Alcotest.(check int) "warm after reset" 1 s.l1_hits
 
+(* The perf contract for the steady state: once a line is warm, a
+   reference that hits L1 allocates nothing on the OCaml heap.  The
+   tolerance absorbs the boxed float returned by [Gc.minor_words]
+   itself; anything per-iteration would cost thousands of words. *)
+let test_hit_path_no_alloc () =
+  let m = machine () in
+  Machine.access m ~cpu:0 ~vaddr:0 ~write:false ~translate:ident;
+  Machine.access m ~cpu:0 ~vaddr:8 ~write:false ~translate:ident;
+  let before = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    Machine.access m ~cpu:0 ~vaddr:8 ~write:false ~translate:ident
+  done;
+  let delta = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "hit path allocation-free (%.0f minor words)" delta)
+    true (delta <= 64.0)
+
 let suite =
   [
     ( "coherence",
@@ -195,5 +254,7 @@ let suite =
         Alcotest.test_case "machine tlb/fault accounting" `Quick test_machine_tlb_and_fault_accounting;
         Alcotest.test_case "machine upgrade" `Quick test_machine_upgrade_invalidates;
         Alcotest.test_case "machine reset stats" `Quick test_machine_reset_stats;
+        Alcotest.test_case "machine hit path allocation-free" `Quick test_hit_path_no_alloc;
       ] );
+    Helpers.qsuite "coherence:props" [ prop_directory_packed_matches_boxed ];
   ]

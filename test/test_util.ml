@@ -3,6 +3,7 @@
 
 module Rng = Pcolor.Util.Rng
 module Bits = Pcolor.Util.Bits
+module Itab = Pcolor.Util.Itab
 module Stat = Pcolor.Util.Stat
 module Table = Pcolor.Util.Table
 module Chart = Pcolor.Util.Chart
@@ -138,6 +139,101 @@ let test_chart_density () =
   Alcotest.(check (float 1e-9)) "first bucket full" 1.0 d.(0);
   Alcotest.(check (float 1e-9)) "second empty" 0.0 d.(1)
 
+(* --- Itab: open-addressing int->int table --- *)
+
+let test_itab_basic () =
+  let t = Itab.create () in
+  Alcotest.(check int) "empty" 0 (Itab.length t);
+  Alcotest.(check int) "absent -> default" (-7) (Itab.find t 42 ~default:(-7));
+  Itab.set t 42 1;
+  Itab.set t 42 2;
+  Alcotest.(check int) "set replaces" 2 (Itab.find t 42 ~default:(-7));
+  Alcotest.(check int) "one binding" 1 (Itab.length t);
+  Itab.add t 42 3;
+  Itab.add t 7 10;
+  Alcotest.(check int) "add accumulates" 5 (Itab.find t 42 ~default:0);
+  Alcotest.(check int) "add inserts" 10 (Itab.find t 7 ~default:0);
+  Alcotest.(check bool) "mem present" true (Itab.mem t 7);
+  Itab.remove t 7;
+  Alcotest.(check bool) "mem removed" false (Itab.mem t 7);
+  Itab.remove t 7;
+  Alcotest.(check int) "double remove harmless" 1 (Itab.length t);
+  Alcotest.(check bool) "zero value is present" (Itab.set t 9 0; Itab.mem t 9) true;
+  Itab.reset t;
+  Alcotest.(check int) "reset empties" 0 (Itab.length t);
+  Alcotest.check_raises "negative key rejected"
+    (Invalid_argument "Itab: negative key") (fun () -> ignore (Itab.find t (-1) ~default:0))
+
+let test_itab_grow_and_collisions () =
+  let t = Itab.create ~capacity:8 () in
+  (* Dense insertion far past the initial capacity forces several
+     in-place growths; keys a multiple of a large stride collide. *)
+  for k = 0 to 999 do
+    Itab.set t (k * 4096) (k + 1)
+  done;
+  Alcotest.(check int) "all kept" 1000 (Itab.length t);
+  Alcotest.(check bool) "capacity grew" true (Itab.capacity t >= 1000);
+  for k = 0 to 999 do
+    assert (Itab.find t (k * 4096) ~default:0 = k + 1)
+  done;
+  (* removing every other key must not break surviving probe chains *)
+  for k = 0 to 999 do
+    if k mod 2 = 0 then Itab.remove t (k * 4096)
+  done;
+  Alcotest.(check int) "half left" 500 (Itab.length t);
+  for k = 0 to 999 do
+    let want = if k mod 2 = 0 then 0 else k + 1 in
+    assert (Itab.find t (k * 4096) ~default:0 = want)
+  done;
+  let sum = Itab.fold (fun _ v acc -> acc + v) t 0 in
+  let n = ref 0 in
+  Itab.iter (fun _ _ -> incr n) t;
+  Alcotest.(check int) "iter visits all" 500 !n;
+  Alcotest.(check int) "fold sums survivors" (500 * 501) sum
+
+(* Differential test against Hashtbl over a random op sequence; the op
+   stream mixes inserts, upserts, deletions and lookups over a small key
+   space so chains form and backward-shift deletion is stressed. *)
+let prop_itab_matches_hashtbl =
+  QCheck.Test.make ~name:"Itab matches Hashtbl reference" ~count:300
+    QCheck.(list_of_size (Gen.int_range 1 300) (triple (int_range 0 3) (int_range 0 24) small_nat))
+    (fun ops ->
+      let t = Itab.create ~capacity:8 () in
+      let h = Hashtbl.create 16 in
+      List.for_all
+        (fun (op, key, v) ->
+          let key = key * 4093 in
+          (match op with
+          | 0 ->
+            Itab.set t key v;
+            Hashtbl.replace h key v
+          | 1 ->
+            Itab.add t key v;
+            Hashtbl.replace h key (v + Option.value ~default:0 (Hashtbl.find_opt h key))
+          | 2 ->
+            Itab.remove t key;
+            Hashtbl.remove h key
+          | _ -> ());
+          Itab.find t key ~default:min_int
+          = Option.value ~default:min_int (Hashtbl.find_opt h key)
+          && Itab.length t = Hashtbl.length h)
+        ops)
+
+let prop_iset_matches_hashtbl =
+  QCheck.Test.make ~name:"Itab.Set matches Hashtbl reference" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 200) (int_range 0 1000))
+    (fun keys ->
+      let s = Itab.Set.create ~capacity:8 () in
+      let h = Hashtbl.create 16 in
+      List.iter
+        (fun k ->
+          Itab.Set.add s k;
+          Hashtbl.replace h k ())
+        keys;
+      Itab.Set.length s = Hashtbl.length h
+      && List.for_all (Itab.Set.mem s) keys
+      && Itab.Set.fold (fun k acc -> acc && Hashtbl.mem h k) s true)
+
 let prop_round_trip_bits =
   QCheck.Test.make ~name:"log2 inverts shift" ~count:100
     QCheck.(int_range 0 30)
@@ -173,6 +269,14 @@ let suite =
         Alcotest.test_case "chart stacked" `Quick test_chart_stacked;
         Alcotest.test_case "chart scatter" `Quick test_chart_scatter;
         Alcotest.test_case "chart density" `Quick test_chart_density;
+        Alcotest.test_case "itab basics" `Quick test_itab_basic;
+        Alcotest.test_case "itab grow/collisions/remove" `Quick test_itab_grow_and_collisions;
       ] );
-    Helpers.qsuite "util:props" [ prop_round_trip_bits; prop_popcount_additive ];
+    Helpers.qsuite "util:props"
+      [
+        prop_round_trip_bits;
+        prop_popcount_additive;
+        prop_itab_matches_hashtbl;
+        prop_iset_matches_hashtbl;
+      ];
   ]
