@@ -5,11 +5,16 @@
 #   make bench-smoke  fast throughput microbenchmark + parallel-vs-
 #                     sequential determinism check (< 2 min); writes
 #                     BENCH_throughput.json
+#   make bench-check  rerun the smoke bench and `pcolor diff` it against
+#                     the committed BENCH_throughput.json baseline
+#                     (warn-only: timing noise is expected on shared
+#                     machines; drop --warn-only for a hard gate)
 #   make bench        full reproduction harness at the default scale
 
 DUNE ?= dune
+BENCH_THRESHOLD ?= 0.25
 
-.PHONY: build test bench bench-smoke clean
+.PHONY: build test bench bench-smoke bench-check clean
 
 build:
 	$(DUNE) build
@@ -19,6 +24,12 @@ test:
 
 bench-smoke:
 	PCOLOR_SCALE=64 PCOLOR_FAST=1 $(DUNE) exec bench/main.exe -- throughput
+
+bench-check:
+	@cp BENCH_throughput.json _build/bench_baseline.json
+	PCOLOR_SCALE=64 PCOLOR_FAST=1 $(DUNE) exec bench/main.exe -- throughput
+	$(DUNE) exec bin/pcolor_cli.exe -- diff _build/bench_baseline.json \
+	  BENCH_throughput.json --threshold $(BENCH_THRESHOLD) --warn-only
 
 bench:
 	$(DUNE) exec bench/main.exe

@@ -90,18 +90,28 @@ let metrics_out_arg =
 
 (* Observability plumbing shared by run/compare: a sink (when tracing)
    and a constructor for per-run contexts.  Each run gets its own
-   registry and trace buffer so parallel policy runs stay independent. *)
+   registry, attribution engine and trace buffer so parallel policy
+   runs stay independent.  An artifact request ([--metrics-out]) turns
+   on both the registry and conflict attribution: the artifact's
+   "attribution" section is what [pcolor explain] renders. *)
 type obs_io = {
   sink : Pcolor.Obs.Trace.sink option;
   fresh_ctx : unit -> Pcolor.Obs.Ctx.t * Pcolor.Obs.Metrics.t option;
 }
 
-let obs_io_of ~trace_path ~metrics_out =
+let obs_io_of ~trace_path ~metrics_out ~n_colors =
   let sink = Option.map (fun path -> Pcolor.Obs.Trace.open_sink ~path) trace_path in
   let fresh_ctx () =
     let metrics = if metrics_out <> None then Some (Pcolor.Obs.Metrics.create ()) else None in
+    let attrib =
+      if metrics_out <> None then
+        Some
+          (Pcolor.Obs.Attrib.create ~n_colors
+             ~n_classes:(List.length Pcolor.Memsim.Mclass.all) ())
+      else None
+    in
     let trace = Option.map Pcolor.Obs.Trace.buffer sink in
-    (Pcolor.Obs.Ctx.create ?metrics ?trace (), metrics)
+    (Pcolor.Obs.Ctx.create ?metrics ?trace ?attrib (), metrics)
   in
   { sink; fresh_ctx }
 
@@ -161,7 +171,8 @@ let list_cmd =
 
 let run_cmd =
   let action bench machine n_cpus scale policy prefetch seed cap trace_path metrics_out =
-    let io = obs_io_of ~trace_path ~metrics_out in
+    let cfg = config_of machine n_cpus scale in
+    let io = obs_io_of ~trace_path ~metrics_out ~n_colors:(Config.n_colors cfg) in
     let obs, _metrics = io.fresh_ctx () in
     let setup =
       { (setup_of bench machine n_cpus scale policy prefetch seed cap ~trace:false) with obs }
@@ -198,7 +209,8 @@ let compare_cmd =
         Run.Cdpc { fallback = `Page_coloring; via_touch = false };
       ]
     in
-    let io = obs_io_of ~trace_path ~metrics_out in
+    let cfg = config_of machine n_cpus scale in
+    let io = obs_io_of ~trace_path ~metrics_out ~n_colors:(Config.n_colors cfg) in
     let jobs = min (Pcolor.Util.Pool.default_jobs ()) (List.length policies) in
     (* each policy is an independent simulation: fan them out across
        PCOLOR_JOBS domains (PCOLOR_JOBS=1 for strictly sequential); the
@@ -243,7 +255,6 @@ let compare_cmd =
     print_endline "(wall-cycle multiplier is relative to the first row; >1 = faster than it)";
     Option.iter
       (fun path ->
-        let cfg = config_of machine n_cpus scale in
         let provenance =
           Pcolor.Obs.Provenance.collect ~scale ~jobs ~seed
             ~config_hash:(Pcolor.Obs.Provenance.hash_value cfg)
@@ -404,13 +415,136 @@ let summary_cmd =
   Cmd.v (Cmd.info "summary" ~doc:"Print the compiler's access-pattern summary (Section 5.1).")
     Term.(const action $ bench_arg $ scale_arg)
 
+(* ---- explain / diff: read artifacts back ---- *)
+
+let read_artifact path =
+  let contents =
+    try
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+    with Sys_error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+  in
+  match Pcolor.Obs.Json.parse contents with
+  | Ok v -> v
+  | Error e ->
+    Printf.eprintf "%s: invalid JSON: %s\n" path e;
+    exit 2
+
+let artifact_pos_arg ~at ~docv ~doc =
+  Arg.(required & pos at (some file) None & info [] ~docv ~doc)
+
+let schema_of artifact =
+  Option.bind (Pcolor.Obs.Json.member "schema_version" artifact) Pcolor.Obs.Json.to_int_opt
+
+let explain_cmd =
+  let top_arg =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"K" ~doc:"Rows in the pair/set tables.")
+  in
+  let pages_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "pages" ] ~docv:"N" ~doc:"Rows in the per-page decision listing.")
+  in
+  let action path top page_rows =
+    let artifact = read_artifact path in
+    (match schema_of artifact with
+    | Some v when v <> Pcolor.Obs.Provenance.schema_version ->
+      Printf.eprintf "warning: %s has artifact schema v%d, this binary writes v%d\n%!" path v
+        Pcolor.Obs.Provenance.schema_version
+    | _ -> ());
+    print_string (Pcolor.Stats.Explain.render ~top ~page_rows artifact)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Render a run artifact's audit sections: top conflicting page pairs, per-array \
+          miss-class bars, color-occupancy heatmap, and the CDPC (§5.2) decision log.  Produce \
+          artifacts with $(b,pcolor run --metrics-out).")
+    Term.(
+      const action
+      $ artifact_pos_arg ~at:0 ~docv:"ARTIFACT" ~doc:"Run artifact (JSON) to explain."
+      $ top_arg $ pages_arg)
+
+let diff_cmd =
+  let threshold_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "threshold" ] ~docv:"REL"
+          ~doc:
+            "Relative bad-direction move that counts as a regression (e.g. $(b,0.05) = 5%; \
+             default 0: any bad move).")
+  in
+  let warn_only_arg =
+    Arg.(
+      value & flag
+      & info [ "warn-only" ] ~doc:"Report regressions but exit 0 (CI advisory mode).")
+  in
+  let action a_path b_path threshold warn_only =
+    let a = read_artifact a_path and b = read_artifact b_path in
+    (match (schema_of a, schema_of b) with
+    | Some va, Some vb when va <> vb ->
+      Printf.eprintf "warning: schema v%d vs v%d — added/removed sections diff as structural\n%!"
+        va vb
+    | _ -> ());
+    let d = Pcolor.Stats.Delta.diff ~threshold a b in
+    print_string (Pcolor.Stats.Delta.render d);
+    (* per-array deltas: the raw hot lists are rankings, so they are
+       aggregated by array name before pairing *)
+    let dpa =
+      Pcolor.Stats.Delta.diff ~threshold
+        (Pcolor.Stats.Explain.per_array_rollup a)
+        (Pcolor.Stats.Explain.per_array_rollup b)
+    in
+    if Pcolor.Stats.Delta.changed dpa <> [] then begin
+      print_string "per-array miss deltas (rolled up from the hottest frames):\n";
+      print_string (Pcolor.Stats.Delta.render dpa)
+    end;
+    let regs = Pcolor.Stats.Delta.regressions d @ Pcolor.Stats.Delta.regressions dpa in
+    if regs <> [] then begin
+      Printf.printf "%d regression(s) past %.1f%% threshold (!! rows above)\n"
+        (List.length regs) (100.0 *. threshold);
+      if not warn_only then exit 1
+    end
+    else Printf.printf "no regressions (threshold %.1f%%)\n" (100.0 *. threshold)
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two run artifacts: per-class, per-array and per-color deltas with \
+          regression direction inferred per metric.  Exits 1 on regression unless \
+          $(b,--warn-only).")
+    Term.(
+      const action
+      $ artifact_pos_arg ~at:0 ~docv:"OLD" ~doc:"Baseline artifact (JSON)."
+      $ artifact_pos_arg ~at:1 ~docv:"NEW" ~doc:"Candidate artifact (JSON)."
+      $ threshold_arg $ warn_only_arg)
+
+(* ---- version ---- *)
+
+let version_string () =
+  Printf.sprintf "pcolor artifact-schema v%d%s" Pcolor.Obs.Provenance.schema_version
+    (match Pcolor.Obs.Provenance.git_describe () with
+    | Some g -> " (git " ^ g ^ ")"
+    | None -> "")
+
+let version_cmd =
+  let action () = print_endline (version_string ()) in
+  Cmd.v
+    (Cmd.info "version" ~doc:"Print the artifact schema version and source revision.")
+    Term.(const action $ const ())
+
 let () =
   Pcolor.Obs.Log.init ();
   let doc = "compiler-directed page coloring for multiprocessors (ASPLOS 1996) — reproduction" in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "pcolor" ~doc)
+       (Cmd.group
+          (Cmd.info "pcolor" ~doc ~version:(version_string ()))
           [
             list_cmd; run_cmd; compare_cmd; pattern_cmd; hints_cmd; summary_cmd; run_file_cmd;
-            dump_cmd;
+            dump_cmd; explain_cmd; diff_cmd; version_cmd;
           ]))

@@ -21,6 +21,8 @@ type placed_segment = {
   n_pages : int; (* pages owned by this segment (boundary pages deduped) *)
   pos : int; (* position of the segment's page run in the global order *)
   rotation : int;
+  set_rank : int; (* rank of the segment's CPU set in the step-2 order; -1 = step ablated *)
+  seg_rank : int; (* rank within its set's step-3 segment order *)
 }
 
 type info = {
@@ -29,14 +31,17 @@ type info = {
   excluded : Pcolor_comp.Ir.array_decl list;
   n_colors : int;
   page_size : int;
+  set_order : int list; (* step 2's ordered CPU-set masks; [] = step ablated *)
+  ablation : ablation; (* which steps actually ran — the audit trail needs it *)
 }
 
-(** Ablation switches: disable individual algorithm steps to measure
-    their contribution (all on by default).  [set_ordering] is step 2,
-    [segment_ordering] step 3, [rotation] step 4; with all three off the
-    hints simply lay accessed pages out in virtual-address order. *)
-type ablation = { set_ordering : bool; segment_ordering : bool; rotation : bool }
+and ablation = { set_ordering : bool; segment_ordering : bool; rotation : bool }
 
+(** Ablation switches ([ablation], declared with [info] above): disable
+    individual algorithm steps to measure their contribution (all on by
+    default).  [set_ordering] is step 2, [segment_ordering] step 3,
+    [rotation] step 4; with all three off the hints simply lay accessed
+    pages out in virtual-address order. *)
 let full_algorithm = { set_ordering = true; segment_ordering = true; rotation = true }
 
 (** [generate_ablated ~ablation ~cfg ~summary ~program ~n_cpus] runs
@@ -52,11 +57,14 @@ let generate_ablated ~ablation ~(cfg : Pcolor_memsim.Config.t)
     Segment.compute ~summary ~program ~n_cpus
   in
   let segments = Segment.coalesce segments in
-  (* Steps 2 and 3; with set ordering ablated the layout degrades to
-     plain virtual-address order (no per-processor clustering at all) *)
   let grouped = Pcolor_comp.Summary.grouped summary in
-  let global_order =
-    if not ablation.set_ordering then segments (* already VA-sorted *)
+  (* Steps 2 and 3, carrying each segment's decision provenance: its
+     CPU set's rank in the step-2 order and its rank within that set's
+     step-3 segment order (the audit trail the run artifact records).
+     With set ordering ablated the layout degrades to plain
+     virtual-address order (no per-processor clustering at all). *)
+  let ranked_order, set_order =
+    if not ablation.set_ordering then (List.mapi (fun i s -> (s, -1, i)) segments, [])
     else begin
       let masks = List.map (fun s -> s.Segment.cpus) segments in
       let ordered_masks = Order.order_sets masks in
@@ -64,7 +72,11 @@ let generate_ablated ~ablation ~(cfg : Pcolor_memsim.Config.t)
       let order_within segs =
         if ablation.segment_ordering then Order.order_segments ~grouped segs else segs
       in
-      List.concat_map (fun m -> order_within (by_mask m)) ordered_masks
+      ( List.concat
+          (List.mapi
+             (fun mi m -> List.mapi (fun si s -> (s, mi, si)) (order_within (by_mask m)))
+             ordered_masks),
+        ordered_masks )
     end
   in
   (* Page ownership: a page shared by two segments (arrays abutting
@@ -73,7 +85,7 @@ let generate_ablated ~ablation ~(cfg : Pcolor_memsim.Config.t)
   let provisional = ref [] in
   let pos = ref 0 in
   List.iter
-    (fun (s : Segment.t) ->
+    (fun ((s : Segment.t), set_rank, seg_rank) ->
       let p0, p1 = Segment.pages s ~page_size in
       let pages = ref [] in
       for p = p0 to p1 do
@@ -85,17 +97,17 @@ let generate_ablated ~ablation ~(cfg : Pcolor_memsim.Config.t)
       let pages = List.rev !pages in
       let n = List.length pages in
       if n > 0 then begin
-        provisional := (s, List.hd pages, n, !pos) :: !provisional;
+        provisional := (s, set_rank, seg_rank, List.hd pages, n, !pos) :: !provisional;
         pos := !pos + n
       end)
-    global_order;
+    ranked_order;
   let provisional = List.rev !provisional in
   let total_pages = !pos in
   (* Step 4 *)
   let seg_infos =
     Array.of_list
       (List.map
-         (fun ((s : Segment.t), _, n, p) ->
+         (fun ((s : Segment.t), _, _, _, n, p) ->
            { Cyclic.pos = p; len = n; cpus = s.cpus; arr = s.array.Pcolor_comp.Ir.id })
          provisional)
   in
@@ -105,8 +117,8 @@ let generate_ablated ~ablation ~(cfg : Pcolor_memsim.Config.t)
   in
   let placed =
     List.mapi
-      (fun i ((s : Segment.t), first_page, n_pages, p) ->
-        { seg = s; first_page; n_pages; pos = p; rotation = rots.(i) })
+      (fun i ((s : Segment.t), set_rank, seg_rank, first_page, n_pages, p) ->
+        { seg = s; first_page; n_pages; pos = p; rotation = rots.(i); set_rank; seg_rank })
       provisional
   in
   (* Step 5: round-robin colors over final positions. *)
@@ -119,7 +131,7 @@ let generate_ablated ~ablation ~(cfg : Pcolor_memsim.Config.t)
         Pcolor_vm.Hints.set hints ~vpage:(ps.first_page + j) ~color:(position mod n_colors)
       done)
     placed;
-  (hints, { placed; total_pages; excluded; n_colors; page_size })
+  (hints, { placed; total_pages; excluded; n_colors; page_size; set_order; ablation })
 
 (** [generate ~cfg ~summary ~program ~n_cpus] is {!generate_ablated}
     with the full algorithm enabled — the normal entry point. *)

@@ -13,6 +13,8 @@ type placed_segment = {
   n_pages : int;  (** pages owned by this segment (boundary pages deduped) *)
   pos : int;  (** position of the segment's page run in the global order *)
   rotation : int;
+  set_rank : int;  (** rank of the segment's CPU set in the step-2 order; -1 = step ablated *)
+  seg_rank : int;  (** rank within its set's step-3 segment order *)
 }
 
 type info = {
@@ -21,13 +23,15 @@ type info = {
   excluded : Pcolor_comp.Ir.array_decl list;
   n_colors : int;
   page_size : int;
+  set_order : int list;  (** step 2's ordered CPU-set masks; [] = step ablated *)
+  ablation : ablation;  (** which steps actually ran *)
 }
 
 (** Ablation switches: disable individual algorithm steps to measure
     their contribution.  [set_ordering] is step 2 (off = plain
     virtual-address order, no clustering at all), [segment_ordering]
     step 3, [rotation] step 4. *)
-type ablation = { set_ordering : bool; segment_ordering : bool; rotation : bool }
+and ablation = { set_ordering : bool; segment_ordering : bool; rotation : bool }
 
 (** [full_algorithm] enables every step. *)
 val full_algorithm : ablation

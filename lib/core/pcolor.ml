@@ -76,6 +76,7 @@ module Runtime = struct
   module Engine = Pcolor_runtime.Engine
   module Recolor = Pcolor_runtime.Recolor
   module Run = Pcolor_runtime.Run
+  module Audit = Pcolor_runtime.Audit
 end
 
 module Workloads = struct
@@ -98,6 +99,8 @@ module Stats = struct
   module Totals = Pcolor_stats.Totals
   module Report = Pcolor_stats.Report
   module Spec_ratio = Pcolor_stats.Spec_ratio
+  module Delta = Pcolor_stats.Delta
+  module Explain = Pcolor_stats.Explain
 end
 
 module Obs = struct
@@ -106,6 +109,7 @@ module Obs = struct
   module Trace = Pcolor_obs.Trace
   module Provenance = Pcolor_obs.Provenance
   module Ctx = Pcolor_obs.Ctx
+  module Attrib = Pcolor_obs.Attrib
   module Log = Pcolor_obs.Log
 end
 

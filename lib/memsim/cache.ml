@@ -63,6 +63,12 @@ let line_of t addr = addr lsr t.line_bits
 (** [line_bits t] exposes the line-offset width (log2 of line size). *)
 let line_bits t = t.line_bits
 
+(** [n_sets t] is the set count; [set_of_line t line] the set a line
+    number indexes into (attribution keys misses by set). *)
+let n_sets t = t.nsets
+
+let set_of_line t line = line land t.set_mask
+
 let base_of_set t line = (line land t.set_mask) * t.assoc
 
 (* Way search, hoisted to toplevel: as a local [let rec] capturing

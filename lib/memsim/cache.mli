@@ -14,6 +14,12 @@ val line_of : t -> int -> int
 (** [line_bits t] is log2 of the line size. *)
 val line_bits : t -> int
 
+(** [n_sets t] is the set count. *)
+val n_sets : t -> int
+
+(** [set_of_line t line] is the set a line number indexes into. *)
+val set_of_line : t -> int -> int
+
 (** [access t ~addr ~write] simulates one reference (write-allocate;
     LRU victim reported for write-back modeling).  The result is a
     packed immediate int — bit 0 hit, bit 1 dirty flag ([was_dirty] on

@@ -103,6 +103,10 @@ type t = {
          dynamic-recoloring extension (the TLB-state + miss-counter
          detection of §2.1's dynamic policies) *)
   obs_trace : Pcolor_obs.Trace.buffer option; (* page-fault instant events *)
+  attrib : Pcolor_obs.Attrib.t option;
+      (* conflict-attribution engine: fed on the external-cache miss
+         path only, so the hit path and the obs-off contract are
+         untouched (one [option] branch per miss) *)
   sample_miss_stall : Pcolor_obs.Metrics.histogram option;
       (* per-miss stall histogram; allocated only under the
          PCOLOR_OBS_SAMPLE knob so the hot path stays one branch *)
@@ -142,6 +146,7 @@ let create ?(obs = Pcolor_obs.Ctx.disabled) (cfg : Config.t) =
     line_bus = Config.line_bus_cycles cfg;
     conflict_by_frame = Pcolor_util.Itab.create ~capacity:1024 ();
     obs_trace = Pcolor_obs.Ctx.trace obs;
+    attrib = Pcolor_obs.Ctx.attrib obs;
     sample_miss_stall =
       (match Pcolor_obs.Ctx.metrics obs with
       | Some reg when obs.Pcolor_obs.Ctx.sample ->
@@ -279,6 +284,15 @@ let l2_miss t c ~vaddr ~paddr ~pline ~write ~fa_hit ~evicted ~evicted_dirty =
     else Capacity
   in
   Mclass.incr s.l2_miss_counts cls;
+  (* attribution rides the same classification site so its totals
+     reconcile exactly with the Mclass counters *)
+  (match t.attrib with
+  | Some a ->
+    Pcolor_obs.Attrib.record a ~cls:(Mclass.index cls) ~frame:(paddr lsr t.page_bits)
+      ~set:(Cache.set_of_line c.l2 pline)
+      ~victim_frame:(if evicted >= 0 then evicted lsr (t.page_bits - t.l2_line_bits) else -1)
+      ~replacement:(Mclass.is_replacement cls)
+  | None -> ());
   (* single-probe upsert (the Hashtbl version paid a find_opt plus a
      replace, re-hashing the key and allocating a [Some] each time) *)
   if cls = Conflict then Pcolor_util.Itab.add t.conflict_by_frame (paddr lsr t.page_bits) 1;
@@ -548,4 +562,7 @@ let reset_stats t =
       c.time <- 0)
     t.cpus;
   Bus.reset t.bus;
-  Pcolor_util.Itab.reset t.conflict_by_frame
+  Pcolor_util.Itab.reset t.conflict_by_frame;
+  (* the attribution tables describe the measured pass only, like every
+     other statistic this function discards *)
+  match t.attrib with Some a -> Pcolor_obs.Attrib.reset a | None -> ()

@@ -1,20 +1,27 @@
-type t = { metrics : Metrics.t option; trace : Trace.buffer option; sample : bool }
+type t = {
+  metrics : Metrics.t option;
+  trace : Trace.buffer option;
+  attrib : Attrib.t option;
+  sample : bool;
+}
 
-let disabled = { metrics = None; trace = None; sample = false }
+let disabled = { metrics = None; trace = None; attrib = None; sample = false }
 
 let sample_from_env () =
   match Sys.getenv_opt "PCOLOR_OBS_SAMPLE" with
   | Some ("1" | "true" | "on" | "yes") -> true
   | _ -> false
 
-let create ?metrics ?trace ?sample () =
+let create ?metrics ?trace ?attrib ?sample () =
   let sample = match sample with Some s -> s | None -> sample_from_env () in
-  { metrics; trace; sample }
+  { metrics; trace; attrib; sample }
 
-let enabled t = t.metrics <> None || t.trace <> None
+let enabled t = t.metrics <> None || t.trace <> None || t.attrib <> None
 
 let metrics t = t.metrics
 
 let trace t = t.trace
+
+let attrib t = t.attrib
 
 let flush t = Option.iter Trace.flush t.trace

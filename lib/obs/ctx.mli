@@ -7,15 +7,18 @@
 type t = {
   metrics : Metrics.t option;  (** per-run registry, snapshotted after the run *)
   trace : Trace.buffer option;  (** private event buffer (own trace pid) *)
+  attrib : Attrib.t option;  (** conflict-attribution engine (miss path only) *)
   sample : bool;  (** enable per-event histograms on the simulator hot path *)
 }
 
-(** Observability off: no registry, no trace, no sampling. *)
+(** Observability off: no registry, no trace, no attribution, no
+    sampling. *)
 val disabled : t
 
-(** [create ?metrics ?trace ?sample ()] builds a context; [sample]
-    defaults to {!sample_from_env}. *)
-val create : ?metrics:Metrics.t -> ?trace:Trace.buffer -> ?sample:bool -> unit -> t
+(** [create ?metrics ?trace ?attrib ?sample ()] builds a context;
+    [sample] defaults to {!sample_from_env}. *)
+val create :
+  ?metrics:Metrics.t -> ?trace:Trace.buffer -> ?attrib:Attrib.t -> ?sample:bool -> unit -> t
 
 (** [sample_from_env ()] is true when [PCOLOR_OBS_SAMPLE] is set to
     [1]/[true]/[on] — the opt-in knob for per-reference signals. *)
@@ -24,10 +27,12 @@ val sample_from_env : unit -> bool
 (** [enabled t] is true when any instrument is attached. *)
 val enabled : t -> bool
 
-(** [metrics t] / [trace t] accessors. *)
+(** [metrics t] / [trace t] / [attrib t] accessors. *)
 val metrics : t -> Metrics.t option
 
 val trace : t -> Trace.buffer option
+
+val attrib : t -> Attrib.t option
 
 (** [flush t] drains the trace buffer to its sink, if any. *)
 val flush : t -> unit

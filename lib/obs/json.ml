@@ -105,7 +105,21 @@ let pretty v =
 
 exception Bad of int * string
 
-let check s =
+(* Encode a Unicode scalar from a \uXXXX escape as UTF-8.  Artifacts we
+   emit are ASCII, so this path only matters for foreign inputs. *)
+let add_utf8 buf code =
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+  end
+
+let parse s =
   let n = String.length s in
   let pos = ref 0 in
   let peek () = if !pos < n then Some s.[!pos] else None in
@@ -126,6 +140,7 @@ let check s =
   in
   let string_ () =
     expect '"';
+    let buf = Buffer.create 16 in
     let fin = ref false in
     while not !fin do
       match peek () with
@@ -136,18 +151,38 @@ let check s =
       | Some '\\' -> (
         advance ();
         match peek () with
-        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+        | Some (('"' | '\\' | '/') as c) ->
+          Buffer.add_char buf c;
+          advance ()
+        | Some 'b' -> Buffer.add_char buf '\b'; advance ()
+        | Some 'f' -> Buffer.add_char buf '\012'; advance ()
+        | Some 'n' -> Buffer.add_char buf '\n'; advance ()
+        | Some 'r' -> Buffer.add_char buf '\r'; advance ()
+        | Some 't' -> Buffer.add_char buf '\t'; advance ()
         | Some 'u' ->
           advance ();
+          let code = ref 0 in
           for _ = 1 to 4 do
             match peek () with
-            | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+            | Some ('0' .. '9' as c) ->
+              code := (!code * 16) + (Char.code c - Char.code '0');
+              advance ()
+            | Some ('a' .. 'f' as c) ->
+              code := (!code * 16) + (Char.code c - Char.code 'a' + 10);
+              advance ()
+            | Some ('A' .. 'F' as c) ->
+              code := (!code * 16) + (Char.code c - Char.code 'A' + 10);
+              advance ()
             | _ -> fail "bad \\u escape"
-          done
+          done;
+          add_utf8 buf !code
         | _ -> fail "bad escape")
       | Some c when Char.code c < 0x20 -> fail "control character in string"
-      | Some _ -> advance ()
-    done
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ()
+    done;
+    Buffer.contents buf
   in
   let digits () =
     let saw = ref false in
@@ -162,72 +197,105 @@ let check s =
     if not !saw then fail "expected digit"
   in
   let number () =
+    let start = !pos in
     if peek () = Some '-' then advance ();
     (* JSON forbids leading zeros: "0" is fine, "01" is not *)
     let int_start = !pos in
     digits ();
     if !pos - int_start > 1 && s.[int_start] = '0' then fail "leading zero";
+    let fractional = ref false in
     if peek () = Some '.' then begin
+      fractional := true;
       advance ();
       digits ()
     end;
-    match peek () with
+    (match peek () with
     | Some ('e' | 'E') ->
+      fractional := true;
       advance ();
       (match peek () with Some ('+' | '-') -> advance () | _ -> ());
       digits ()
-    | _ -> ()
+    | _ -> ());
+    let text = String.sub s start (!pos - start) in
+    if !fractional then Float (float_of_string text)
+    else
+      (* integers beyond OCaml's int range degrade to float *)
+      match int_of_string_opt text with Some i -> Int i | None -> Float (float_of_string text)
   in
   let rec value () =
     skip_ws ();
     match peek () with
     | None -> fail "unexpected end of input"
-    | Some '"' -> string_ ()
-    | Some 't' -> literal "true"
-    | Some 'f' -> literal "false"
-    | Some 'n' -> literal "null"
+    | Some '"' -> Str (string_ ())
+    | Some 't' -> literal "true"; Bool true
+    | Some 'f' -> literal "false"; Bool false
+    | Some 'n' -> literal "null"; Null
     | Some ('-' | '0' .. '9') -> number ()
     | Some '[' ->
       advance ();
       skip_ws ();
-      if peek () = Some ']' then advance ()
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
       else begin
-        value ();
+        let items = ref [ value () ] in
         skip_ws ();
         while peek () = Some ',' do
           advance ();
-          value ();
+          items := value () :: !items;
           skip_ws ()
         done;
-        expect ']'
+        expect ']';
+        Arr (List.rev !items)
       end
     | Some '{' ->
       advance ();
       skip_ws ();
-      if peek () = Some '}' then advance ()
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
       else begin
-        member ();
+        let members = ref [ member () ] in
         skip_ws ();
         while peek () = Some ',' do
           advance ();
           skip_ws ();
-          member ();
+          members := member () :: !members;
           skip_ws ()
         done;
-        expect '}'
+        expect '}';
+        Obj (List.rev !members)
       end
     | Some c -> fail (Printf.sprintf "unexpected character %c" c)
   and member () =
     skip_ws ();
-    string_ ();
+    let key = string_ () in
     skip_ws ();
     expect ':';
-    value ()
+    (key, value ())
   in
   match
-    value ();
+    let v = value () in
     skip_ws ();
-    if !pos <> n then fail "trailing garbage"
+    if !pos <> n then fail "trailing garbage";
+    v
   with
-  | () -> Ok ()
+  | v -> Ok v
   | exception Bad (p, msg) -> Error (Printf.sprintf "offset %d: %s" p msg)
+
+let check s = Result.map ignore (parse s)
+
+(* ---- accessors (artifact readers) ---- *)
+
+let member name = function Obj kvs -> List.assoc_opt name kvs | _ -> None
+
+let to_float_opt = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | _ -> None
+
+let to_int_opt = function Int i -> Some i | _ -> None
+
+let to_string_opt = function Str s -> Some s | _ -> None

@@ -23,8 +23,27 @@ val to_string : t -> string
     by humans as well as machines. *)
 val pretty : t -> string
 
-(** [check s] validates that [s] is one complete JSON value (with
-    optional surrounding whitespace): [Ok ()] or [Error reason].  Used
-    by tests to prove emitted artifacts and trace lines parse without
-    needing an external JSON library. *)
+(** [parse s] parses one complete JSON value (with optional surrounding
+    whitespace) into a {!t}: strict — leading zeros, trailing garbage,
+    raw control characters and bad escapes are rejected.  Numbers
+    without a fraction or exponent become [Int] (degrading to [Float]
+    beyond OCaml's int range); escape sequences are decoded ([\uXXXX]
+    to UTF-8).  This is how [pcolor explain]/[pcolor diff] read run
+    artifacts back. *)
+val parse : string -> (t, string) result
+
+(** [check s] validates that [s] is one complete JSON value: [Ok ()] or
+    [Error reason].  Equivalent to [parse] with the value discarded. *)
 val check : string -> (unit, string) result
+
+(** [member name v] is field [name] of object [v], if present ([None]
+    on non-objects). *)
+val member : string -> t -> t option
+
+(** [to_float_opt v] is the numeric value of an [Int] or [Float]. *)
+val to_float_opt : t -> float option
+
+(** [to_int_opt v] / [to_string_opt v] are the payloads of [Int] / [Str]. *)
+val to_int_opt : t -> int option
+
+val to_string_opt : t -> string option

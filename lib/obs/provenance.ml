@@ -1,4 +1,6 @@
-let schema_version = 1
+(* v2: artifacts gained the "attribution" and "coloring_decisions"
+   sections (both optional). *)
+let schema_version = 2
 
 type t = {
   timestamp : string;

@@ -21,6 +21,11 @@ type t = {
     binary runs outside a repository). *)
 val collect : ?scale:int -> ?jobs:int -> ?seed:int -> ?config_hash:string -> unit -> t
 
+(** [git_describe ()] is [git describe --always --dirty], if the binary
+    runs inside a repository with git on the path ([pcolor version]
+    prints it). *)
+val git_describe : unit -> string option
+
 (** [hash_value v] is a short stable digest of any marshalable value —
     used to fingerprint machine configurations. *)
 val hash_value : 'a -> string

@@ -1,0 +1,27 @@
+(** Post-run audit enrichment: turns the raw conflict-attribution
+    counters and the colorer's placement provenance into the artifact's
+    machine-readable audit sections ([pcolor explain] renders them,
+    [pcolor diff] compares them). *)
+
+(** [array_of_vpage ~page_size program vpage] names the array whose
+    allocated bytes overlap virtual page [vpage], if any. *)
+val array_of_vpage : page_size:int -> Pcolor_comp.Ir.program -> int -> string option
+
+(** [attribution_json ~kernel ~program ~page_size attrib] is the
+    artifact's ["attribution"] section: per-class totals, per-color
+    histograms, hottest eviction pairs / frames / cache sets, each
+    frame enriched with color, virtual page and owning array where the
+    page table still maps it.  Hot lists are capped (caps recorded
+    alongside the full cardinalities). *)
+val attribution_json :
+  kernel:Pcolor_vm.Kernel.t ->
+  program:Pcolor_comp.Ir.program ->
+  page_size:int ->
+  Pcolor_obs.Attrib.t ->
+  Pcolor_obs.Json.t
+
+(** [decisions_json info] is the artifact's ["coloring_decisions"]
+    section: ablation switches, step-2 set order, placed segments with
+    step-2/3 ranks and step-4 rotations, and per-page color assignments
+    with the step that produced each. *)
+val decisions_json : Pcolor_cdpc.Colorer.info -> Pcolor_obs.Json.t

@@ -75,6 +75,7 @@ let default_setup ~cfg ~make_program ~policy =
   }
 
 type outcome = {
+  cfg : Pcolor_memsim.Config.t; (* the machine the run used *)
   report : Pcolor_stats.Report.t;
   totals : Pcolor_stats.Totals.t;
   program : Ir.program;
@@ -88,6 +89,8 @@ type outcome = {
   recolorings : int; (* dynamic-recoloring extension: pages moved *)
   metrics : Pcolor_obs.Metrics.snapshot option;
       (* snapshot of the run's registry, if one was attached *)
+  attrib : Pcolor_obs.Attrib.t option;
+      (* the run's conflict-attribution engine, if one was attached *)
 }
 
 (* Page-touch order realizing the hint colors under bin hopping: global
@@ -111,7 +114,7 @@ let touch_order (info : Pcolor_cdpc.Colorer.info) =
   List.sort compare !pairs |> List.map snd
 
 (** [run setup] executes one experiment end to end. *)
-let run setup =
+let run (setup : setup) =
   let cfg = setup.cfg in
   let program = setup.make_program () in
   Ir.check_program program;
@@ -218,6 +221,7 @@ let run setup =
       totals
   in
   {
+    cfg;
     report;
     totals;
     program;
@@ -229,11 +233,13 @@ let run setup =
     recolorings =
       (match recolorer with Some rc -> (fun (_, r, _) -> r) (Recolor.stats rc) | None -> 0);
     metrics = metrics_snapshot;
+    attrib = Pcolor_obs.Ctx.attrib setup.obs;
   }
 
 (** [artifact_json ?provenance outcome] is the machine-readable run
-    artifact: schema version, provenance, the report, and the metrics
-    snapshot (when one was collected). *)
+    artifact: schema version, provenance, the report, the metrics
+    snapshot, the conflict-attribution section and the §5.2 decision
+    log (each section present only when collected — schema v2). *)
 let artifact_json ?provenance outcome =
   let module J = Pcolor_obs.Json in
   let fields =
@@ -242,9 +248,20 @@ let artifact_json ?provenance outcome =
       | Some p -> [ ("provenance", Pcolor_obs.Provenance.to_json p) ]
       | None -> [])
     @ [ ("report", Pcolor_stats.Report.to_json outcome.report) ]
+    @ (match outcome.metrics with
+      | Some snap -> [ ("metrics", Pcolor_obs.Metrics.to_json snap) ]
+      | None -> [])
+    @ (match outcome.attrib with
+      | Some a ->
+        [
+          ( "attribution",
+            Audit.attribution_json ~kernel:outcome.kernel ~program:outcome.program
+              ~page_size:outcome.cfg.page_size a );
+        ]
+      | None -> [])
     @
-    match outcome.metrics with
-    | Some snap -> [ ("metrics", Pcolor_obs.Metrics.to_json snap) ]
+    match outcome.hints_info with
+    | Some info -> [ ("coloring_decisions", Audit.decisions_json info) ]
     | None -> []
   in
   J.Obj fields

@@ -49,6 +49,7 @@ val default_setup :
   setup
 
 type outcome = {
+  cfg : Pcolor_memsim.Config.t;  (** the machine the run used *)
   report : Pcolor_stats.Report.t;
   totals : Pcolor_stats.Totals.t;
   program : Ir.program;
@@ -62,6 +63,8 @@ type outcome = {
   metrics : Pcolor_obs.Metrics.snapshot option;
       (** end-of-run snapshot of the setup's registry, if one was
           attached *)
+  attrib : Pcolor_obs.Attrib.t option;
+      (** the run's conflict-attribution engine, if one was attached *)
 }
 
 (** [touch_order info] is the page sequence whose first-touch order
@@ -72,6 +75,7 @@ val touch_order : Pcolor_cdpc.Colorer.info -> int list
 val run : setup -> outcome
 
 (** [artifact_json ?provenance outcome] is the machine-readable run
-    artifact ([schema_version], provenance, report, metrics snapshot)
-    ready to be written as a JSON file. *)
+    artifact ([schema_version], provenance, report, metrics snapshot,
+    attribution, coloring decision log — sections present when
+    collected) ready to be written as a JSON file. *)
 val artifact_json : ?provenance:Pcolor_obs.Provenance.t -> outcome -> Pcolor_obs.Json.t

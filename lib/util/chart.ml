@@ -17,20 +17,30 @@ let bar ~width ~max_v v =
 
 (** [stacked_bar ~width ~max_v segments] renders contiguous segments, one
     character class per segment, e.g. [("x", 1.2); ("o", 0.4)].
-    Segment glyphs must be single characters. *)
+    Segment glyphs must be single characters.
+
+    Each segment's cell count is the difference of {e cumulative}
+    rounded endpoints, not an independently rounded width: per-segment
+    rounding lets the errors accumulate (three segments of 0.4 cells
+    each would render zero cells instead of one, and a bar whose
+    segments sum to [max_v] could fall short of [width]).  Cumulative
+    rounding makes the total width always equal
+    [round (width * total / max_v)]. *)
 let stacked_bar ~width ~max_v segments =
   let buf = Buffer.create width in
   let total_used = ref 0 in
+  let cum = ref 0.0 in
   List.iter
     (fun (glyph, v) ->
       if String.length glyph <> 1 then invalid_arg "Chart.stacked_bar: glyph must be one char";
-      let cells =
+      cum := !cum +. v;
+      let end_ =
         if max_v <= 0.0 then 0
-        else int_of_float (Float.round (float_of_int width *. v /. max_v))
+        else int_of_float (Float.round (float_of_int width *. !cum /. max_v))
       in
-      let cells = max 0 (min cells (width - !total_used)) in
-      Buffer.add_string buf (String.make cells glyph.[0]);
-      total_used := !total_used + cells)
+      let end_ = max !total_used (min end_ width) in
+      Buffer.add_string buf (String.make (end_ - !total_used) glyph.[0]);
+      total_used := end_)
     segments;
   Buffer.add_string buf (String.make (width - !total_used) ' ');
   Buffer.contents buf

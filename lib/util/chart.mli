@@ -7,8 +7,11 @@
 val bar : width:int -> max_v:float -> float -> string
 
 (** [stacked_bar ~width ~max_v segments] renders contiguous
-    single-character segments, e.g. [[("x", 1.2); ("o", 0.4)]].  Raises
-    [Invalid_argument] on multi-character glyphs. *)
+    single-character segments, e.g. [[("x", 1.2); ("o", 0.4)]].
+    Segment widths are differences of cumulative rounded endpoints, so
+    they always sum to [round (width * total / max_v)] — rounding error
+    never accumulates.  Raises [Invalid_argument] on multi-character
+    glyphs. *)
 val stacked_bar : width:int -> max_v:float -> (string * float) list -> string
 
 (** [scatter ~title ~cols ~n_rows ~x_max points] maps

@@ -126,6 +126,19 @@ let test_chart_stacked () =
   let s = Chart.stacked_bar ~width:8 ~max_v:4.0 [ ("x", 2.0); ("o", 1.0) ] in
   Alcotest.(check string) "stack" "xxxxoo  " s
 
+(* Cumulative rounding: three thirds of a full bar must fill all [width]
+   cells.  Per-segment truncation gave 3+3+3 = 9 of 10 cells. *)
+let test_chart_stacked_rounding () =
+  let third = 1.0 /. 3.0 in
+  let s =
+    Chart.stacked_bar ~width:10 ~max_v:1.0 [ ("a", third); ("b", third); ("c", third) ]
+  in
+  Alcotest.(check string) "thirds fill" "aaabbbbccc" s;
+  (* Segment widths always sum to round(width * total / max_v), whatever
+     the per-segment fractions are. *)
+  let s = Chart.stacked_bar ~width:7 ~max_v:7.0 [ ("x", 0.9); ("y", 0.9); ("z", 0.9) ] in
+  Alcotest.(check string) "fractions accumulate" "xyz    " s
+
 let test_chart_scatter () =
   let s = Chart.scatter ~title:"" ~cols:8 ~n_rows:2 ~x_max:8 [ (0, 0); (7, 1); (3, 0); (3, 1) ] in
   Alcotest.(check bool) "cpu0 at col0" true (String.length s > 0);
@@ -267,6 +280,7 @@ let suite =
         Alcotest.test_case "table cells" `Quick test_table_cells;
         Alcotest.test_case "chart bar" `Quick test_chart_bar;
         Alcotest.test_case "chart stacked" `Quick test_chart_stacked;
+        Alcotest.test_case "chart stacked rounding" `Quick test_chart_stacked_rounding;
         Alcotest.test_case "chart scatter" `Quick test_chart_scatter;
         Alcotest.test_case "chart density" `Quick test_chart_density;
         Alcotest.test_case "itab basics" `Quick test_itab_basic;
