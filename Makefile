@@ -4,11 +4,12 @@
 #   make test         tier-1 suite (alcotest + qcheck)
 #   make bench-smoke  fast throughput microbenchmark + parallel-vs-
 #                     sequential determinism check (< 2 min); writes
-#                     BENCH_throughput.json
+#                     BENCH_throughput.json and BENCH_mix.json
 #   make bench-check  rerun the smoke bench and `pcolor diff` it against
-#                     the committed BENCH_throughput.json baseline
-#                     (warn-only: timing noise is expected on shared
-#                     machines; drop --warn-only for a hard gate)
+#                     the committed BENCH_throughput.json and
+#                     BENCH_mix.json baselines (warn-only: timing noise
+#                     is expected on shared machines; drop --warn-only
+#                     for a hard gate)
 #   make bench        full reproduction harness at the default scale
 
 DUNE ?= dune
@@ -23,13 +24,16 @@ test:
 	$(DUNE) runtest
 
 bench-smoke:
-	PCOLOR_SCALE=64 PCOLOR_FAST=1 $(DUNE) exec bench/main.exe -- throughput
+	PCOLOR_SCALE=64 PCOLOR_FAST=1 $(DUNE) exec bench/main.exe -- throughput mix
 
 bench-check:
 	@cp BENCH_throughput.json _build/bench_baseline.json
-	PCOLOR_SCALE=64 PCOLOR_FAST=1 $(DUNE) exec bench/main.exe -- throughput
+	@cp BENCH_mix.json _build/bench_mix_baseline.json
+	PCOLOR_SCALE=64 PCOLOR_FAST=1 $(DUNE) exec bench/main.exe -- throughput mix
 	$(DUNE) exec bin/pcolor_cli.exe -- diff _build/bench_baseline.json \
 	  BENCH_throughput.json --threshold $(BENCH_THRESHOLD) --warn-only
+	$(DUNE) exec bin/pcolor_cli.exe -- diff _build/bench_mix_baseline.json \
+	  BENCH_mix.json --threshold $(BENCH_THRESHOLD) --warn-only
 
 bench:
 	$(DUNE) exec bench/main.exe

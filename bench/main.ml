@@ -31,6 +31,7 @@ let sections =
     ("table2", Figures.table2);
     ("extensions", Extensions.run);
     ("throughput", Throughput.run);
+    ("mix", Mix.run);
     ("micro", Micro.run);
   ]
 
@@ -66,9 +67,9 @@ let () =
       let seconds = Unix.gettimeofday () -. t in
       Printf.eprintf "[section %s: %.1fs]\n%!" name seconds;
       (* machine-readable per-section artifact: the experiments this
-         section added to the cache (throughput writes its own richer
-         BENCH_throughput.json; micro has no cached experiments) *)
-      if name <> "throughput" && name <> "micro" then begin
+         section added to the cache (throughput and mix write their own
+         richer BENCH_*.json; micro has no cached experiments) *)
+      if name <> "throughput" && name <> "mix" && name <> "micro" then begin
         let keys =
           List.filter (fun k -> not (List.mem k keys_before)) (Harness.cache_keys ())
         in

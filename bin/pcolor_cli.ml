@@ -5,6 +5,7 @@
      list      the workload catalog (Table 1)
      run       one benchmark under one policy, full report
      compare   one benchmark across all policies
+     mix       a multiprogrammed job mix over one shared frame pool
      pattern   page-level access patterns (Figures 3 and 5)
      hints     CDPC hint placement dump
      summary   the compiler's access-pattern summary (§5.1) *)
@@ -48,20 +49,19 @@ let machine_arg =
     & info [ "m"; "machine" ]
         ~doc:"Machine model: $(b,sgi) (1MB DM), $(b,sgi-2way), $(b,sgi-4mb), $(b,alpha).")
 
-let policy_conv =
-  let parse = function
-    | "pc" | "page-coloring" -> Ok Run.Page_coloring
-    | "bh" | "bin-hopping" -> Ok Run.Bin_hopping
-    | "bh-unaligned" -> Ok Run.Bin_hopping_unaligned
-    | "random" -> Ok Run.Random_colors
-    | "cdpc" -> Ok (Run.Cdpc { fallback = `Page_coloring; via_touch = false })
-    | "cdpc-bh" -> Ok (Run.Cdpc { fallback = `Bin_hopping; via_touch = false })
-    | "cdpc-touch" -> Ok (Run.Cdpc { fallback = `Bin_hopping; via_touch = true })
-    | "dynamic" -> Ok (Run.Dynamic_recoloring { base = `Page_coloring })
-    | "dynamic-bh" -> Ok (Run.Dynamic_recoloring { base = `Bin_hopping })
-    | s -> Error (`Msg ("unknown policy: " ^ s))
-  in
-  Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Run.policy_name p))
+let parse_policy = function
+  | "pc" | "page-coloring" -> Ok Run.Page_coloring
+  | "bh" | "bin-hopping" -> Ok Run.Bin_hopping
+  | "bh-unaligned" -> Ok Run.Bin_hopping_unaligned
+  | "random" -> Ok Run.Random_colors
+  | "cdpc" -> Ok (Run.Cdpc { fallback = `Page_coloring; via_touch = false })
+  | "cdpc-bh" -> Ok (Run.Cdpc { fallback = `Bin_hopping; via_touch = false })
+  | "cdpc-touch" -> Ok (Run.Cdpc { fallback = `Bin_hopping; via_touch = true })
+  | "dynamic" -> Ok (Run.Dynamic_recoloring { base = `Page_coloring })
+  | "dynamic-bh" -> Ok (Run.Dynamic_recoloring { base = `Bin_hopping })
+  | s -> Error (`Msg ("unknown policy: " ^ s))
+
+let policy_conv = Arg.conv (parse_policy, fun fmt p -> Format.pp_print_string fmt (Run.policy_name p))
 
 let policy_arg =
   Arg.(
@@ -277,6 +277,178 @@ let compare_cmd =
   Cmd.v (Cmd.info "compare" ~doc:"Compare all mapping policies on one benchmark.")
     Term.(
       const action $ bench_arg $ machine_arg $ cpus_arg $ scale_arg $ prefetch_arg $ seed_arg
+      $ cap_arg $ trace_arg $ metrics_out_arg)
+
+(* ---- mix: multiprogrammed job mixes over one shared frame pool ---- *)
+
+let mix_cmd =
+  let benches_arg =
+    let doc =
+      "Benchmarks to co-schedule, one job each (" ^ String.concat ", " Spec.names ^ ")."
+    in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"BENCH" ~doc)
+  in
+  let sched_arg =
+    Arg.(
+      value
+      & opt (enum [ ("gang", Pcolor.Sched.Scheduler.Gang); ("space", Pcolor.Sched.Scheduler.Space) ])
+          Pcolor.Sched.Scheduler.Gang
+      & info [ "sched" ]
+          ~doc:
+            "Placement: $(b,gang) time-shares the whole machine per quantum; $(b,space) pins \
+             each job to a contiguous CPU partition.")
+  in
+  let quantum_arg =
+    Arg.(
+      value & opt int 2_000_000
+      & info [ "quantum" ] ~docv:"CYCLES" ~doc:"Scheduling quantum in cycles.")
+  in
+  let switch_cost_arg =
+    Arg.(
+      value & opt int 10_000
+      & info [ "switch-cost" ] ~docv:"CYCLES"
+          ~doc:"Kernel cycles charged per CPU on a context switch (gang mode).")
+  in
+  let tlb_arg =
+    Arg.(
+      value
+      & opt (enum [ ("flush", Pcolor.Sched.Scheduler.Flush); ("asid", Pcolor.Sched.Scheduler.Asid) ])
+          Pcolor.Sched.Scheduler.Asid
+      & info [ "tlb" ]
+          ~doc:
+            "TLB behaviour on a context switch: $(b,flush) (untagged TLBs) or $(b,asid) \
+             (tagged; translations survive).")
+  in
+  let mem_frames_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "mem-frames" ] ~docv:"N"
+          ~doc:
+            "Shared physical frames (default: ample). Shrink to force hint competition and \
+             second-chance reclaim.")
+  in
+  let mix_policy_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "policy" ] ~docv:"P[,P...]"
+          ~doc:
+            "Per-job mapping policies, comma-separated (same names as $(b,pcolor run)); one \
+             value is broadcast to every job. Default: $(b,cdpc).")
+  in
+  let action benches machine n_cpus scale sched_policy quantum switch_cost tlb mem_frames
+      policy_str prefetch seed cap trace_path metrics_out =
+    let k = List.length benches in
+    let policies =
+      let names =
+        match policy_str with None -> [ "cdpc" ] | Some s -> String.split_on_char ',' s
+      in
+      let parsed =
+        List.map
+          (fun name ->
+            match parse_policy (String.trim name) with
+            | Ok p -> p
+            | Error (`Msg m) ->
+              Printf.eprintf "%s\n" m;
+              exit 2)
+          names
+      in
+      match parsed with
+      | [ p ] -> List.init k (fun _ -> p)
+      | ps when List.length ps = k -> ps
+      | ps ->
+        Printf.eprintf "--policy: %d policies for %d jobs\n" (List.length ps) k;
+        exit 2
+    in
+    let cfg = config_of machine n_cpus scale in
+    let io = obs_io_of ~trace_path ~metrics_out ~n_colors:(Config.n_colors cfg) in
+    let obs, _ = io.fresh_ctx () in
+    let specs =
+      List.map2
+        (fun bench policy ->
+          let d = Spec.find bench in
+          Pcolor.Sched.Job.spec ~policy ~prefetch ~seed ~name:bench (fun () -> d.build ~scale ()))
+        benches policies
+    in
+    let sched = { Pcolor.Sched.Scheduler.policy = sched_policy; quantum; switch_cost; tlb } in
+    match Pcolor.Sched.Mix.run ~cfg ~sched ?mem_frames ~cap ~obs specs with
+    | exception Pcolor.Vm.Kernel.Out_of_frames { cpu; vpage } ->
+      Printf.eprintf
+        "out of physical frames (cpu%d, vpage %d): the mix's working set exceeds --mem-frames \
+         even after reclaim\n"
+        cpu vpage;
+      close_obs io;
+      exit 1
+    | outcome ->
+      let t =
+        Pcolor.Util.Table.create
+          ~title:
+            (Printf.sprintf "%d-job %s mix, %d CPUs, scale 1/%d, quantum %d" k
+               (Pcolor.Sched.Scheduler.policy_name sched_policy)
+               n_cpus scale quantum)
+          [ "job"; "policy"; "cpus"; "wall cycles"; "MCPI"; "conflict"; "faults"; "honored%" ]
+      in
+      let module C = Pcolor.Memsim.Mclass in
+      let row label policy cpus (r : Report.t) =
+        Pcolor.Util.Table.add_row t
+          [
+            label;
+            policy;
+            cpus;
+            Printf.sprintf "%.3e" r.wall_cycles;
+            Pcolor.Util.Table.fcell r.mcpi;
+            Printf.sprintf "%.0f" (Report.conflict_misses r);
+            string_of_int r.page_faults;
+            (let tot = r.hints_honored + r.hints_fallback in
+             if tot = 0 then "-"
+             else Printf.sprintf "%.0f" (100.0 *. float_of_int r.hints_honored /. float_of_int tot));
+          ]
+      in
+      Array.iter
+        (fun (j : Pcolor.Sched.Job.t) ->
+          row
+            (Printf.sprintf "%d:%s" j.Pcolor.Sched.Job.asid j.Pcolor.Sched.Job.spec.Pcolor.Sched.Job.name)
+            (Run.policy_name j.Pcolor.Sched.Job.spec.Pcolor.Sched.Job.policy)
+            (Printf.sprintf "%d+%d" j.Pcolor.Sched.Job.first_cpu j.Pcolor.Sched.Job.width)
+            outcome.Pcolor.Sched.Mix.reports.(j.Pcolor.Sched.Job.asid))
+        outcome.Pcolor.Sched.Mix.jobs;
+      row "aggregate"
+        (Pcolor.Sched.Scheduler.policy_name sched_policy)
+        (Printf.sprintf "0+%d" n_cpus) outcome.Pcolor.Sched.Mix.aggregate;
+      Pcolor.Util.Table.print t;
+      let st = outcome.Pcolor.Sched.Mix.sched_stats in
+      let invocations, _, second_chances, evictions =
+        Pcolor.Sched.Reclaim.stats outcome.Pcolor.Sched.Mix.reclaim
+      in
+      Printf.printf
+        "sched: %d dispatches, %d switches (%d cycles, %d TLB flushes); reclaim: %d \
+         invocations, %d evictions, %d second chances\n"
+        st.Pcolor.Sched.Scheduler.dispatches st.Pcolor.Sched.Scheduler.switches
+        st.Pcolor.Sched.Scheduler.switch_cycles st.Pcolor.Sched.Scheduler.tlb_flushes invocations
+        evictions second_chances;
+      Option.iter
+        (fun path ->
+          let provenance =
+            Pcolor.Obs.Provenance.collect ~scale ~jobs:1 ~seed
+              ~config_hash:(Pcolor.Obs.Provenance.hash_value cfg)
+              ()
+          in
+          write_json_file path (Pcolor.Sched.Mix.artifact_json ~provenance outcome);
+          Printf.eprintf "wrote mix artifact to %s\n%!" path)
+        metrics_out;
+      close_obs io;
+      Option.iter (fun path -> Printf.eprintf "wrote trace to %s\n%!" path) trace_path
+  in
+  Cmd.v
+    (Cmd.info "mix"
+       ~doc:
+         "Run a multiprogrammed mix: each benchmark becomes a job with its own address space \
+          and policy, competing for one shared frame pool under a gang or space-sharing \
+          scheduler.")
+    Term.(
+      const action $ benches_arg $ machine_arg $ cpus_arg $ scale_arg $ sched_arg $ quantum_arg
+      $ switch_cost_arg $ tlb_arg $ mem_frames_arg $ mix_policy_arg $ prefetch_arg $ seed_arg
       $ cap_arg $ trace_arg $ metrics_out_arg)
 
 (* ---- pattern (Figures 3 and 5) ---- *)
@@ -545,6 +717,6 @@ let () =
        (Cmd.group
           (Cmd.info "pcolor" ~doc ~version:(version_string ()))
           [
-            list_cmd; run_cmd; compare_cmd; pattern_cmd; hints_cmd; summary_cmd; run_file_cmd;
-            dump_cmd; explain_cmd; diff_cmd; version_cmd;
+            list_cmd; run_cmd; compare_cmd; mix_cmd; pattern_cmd; hints_cmd; summary_cmd;
+            run_file_cmd; dump_cmd; explain_cmd; diff_cmd; version_cmd;
           ]))

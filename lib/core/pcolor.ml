@@ -16,6 +16,7 @@
       prefetching
     - {!Cdpc} — the paper's five-step hint generator and data layout
     - {!Runtime} — execution engine, representative windows, runner
+    - {!Sched} — multiprogramming: jobs, scheduler, reclaim, mix runner
     - {!Workloads} — ten SPEC95fp-personality kernels
     - {!Stats} — overheads, weighted totals, reports, SPEC ratings
     - {!Obs} — metrics registry, Chrome-trace emitter, run artifacts
@@ -77,6 +78,16 @@ module Runtime = struct
   module Recolor = Pcolor_runtime.Recolor
   module Run = Pcolor_runtime.Run
   module Audit = Pcolor_runtime.Audit
+end
+
+(** Multiprogramming: concurrent ASID-tagged address spaces competing
+    for one shared frame pool under a gang or space-sharing scheduler,
+    with second-chance reclaim under memory pressure. *)
+module Sched = struct
+  module Job = Pcolor_sched.Job
+  module Scheduler = Pcolor_sched.Sched
+  module Reclaim = Pcolor_sched.Reclaim
+  module Mix = Pcolor_sched.Mix
 end
 
 module Workloads = struct

@@ -1,6 +1,9 @@
 (* v2: artifacts gained the "attribution" and "coloring_decisions"
-   sections (both optional). *)
-let schema_version = 2
+   sections (both optional).
+   v3: mix artifacts ("mix"/"aggregate"/"per_job" sections, pcolor
+   mix) join the run artifacts; attribution may span several address
+   spaces. *)
+let schema_version = 3
 
 type t = {
   timestamp : string;

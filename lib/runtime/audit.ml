@@ -38,22 +38,37 @@ let class_fields counts =
     (fun c -> (Pcolor_memsim.Mclass.to_string c, J.Int counts.(Pcolor_memsim.Mclass.index c)))
     Pcolor_memsim.Mclass.all
 
-(** [attribution_json ~kernel ~program ~page_size attrib] is the
-    artifact's ["attribution"] section: per-class totals, per-color
-    miss histograms, and the hottest eviction pairs / frames / cache
-    sets — each physical frame enriched with its color and, when the
+(** [attribution_json_spaces ~spaces ~page_size attrib] is the
+    artifact's ["attribution"] section for one or more address spaces
+    (kernel × program pairs — a multiprogrammed mix passes one pair per
+    job, a single run exactly one): per-class totals, per-color miss
+    histograms, and the hottest eviction pairs / frames / cache sets —
+    each physical frame enriched with its color and, when some space's
     page table still maps it, its virtual page and owning array. *)
-let attribution_json ~(kernel : Pcolor_vm.Kernel.t) ~(program : Ir.program) ~page_size attrib =
+let attribution_json_spaces ~(spaces : (Pcolor_vm.Kernel.t * Ir.program) list) ~page_size attrib =
   let module A = Pcolor_obs.Attrib in
-  let pt = Pcolor_vm.Kernel.page_table kernel in
-  let pool = Pcolor_vm.Kernel.pool kernel in
+  let pool =
+    match spaces with
+    | (k, _) :: _ -> Pcolor_vm.Kernel.pool k
+    | [] -> invalid_arg "Audit.attribution_json_spaces: no address spaces"
+  in
+  let find_mapping frame =
+    let rec go = function
+      | [] -> None
+      | (k, p) :: rest -> (
+        match Pcolor_vm.Page_table.find_by_frame (Pcolor_vm.Kernel.page_table k) frame with
+        | Some vp -> Some (vp, p)
+        | None -> go rest)
+    in
+    go spaces
+  in
   let frame_fields prefix frame =
     let tag s = if prefix = "" then s else prefix ^ "_" ^ s in
     [ (tag "frame", J.Int frame); (tag "color", J.Int (Pcolor_vm.Frame_pool.color_of pool frame)) ]
     @
-    match Pcolor_vm.Page_table.find_by_frame pt frame with
+    match find_mapping frame with
     | None -> []
-    | Some vp -> (
+    | Some (vp, program) -> (
       (tag "vpage", J.Int vp)
       ::
       (match array_of_vpage ~page_size program vp with
@@ -108,6 +123,11 @@ let attribution_json ~(kernel : Pcolor_vm.Kernel.t) ~(program : Ir.program) ~pag
              (take sets_cap sets)) );
       ("colors", J.Arr colors);
     ]
+
+(** [attribution_json ~kernel ~program ~page_size attrib] is the
+    single-address-space form of {!attribution_json_spaces}. *)
+let attribution_json ~kernel ~program ~page_size attrib =
+  attribution_json_spaces ~spaces:[ (kernel, program) ] ~page_size attrib
 
 (** [decisions_json info] is the artifact's ["coloring_decisions"]
     section: which §5.2 steps ran, the step-2 access-set order, and

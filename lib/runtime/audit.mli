@@ -20,6 +20,16 @@ val attribution_json :
   Pcolor_obs.Attrib.t ->
   Pcolor_obs.Json.t
 
+(** [attribution_json_spaces ~spaces ~page_size attrib] is the same
+    section joined across several address spaces (one kernel × program
+    pair per multiprogrammed job): each frame is resolved against every
+    page table in order. *)
+val attribution_json_spaces :
+  spaces:(Pcolor_vm.Kernel.t * Pcolor_comp.Ir.program) list ->
+  page_size:int ->
+  Pcolor_obs.Attrib.t ->
+  Pcolor_obs.Json.t
+
 (** [decisions_json info] is the artifact's ["coloring_decisions"]
     section: ablation switches, step-2 set order, placed segments with
     step-2/3 ranks and step-4 rotations, and per-page color assignments

@@ -31,6 +31,7 @@ type t = {
   machine : M.t;
   kernel : Pcolor_vm.Kernel.t;
   program : Ir.program;
+  phases : Ir.phase array;
   plans : Pcolor_comp.Prefetcher.t;
   mutable ov : Pcolor_stats.Overheads.t;
   translate : cpu:int -> vpage:int -> int * int;
@@ -39,6 +40,8 @@ type t = {
   check_bounds : bool;
   trace : Pcolor_util.Itab.Set.t option; (* (vpage lsl trace_cpu_bits) lor cpu *)
   trace_cpu_bits : int; (* key width reserved for the cpu id *)
+  first_cpu : int; (* first physical CPU this engine schedules onto *)
+  n_sched : int; (* how many physical CPUs it owns (space sharing) *)
   mutable last_contention : float;
   obs_trace : Pcolor_obs.Trace.buffer option; (* phase spans + instant events *)
   obs_metrics : obs_handles option;
@@ -49,16 +52,28 @@ type t = {
     array extent — slow, for tests.  [collect_trace] records every
     (vpage, cpu) touch during the measured window (Figure 3 data).
     [obs] (default disabled) attaches structured tracing (per-CPU phase
-    spans, instant events) and runtime metrics. *)
-let create ?(check_bounds = false) ?(collect_trace = false) ?(obs = Pcolor_obs.Ctx.disabled)
+    spans, instant events) and runtime metrics.  [cpus] (default: the
+    whole machine) restricts the engine to a contiguous physical CPU
+    range [(first, count)] — the space-sharing hook: a multiprogrammed
+    job's engine schedules its nests over its own CPUs only, with the
+    job-local master at [first]. *)
+let create ?(check_bounds = false) ?(collect_trace = false) ?(obs = Pcolor_obs.Ctx.disabled) ?cpus
     ~machine ~kernel ~program ~plans () =
   Ir.check_program program;
   let cfg = M.config machine in
+  let first_cpu, n_sched =
+    match cpus with
+    | None -> (0, cfg.n_cpus)
+    | Some (first, count) ->
+      if first < 0 || count <= 0 || first + count > cfg.n_cpus then
+        invalid_arg "Engine.create: cpus out of range";
+      (first, count)
+  in
   let obs_trace = Pcolor_obs.Ctx.trace obs in
   (match obs_trace with
   | Some buf ->
     Pcolor_obs.Trace.process_name buf program.Ir.name;
-    for cpu = 0 to cfg.n_cpus - 1 do
+    for cpu = first_cpu to first_cpu + n_sched - 1 do
       Pcolor_obs.Trace.thread_name buf ~tid:cpu (Printf.sprintf "cpu%d" cpu)
     done
   | None -> ());
@@ -85,6 +100,7 @@ let create ?(check_bounds = false) ?(collect_trace = false) ?(obs = Pcolor_obs.C
     machine;
     kernel;
     program;
+    phases = Array.of_list program.Ir.phases;
     plans;
     ov = Pcolor_stats.Overheads.create ~n_cpus:cfg.n_cpus;
     translate = (fun ~cpu ~vpage -> Pcolor_vm.Kernel.translate kernel ~cpu ~vpage);
@@ -93,15 +109,20 @@ let create ?(check_bounds = false) ?(collect_trace = false) ?(obs = Pcolor_obs.C
     check_bounds;
     trace = (if collect_trace then Some (Pcolor_util.Itab.Set.create ~capacity:(1 lsl 12) ()) else None);
     trace_cpu_bits;
+    first_cpu;
+    n_sched;
     last_contention = 1.0;
     obs_trace;
     obs_metrics;
   }
 
 (* One CPU's share of one nest: walk the iteration space with
-   incrementally maintained element indices per reference. *)
-let run_cpu_nest t (nest : Ir.nest) ~n_cpus ~cpu =
-  let lo0, hi0 = Pcolor_comp.Schedule.range nest ~n_cpus ~cpu in
+   incrementally maintained element indices per reference.  [lcpu] is
+   the job-logical CPU id (what the schedule partitions over); [cpu] is
+   the physical CPU it runs on — identical unless the engine owns a
+   sub-range of the machine (space sharing). *)
+let run_cpu_nest t (nest : Ir.nest) ~n_cpus ~lcpu ~cpu =
+  let lo0, hi0 = Pcolor_comp.Schedule.range nest ~n_cpus ~cpu:lcpu in
   if hi0 > lo0 then begin
     let refs = Array.of_list nest.refs in
     let nrefs = Array.length refs in
@@ -174,13 +195,14 @@ let run_cpu_nest t (nest : Ir.nest) ~n_cpus ~cpu =
 (* Barrier at the end of a nest region: classify waiting time by the
    nest kind, charge the software barrier cost, and synchronize clocks. *)
 let barrier t (kind : Ir.loop_kind) =
-  let n = M.n_cpus t.machine in
+  let n = t.n_sched in
+  let lo = t.first_cpu in
   let tmax = ref 0 in
-  for cpu = 0 to n - 1 do
+  for cpu = lo to lo + n - 1 do
     tmax := max !tmax (M.cpu_time t.machine ~cpu)
   done;
   let cost = Pcolor_stats.Overheads.barrier_cost ~n_cpus:n in
-  for cpu = 0 to n - 1 do
+  for cpu = lo to lo + n - 1 do
     let wait = float_of_int (!tmax - M.cpu_time t.machine ~cpu) in
     (match kind with
     | Ir.Parallel _ -> Pcolor_stats.Overheads.add_imbalance t.ov ~cpu wait
@@ -191,9 +213,9 @@ let barrier t (kind : Ir.loop_kind) =
   done
 
 let run_nest t nest =
-  let n = M.n_cpus t.machine in
-  for cpu = 0 to n - 1 do
-    run_cpu_nest t nest ~n_cpus:n ~cpu
+  let n = t.n_sched in
+  for lcpu = 0 to n - 1 do
+    run_cpu_nest t nest ~n_cpus:n ~lcpu ~cpu:(t.first_cpu + lcpu)
   done;
   barrier t nest.Ir.kind
 
@@ -228,7 +250,7 @@ let settle_contention t ~t0 ~stall0 ~busy0 =
     (match t.obs_metrics with
     | Some h -> Pcolor_obs.Metrics.incr h.knee_crossings
     | None -> ());
-    let master = Pcolor_comp.Schedule.master in
+    let master = t.first_cpu + Pcolor_comp.Schedule.master in
     (match t.obs_trace with
     | Some buf ->
       Pcolor_obs.Trace.instant buf
@@ -264,15 +286,16 @@ let run_phase_once ?(cat = "measured") t phase =
   (match t.obs_trace with
   | Some buf ->
     let name = phase.Ir.pname in
-    for cpu = 0 to n - 1 do
+    for cpu = t.first_cpu to t.first_cpu + t.n_sched - 1 do
       Pcolor_obs.Trace.duration_begin buf ~ts:t0.(cpu) ~tid:cpu ~cat name;
       Pcolor_obs.Trace.duration_end buf ~ts:(M.cpu_time t.machine ~cpu) ~tid:cpu ~cat name
     done;
     let dropped = sum_pf_dropped t - dropped0 in
+    let master = t.first_cpu + Pcolor_comp.Schedule.master in
     if dropped > 0 then
       Pcolor_obs.Trace.instant buf
-        ~ts:(M.cpu_time t.machine ~cpu:Pcolor_comp.Schedule.master)
-        ~tid:Pcolor_comp.Schedule.master ~cat:"prefetch"
+        ~ts:(M.cpu_time t.machine ~cpu:master)
+        ~tid:master ~cat:"prefetch"
         ~args:[ ("count", Pcolor_obs.Json.Int dropped) ]
         "prefetch-drops"
   | None -> ());
@@ -283,11 +306,71 @@ let run_phase_once ?(cat = "measured") t phase =
     implementation, which exploits bin hopping's cyclic counter to
     realize the desired colors without kernel changes (§5.3). *)
 let touch_pages_in_order t vpages =
+  let master = t.first_cpu + Pcolor_comp.Schedule.master in
   List.iter
     (fun vpage ->
-      M.touch_page t.machine ~cpu:Pcolor_comp.Schedule.master ~vaddr:(vpage lsl t.page_bits)
-        ~translate:t.translate)
+      M.touch_page t.machine ~cpu:master ~vaddr:(vpage lsl t.page_bits) ~translate:t.translate)
     vpages
+
+(* ------------------------------------------------------------------ *)
+(* Stepping API: [run] below is a straight-line composition of these,
+   and the multiprogramming scheduler (lib/sched) interleaves the same
+   primitives across several engines sharing one machine.  A gang mix
+   with a single job therefore replays the exact operation sequence of
+   [run] — the byte-identity contract the sched tests pin. *)
+
+(** [startup t] executes the master-only initialization section. *)
+let startup t =
+  if t.program.seq_startup_instr > 0 then begin
+    M.tick t.machine ~cpu:(t.first_cpu + Pcolor_comp.Schedule.master) t.program.seq_startup_instr;
+    barrier t Ir.Sequential
+  end
+
+(** [warmup_plan t] / [measured_plan t ~cap] are the window steps of the
+    two passes (one discarded warm-up occurrence per steady phase, then
+    the weighted representative window). *)
+let warmup_plan t = Window.warmup_plan t.program
+
+let measured_plan t ~cap = Window.plan ~cap t.program
+
+(** [run_warmup_step t step] runs one warm-up occurrence (statistics are
+    discarded later by the caller's reset). *)
+let run_warmup_step t ?(after_phase = fun () -> ()) (s : Window.step) =
+  ignore (run_phase_once ~cat:"warmup" t t.phases.(s.phase_idx));
+  after_phase ()
+
+(** [begin_measured t] resets the engine-local measurement state (the
+    overhead accumulators and the touch trace).  The caller resets the
+    machine itself — once per machine, which a multiprogrammed mix does
+    globally after every job's warm-up. *)
+let begin_measured t =
+  t.ov <- Pcolor_stats.Overheads.create ~n_cpus:(M.n_cpus t.machine);
+  match t.trace with Some tbl -> Pcolor_util.Itab.Set.reset tbl | None -> ()
+
+(* wall clock over this engine's CPUs (obs instrumentation only) *)
+let tmax t =
+  let m = ref 0 in
+  for cpu = t.first_cpu to t.first_cpu + t.n_sched - 1 do
+    m := max !m (M.cpu_time t.machine ~cpu)
+  done;
+  !m
+
+(** [run_measured_occurrence t ~into step] runs one occurrence of
+    [step]'s phase and accumulates its weighted deltas into [into]. *)
+let run_measured_occurrence t ?(after_phase = fun () -> ()) ~into (s : Window.step) =
+  let start = Pcolor_stats.Totals.snapshot t.machine t.ov in
+  let wall0 = match t.obs_metrics with Some _ -> tmax t | None -> 0 in
+  let f = run_phase_once t t.phases.(s.phase_idx) in
+  after_phase ();
+  let fin = Pcolor_stats.Totals.snapshot t.machine t.ov in
+  (match t.obs_metrics with
+  | Some h ->
+    let module Mx = Pcolor_obs.Metrics in
+    Mx.observe h.phase_cycles (tmax t - wall0);
+    Mx.incr h.phase_occurrences;
+    Mx.add h.window_weight_ppm (int_of_float (s.weight *. 1e6))
+  | None -> ());
+  Pcolor_stats.Totals.accumulate ~into ~start ~fin ~f ~weight:s.weight
 
 (** [run t ?cap ?after_phase ()] executes the program: startup
     (master-only initialization), a warm-up pass over each steady phase
@@ -296,49 +379,19 @@ let touch_pages_in_order t vpages =
     given) runs after every phase occurrence in both passes — the hook
     the dynamic-recoloring daemon uses.  Returns the weighted totals. *)
 let run t ?(cap = 2) ?(after_phase = fun () -> ()) () =
-  let phases = Array.of_list t.program.phases in
-  (* startup: master executes the initialization section *)
-  if t.program.seq_startup_instr > 0 then begin
-    M.tick t.machine ~cpu:Pcolor_comp.Schedule.master t.program.seq_startup_instr;
-    barrier t Ir.Sequential
-  end;
+  startup t;
   (* warm-up pass: fault pages in, warm caches; then discard statistics *)
-  List.iter
-    (fun (s : Window.step) ->
-      ignore (run_phase_once ~cat:"warmup" t phases.(s.phase_idx));
-      after_phase ())
-    (Window.warmup_plan t.program);
+  List.iter (run_warmup_step t ~after_phase) (warmup_plan t);
   M.reset_stats t.machine;
-  t.ov <- Pcolor_stats.Overheads.create ~n_cpus:(M.n_cpus t.machine);
-  (match t.trace with Some tbl -> Pcolor_util.Itab.Set.reset tbl | None -> ());
+  begin_measured t;
   (* measured pass *)
-  let n = M.n_cpus t.machine in
-  let tmax () =
-    let m = ref 0 in
-    for cpu = 0 to n - 1 do
-      m := max !m (M.cpu_time t.machine ~cpu)
-    done;
-    !m
-  in
-  let into = Pcolor_stats.Totals.create ~n_cpus:n in
+  let into = Pcolor_stats.Totals.create ~n_cpus:(M.n_cpus t.machine) in
   List.iter
     (fun (s : Window.step) ->
       for _occ = 1 to s.simulate do
-        let start = Pcolor_stats.Totals.snapshot t.machine t.ov in
-        let wall0 = match t.obs_metrics with Some _ -> tmax () | None -> 0 in
-        let f = run_phase_once t phases.(s.phase_idx) in
-        after_phase ();
-        let fin = Pcolor_stats.Totals.snapshot t.machine t.ov in
-        (match t.obs_metrics with
-        | Some h ->
-          let module Mx = Pcolor_obs.Metrics in
-          Mx.observe h.phase_cycles (tmax () - wall0);
-          Mx.incr h.phase_occurrences;
-          Mx.add h.window_weight_ppm (int_of_float (s.weight *. 1e6))
-        | None -> ());
-        Pcolor_stats.Totals.accumulate ~into ~start ~fin ~f ~weight:s.weight
+        run_measured_occurrence t ~after_phase ~into s
       done)
-    (Window.plan ~cap t.program);
+    (measured_plan t ~cap);
   into
 
 (** [trace_points t] is the recorded (vpage, cpu) touch set, empty
@@ -359,3 +412,16 @@ let last_contention t = t.last_contention
 
 (** [overheads t] exposes the overhead accumulators. *)
 let overheads t = t.ov
+
+(** [machine t] / [kernel t] / [program t] expose the wired components
+    (the multiprogramming scheduler drives several engines over one
+    machine and needs them back). *)
+let machine t = t.machine
+
+let kernel t = t.kernel
+
+let program t = t.program
+
+(** [cpus t] is the physical CPU range [(first, count)] this engine
+    schedules onto. *)
+let cpus t = (t.first_cpu, t.n_sched)

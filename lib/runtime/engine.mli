@@ -11,11 +11,14 @@ type t
     the measured window; [obs] (default disabled) attaches structured
     tracing (per-CPU phase spans, prefetch-drop and bus-knee instants)
     and runtime metrics (phase-duration histogram, occurrence and
-    window-weight counters). *)
+    window-weight counters); [cpus] (default: the whole machine)
+    restricts the engine to the contiguous physical CPU range
+    [(first, count)] — the space-sharing hook. *)
 val create :
   ?check_bounds:bool ->
   ?collect_trace:bool ->
   ?obs:Pcolor_obs.Ctx.t ->
+  ?cpus:int * int ->
   machine:Pcolor_memsim.Machine.t ->
   kernel:Pcolor_vm.Kernel.t ->
   program:Pcolor_comp.Ir.program ->
@@ -26,6 +29,34 @@ val create :
 (** [touch_pages_in_order t vpages] makes the master fault pages in
     order — the §5.3 Digital-UNIX user-level CDPC implementation. *)
 val touch_pages_in_order : t -> int list -> unit
+
+(** {2 Stepping API}
+
+    [run] composes these; the multiprogramming scheduler interleaves
+    them across several engines sharing one machine.  A single-job gang
+    mix replays exactly the operation sequence of [run]. *)
+
+(** [startup t] executes the master-only initialization section. *)
+val startup : t -> unit
+
+(** [warmup_plan t] / [measured_plan t ~cap] are the window steps of
+    the discarded warm-up pass and the measured window. *)
+val warmup_plan : t -> Window.step list
+
+val measured_plan : t -> cap:int -> Window.step list
+
+(** [run_warmup_step t step] runs one warm-up occurrence. *)
+val run_warmup_step : t -> ?after_phase:(unit -> unit) -> Window.step -> unit
+
+(** [begin_measured t] resets engine-local measurement state (overhead
+    accumulators, touch trace); the caller resets the machine itself
+    ({!Pcolor_memsim.Machine.reset_stats}, once per machine). *)
+val begin_measured : t -> unit
+
+(** [run_measured_occurrence t ~into step] runs one occurrence of
+    [step]'s phase, accumulating weighted deltas into [into]. *)
+val run_measured_occurrence :
+  t -> ?after_phase:(unit -> unit) -> into:Pcolor_stats.Totals.t -> Window.step -> unit
 
 (** [run t ?cap ?after_phase ()] executes startup, the discarded
     warm-up pass, then the measured window, returning weighted totals.
@@ -43,3 +74,14 @@ val last_contention : t -> float
 
 (** [overheads t] exposes the overhead accumulators. *)
 val overheads : t -> Pcolor_stats.Overheads.t
+
+(** [machine t] / [kernel t] / [program t] expose the wired components. *)
+val machine : t -> Pcolor_memsim.Machine.t
+
+val kernel : t -> Pcolor_vm.Kernel.t
+
+val program : t -> Pcolor_comp.Ir.program
+
+(** [cpus t] is the physical CPU range [(first, count)] the engine
+    schedules onto. *)
+val cpus : t -> int * int

@@ -113,8 +113,28 @@ let touch_order (info : Pcolor_cdpc.Colorer.info) =
     info.placed;
   List.sort compare !pairs |> List.map snd
 
-(** [run setup] executes one experiment end to end. *)
-let run (setup : setup) =
+(** The front half of a run — everything before a kernel/machine exists:
+    a fresh checked program, its compiler summary, the §5.4 layout
+    (relocated by [relocate] bytes), CDPC hints keyed by the relocated
+    addresses, and the constructed mapping policy. *)
+type prepared = {
+  program : Ir.program;
+  summary : Pcolor_comp.Summary.t;
+  hints_info : (Pcolor_vm.Hints.t * Pcolor_cdpc.Colorer.info) option;
+  policy : Pcolor_vm.Policy.t;
+  layout_end : int; (* first byte past the laid-out data segment (post-relocation) *)
+}
+
+(** [prepare ?relocate setup] runs the compile-time pipeline: summary
+    extraction, layout, hint generation and policy construction.
+    [relocate] (default 0) shifts every array base after layout — the
+    multiprogramming subsystem's address-space tagging: job [asid] is
+    relocated by [asid × va_span] so the jobs' virtual pages are
+    disjoint, and because the shift is a multiple of
+    [n_colors × page_size] every page keeps its [vpage mod n_colors],
+    leaving per-job policy behaviour unchanged.  A relocation of 0 is a
+    no-op, so single runs are untouched. *)
+let prepare ?(relocate = 0) (setup : setup) =
   let cfg = setup.cfg in
   let program = setup.make_program () in
   Ir.check_program program;
@@ -124,8 +144,11 @@ let run (setup : setup) =
     | Bin_hopping_unaligned -> Pcolor_cdpc.Align.Natural
     | _ -> Pcolor_cdpc.Align.Aligned
   in
-  ignore
-    (Pcolor_cdpc.Align.layout ~cfg ~mode ~groups:summary.Pcolor_comp.Summary.groups program.arrays);
+  let layout_end =
+    Pcolor_cdpc.Align.layout ~cfg ~mode ~groups:summary.Pcolor_comp.Summary.groups program.arrays
+  in
+  if relocate <> 0 then
+    List.iter (fun (a : Ir.array_decl) -> a.base <- a.base + relocate) program.arrays;
   let n_colors = Pcolor_memsim.Config.n_colors cfg in
   let hints_info =
     match setup.policy with
@@ -159,6 +182,12 @@ let run (setup : setup) =
       (Pcolor_vm.Policy.Base Bin_hopping, cfg.n_cpus > 1)
   in
   let policy = Pcolor_vm.Policy.create ~n_colors ~seed:setup.seed ~race_jitter policy_spec in
+  { program; summary; hints_info; policy; layout_end = layout_end + relocate }
+
+(** [run setup] executes one experiment end to end. *)
+let run (setup : setup) =
+  let cfg = setup.cfg in
+  let { program; summary; hints_info; policy; layout_end = _ } = prepare setup in
   let kernel = Pcolor_vm.Kernel.create ~cfg ~policy ?mem_frames:setup.mem_frames () in
   let machine = Pcolor_memsim.Machine.create ~obs:setup.obs cfg in
   let plans =
@@ -168,9 +197,24 @@ let run (setup : setup) =
     Engine.create ~check_bounds:setup.check_bounds ~collect_trace:setup.collect_trace
       ~obs:setup.obs ~machine ~kernel ~program ~plans ()
   in
+  (* Pool exhaustion surfaces as a diagnostic (PCOLOR_LOG channel) with
+     the faulting CPU/page and the pool state before propagating, so a
+     too-small --mem-frames reads as a finding, not a crash site. *)
+  let guard_oom f =
+    try f ()
+    with Pcolor_vm.Kernel.Out_of_frames { cpu; vpage } as e ->
+      let pool = Pcolor_vm.Kernel.pool kernel in
+      Logs.err ~src:Pcolor_obs.Log.src (fun m ->
+          m "out of physical frames: cpu%d faulting vpage %d with %d/%d frames free — raise mem_frames or enable reclaim (pcolor mix)"
+            cpu vpage
+            (Pcolor_vm.Frame_pool.free_frames pool)
+            (Pcolor_vm.Frame_pool.total_frames pool));
+      raise e
+  in
   (match setup.policy with
   | Cdpc { via_touch = true; _ } ->
-    Engine.touch_pages_in_order engine (touch_order (snd (Option.get hints_info)))
+    guard_oom (fun () ->
+        Engine.touch_pages_in_order engine (touch_order (snd (Option.get hints_info))))
   | _ -> ());
   let recolorer =
     match setup.policy with
@@ -193,7 +237,7 @@ let run (setup : setup) =
           (Pcolor_obs.Ctx.trace setup.obs)
     | None -> ()
   in
-  let totals = Engine.run engine ~cap:setup.cap ~after_phase () in
+  let totals = guard_oom (fun () -> Engine.run engine ~cap:setup.cap ~after_phase ()) in
   let pool = Pcolor_vm.Kernel.pool kernel in
   let metrics_snapshot =
     match Pcolor_obs.Ctx.metrics setup.obs with

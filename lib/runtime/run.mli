@@ -71,7 +71,27 @@ type outcome = {
     realizes the hint colors under bin hopping (§5.3). *)
 val touch_order : Pcolor_cdpc.Colorer.info -> int list
 
-(** [run setup] executes one experiment end to end. *)
+(** The front half of a run: fresh checked program, compiler summary,
+    §5.4 layout, CDPC hints and mapping policy — everything that exists
+    before a kernel/machine does. *)
+type prepared = {
+  program : Ir.program;
+  summary : Pcolor_comp.Summary.t;
+  hints_info : (Pcolor_vm.Hints.t * Pcolor_cdpc.Colorer.info) option;
+  policy : Pcolor_vm.Policy.t;
+  layout_end : int;  (** first byte past the laid-out (relocated) data segment *)
+}
+
+(** [prepare ?relocate setup] runs the compile-time pipeline.
+    [relocate] (default 0, a no-op) shifts every array base after
+    layout — multiprogramming's address-space tagging: a shift that is
+    a multiple of [n_colors × page_size] keeps every page's color while
+    making jobs' virtual pages disjoint. *)
+val prepare : ?relocate:int -> setup -> prepared
+
+(** [run setup] executes one experiment end to end.  Pool exhaustion
+    ({!Pcolor_vm.Kernel.Out_of_frames}) is logged on the [PCOLOR_LOG]
+    channel (faulting CPU/page, pool occupancy) before propagating. *)
 val run : setup -> outcome
 
 (** [artifact_json ?provenance outcome] is the machine-readable run

@@ -1,0 +1,205 @@
+(** One multiprogrammed job: an ASID-tagged virtual address space with
+    its own mapping policy, hints and page table, competing with the
+    other jobs for one shared frame pool on one shared machine.
+
+    ASID tagging is done by address-space relocation rather than by
+    widening every table key: job [asid]'s arrays are relocated by
+    [asid × va_span] after layout (see {!Pcolor_runtime.Run.prepare}),
+    where [va_span] is a power of two that is a multiple of
+    [n_colors × page_size].  The jobs' virtual pages are then disjoint,
+    so the existing packed-int [Itab] tables behind {!Pcolor_memsim.Tlb}
+    and {!Pcolor_vm.Page_table} — and the virtually-indexed L1 — are
+    naturally ASID-tagged, while [vpage mod n_colors] is unchanged and
+    every per-job policy behaves exactly as it would alone.  ASID 0's
+    relocation is zero, which is what makes a single-job mix
+    byte-identical to a plain run. *)
+
+module M = Pcolor_memsim.Machine
+module Mclass = Pcolor_memsim.Mclass
+module Run = Pcolor_runtime.Run
+module Engine = Pcolor_runtime.Engine
+module Window = Pcolor_runtime.Window
+module Recolor = Pcolor_runtime.Recolor
+module Kernel = Pcolor_vm.Kernel
+
+(** What to run: a workload, its mapping policy, and the per-job knobs
+    of {!Pcolor_runtime.Run.setup} that make sense per job. *)
+type spec = {
+  name : string;
+  make_program : unit -> Pcolor_comp.Ir.program;
+      (** must return a fresh program: layout mutates array bases *)
+  policy : Run.policy_choice;
+  prefetch : bool;
+  seed : int;
+  cdpc_ablation : Pcolor_cdpc.Colorer.ablation;
+}
+
+(** [spec ~name make_program] fills conservative defaults (page
+    coloring, no prefetch, seed 42, full CDPC algorithm). *)
+let spec ?(policy = Run.Page_coloring) ?(prefetch = false) ?(seed = 42)
+    ?(cdpc_ablation = Pcolor_cdpc.Colorer.full_algorithm) ~name make_program =
+  { name; make_program; policy; prefetch; seed; cdpc_ablation }
+
+(** [setup_of ~cfg spec] is the equivalent single-run setup — the
+    shared vocabulary between [pcolor run] and a mix job. *)
+let setup_of ~cfg (s : spec) : Run.setup =
+  {
+    (Run.default_setup ~cfg ~make_program:s.make_program ~policy:s.policy) with
+    prefetch = s.prefetch;
+    seed = s.seed;
+    cdpc_ablation = s.cdpc_ablation;
+  }
+
+type t = {
+  spec : spec;
+  asid : int;
+  relocate : int; (* bytes added to every array base = asid × va_span *)
+  engine : Engine.t;
+  kernel : Kernel.t;
+  program : Pcolor_comp.Ir.program;
+  hints_info : Pcolor_cdpc.Colorer.info option;
+  touch : int list; (* cdpc-touch page order; empty otherwise *)
+  after_phase : unit -> unit; (* dynamic-recoloring hook, as in Run.run *)
+  recolorer : Recolor.t option;
+  first_cpu : int;
+  width : int; (* CPUs this job is scheduled onto *)
+  totals : Pcolor_stats.Totals.t; (* measured-pass weighted accumulator *)
+  mutable warmup : Window.step list; (* warm-up occurrences still to run *)
+  mutable measured : (Window.step * int) list; (* step × occurrences left *)
+  l2_measured : Mclass.counts;
+      (* measured-pass external-miss deltas by class.  Scheduler slices
+         are temporally exclusive in simulation order, so the machine-
+         wide delta around one occurrence belongs entirely to this job —
+         the reconciliation invariant the sched tests pin: summed over
+         jobs these equal the machine's own post-reset counters. *)
+  mutable dispatches : int;
+}
+
+(* machine-wide per-class external-miss totals (cheap: n_cpus × 5) *)
+let class_totals machine ~into =
+  let n = M.n_cpus machine in
+  Array.fill into 0 (Array.length into) 0;
+  for cpu = 0 to n - 1 do
+    let s = M.stats machine ~cpu in
+    Array.iteri (fun i v -> into.(i) <- into.(i) + v) s.M.l2_miss_counts
+  done
+
+(** [create ~cfg ~machine ~pool ~obs ~asid ~relocate ~cpus ~cap spec]
+    builds the job: prepared program (relocated), policy, a kernel
+    sharing [pool], and an engine restricted to [cpus].  Nothing runs
+    yet. *)
+let create ~cfg ~machine ~pool ~obs ~asid ~relocate ~cpus ~cap (s : spec) =
+  let setup = setup_of ~cfg s in
+  let p = Run.prepare ~relocate setup in
+  let kernel = Kernel.create ~cfg ~policy:p.Run.policy ~pool () in
+  let plans =
+    if s.prefetch then Pcolor_comp.Prefetcher.plan cfg p.Run.program
+    else Pcolor_comp.Prefetcher.none
+  in
+  let engine = Engine.create ~obs ~cpus ~machine ~kernel ~program:p.Run.program ~plans () in
+  let first_cpu, width = cpus in
+  let recolorer =
+    match s.policy with
+    | Run.Dynamic_recoloring _ -> Some (Recolor.create ~machine ~kernel ())
+    | _ -> None
+  in
+  let after_phase () =
+    match recolorer with
+    | Some rc ->
+      let trigger_cpu = first_cpu + Pcolor_comp.Schedule.master in
+      let moved = Recolor.round rc ~trigger_cpu in
+      if moved > 0 then
+        Option.iter
+          (fun buf ->
+            Pcolor_obs.Trace.instant buf
+              ~ts:(M.cpu_time machine ~cpu:trigger_cpu)
+              ~tid:trigger_cpu ~cat:"vm"
+              ~args:[ ("pages_moved", Pcolor_obs.Json.Int moved) ]
+              "recoloring")
+          (Pcolor_obs.Ctx.trace obs)
+    | None -> ()
+  in
+  let touch =
+    match s.policy with
+    | Run.Cdpc { via_touch = true; _ } -> Run.touch_order (snd (Option.get p.Run.hints_info))
+    | _ -> []
+  in
+  {
+    spec = s;
+    asid;
+    relocate;
+    engine;
+    kernel;
+    program = p.Run.program;
+    hints_info = Option.map snd p.Run.hints_info;
+    touch;
+    after_phase;
+    recolorer;
+    first_cpu;
+    width;
+    totals = Pcolor_stats.Totals.create ~n_cpus:(M.n_cpus machine);
+    warmup = Engine.warmup_plan engine;
+    measured = List.map (fun (st : Window.step) -> (st, st.simulate)) (Engine.measured_plan engine ~cap);
+    l2_measured = Mclass.make_counts ();
+    dispatches = 0;
+  }
+
+(** [startup t] faults the cdpc-touch pages (if any) and runs the
+    master-only initialization — the same order as {!Run.run}. *)
+let startup t =
+  if t.touch <> [] then Engine.touch_pages_in_order t.engine t.touch;
+  Engine.startup t.engine
+
+(** [clock t machine] is the job's wall clock: the max cycle count over
+    its own CPUs (they only advance while the job runs). *)
+let clock t machine =
+  let m = ref 0 in
+  for cpu = t.first_cpu to t.first_cpu + t.width - 1 do
+    m := max !m (M.cpu_time machine ~cpu)
+  done;
+  !m
+
+let warmup_done t = t.warmup = []
+
+let measured_done t = t.measured = []
+
+(** [run_one_warmup t] runs the next warm-up occurrence. *)
+let run_one_warmup t =
+  match t.warmup with
+  | [] -> ()
+  | s :: rest ->
+    Engine.run_warmup_step t.engine ~after_phase:t.after_phase s;
+    t.warmup <- rest
+
+(** [begin_measured t] resets the engine's measurement state after the
+    global machine reset (the caller resets the machine once). *)
+let begin_measured t =
+  Engine.begin_measured t.engine;
+  Array.fill t.l2_measured 0 (Array.length t.l2_measured) 0
+
+(** [run_one_measured t machine] runs the next measured occurrence,
+    accumulating weighted totals into the job's accumulator and raw
+    external-miss deltas into [l2_measured].  Occurrence granularity,
+    not the access hot path — the two 5-int snapshots are cheap. *)
+let run_one_measured t machine =
+  match t.measured with
+  | [] -> ()
+  | (s, left) :: rest ->
+    let before = Mclass.make_counts () in
+    class_totals machine ~into:before;
+    Engine.run_measured_occurrence t.engine ~after_phase:t.after_phase ~into:t.totals s;
+    let after = Mclass.make_counts () in
+    class_totals machine ~into:after;
+    Array.iteri (fun i v -> t.l2_measured.(i) <- t.l2_measured.(i) + v - before.(i)) after;
+    t.measured <- (if left <= 1 then rest else (s, left - 1) :: rest)
+
+(** [report ~cfg t] is the per-job report, built exactly as {!Run.run}
+    builds its single-run report (benchmark name from the program,
+    per-kernel fault and hint counters — which equal the pool's own
+    counters when the job is alone). *)
+let report ~cfg t =
+  Pcolor_stats.Report.of_totals ~benchmark:t.program.Pcolor_comp.Ir.name
+    ~machine:cfg.Pcolor_memsim.Config.name ~n_cpus:t.width
+    ~policy:(Run.policy_name t.spec.policy) ~prefetch:t.spec.prefetch
+    ~page_faults:(Kernel.faults t.kernel) ~hints_honored:(Kernel.honored t.kernel)
+    ~hints_fallback:(Kernel.hint_fallbacks t.kernel) t.totals

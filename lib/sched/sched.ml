@@ -1,0 +1,143 @@
+(** The job scheduler: drives several {!Job}s' engines over one shared
+    machine at phase-occurrence granularity.
+
+    Two placement policies:
+
+    - [Gang]: every job runs on every CPU; jobs time-share the whole
+      machine in round-robin cycle quanta.  A dispatch of a different
+      job than the last one is a context switch — it charges the switch
+      cost to every CPU and, in [Flush] mode, flushes every TLB (the
+      no-ASID architecture); in [Asid] mode translations survive, which
+      costs nothing because relocation makes the jobs' virtual pages
+      disjoint (see {!Job}).
+    - [Space]: the machine is partitioned into contiguous CPU ranges,
+      one per job.  Jobs still interleave at quantum granularity (that
+      interleaving orders their page faults, i.e. the competition for
+      pool colors), but nothing is ever displaced, so there are no
+      switch costs or flushes.
+
+    The quantum is consumed in whole phase occurrences (an occurrence
+    is never preempted mid-flight): a dispatch runs occurrences until
+    the job's own clock has advanced by at least the quantum.
+    Everything is deterministic — same specs, same interleaving, same
+    simulated cycles. *)
+
+module M = Pcolor_memsim.Machine
+module Tlb = Pcolor_memsim.Tlb
+
+type policy = Gang | Space
+
+type tlb_mode =
+  | Flush (* untagged TLBs: every context switch flushes *)
+  | Asid (* tagged TLBs: translations survive the switch *)
+
+let policy_name = function Gang -> "gang" | Space -> "space"
+
+let tlb_mode_name = function Flush -> "flush" | Asid -> "asid"
+
+type config = {
+  policy : policy;
+  quantum : int; (* cycles a dispatch may consume before yielding *)
+  switch_cost : int; (* kernel cycles per CPU on an actual job change *)
+  tlb : tlb_mode;
+}
+
+(** [default] gang-schedules with a 2M-cycle quantum, a 10k-cycle
+    per-CPU switch cost and ASID-tagged TLBs. *)
+let default = { policy = Gang; quantum = 2_000_000; switch_cost = 10_000; tlb = Asid }
+
+type stats = {
+  mutable dispatches : int;
+  mutable switches : int;
+  mutable switch_cycles : int; (* total kernel cycles charged for switching *)
+  mutable tlb_flushes : int; (* per-CPU flush count *)
+}
+
+type t = {
+  cfg : config;
+  machine : M.t;
+  jobs : Job.t array;
+  stats : stats;
+  mutable last : int; (* asid holding the CPUs after the last dispatch *)
+}
+
+(** [create ~cfg ~machine jobs] builds the scheduler.  [last] starts at
+    job 0, so a single-job mix never sees a context switch — the
+    byte-identity contract with a plain run. *)
+let create ~cfg ~machine jobs =
+  if Array.length jobs = 0 then invalid_arg "Sched.create: no jobs";
+  {
+    cfg;
+    machine;
+    jobs;
+    stats = { dispatches = 0; switches = 0; switch_cycles = 0; tlb_flushes = 0 };
+    last = (jobs.(0) : Job.t).Job.asid;
+  }
+
+(* Charge an actual job change on [job]'s CPU range (gang: the whole
+   machine).  Clock advance via M.kernel means the cost shows up in
+   wall time and kernel-cycle accounting, not in any job's measured
+   occurrence deltas — switching is system overhead, owned by neither
+   side of the switch. *)
+let context_switch t (job : Job.t) =
+  t.stats.switches <- t.stats.switches + 1;
+  for cpu = job.Job.first_cpu to job.Job.first_cpu + job.Job.width - 1 do
+    if t.cfg.switch_cost > 0 then begin
+      M.kernel t.machine ~cpu t.cfg.switch_cost;
+      t.stats.switch_cycles <- t.stats.switch_cycles + t.cfg.switch_cost
+    end;
+    match t.cfg.tlb with
+    | Flush ->
+      Tlb.flush (M.tlb t.machine ~cpu);
+      t.stats.tlb_flushes <- t.stats.tlb_flushes + 1
+    | Asid -> ()
+  done
+
+let switch_to t (job : Job.t) =
+  if t.cfg.policy = Gang && t.last <> job.Job.asid then context_switch t job;
+  t.last <- job.Job.asid
+
+(* One dispatch: run whole occurrences until the quantum is consumed on
+   the job's own clock, or its queue for this pass drains. *)
+let dispatch t (job : Job.t) ~done_ ~run_one =
+  switch_to t job;
+  t.stats.dispatches <- t.stats.dispatches + 1;
+  job.Job.dispatches <- job.Job.dispatches + 1;
+  let t0 = Job.clock job t.machine in
+  let rec go () =
+    if not (done_ job) then begin
+      run_one job;
+      if Job.clock job t.machine - t0 < t.cfg.quantum then go ()
+    end
+  in
+  go ()
+
+let run_pass t ~done_ ~run_one =
+  let k = Array.length t.jobs in
+  let remaining () = Array.exists (fun j -> not (done_ j)) t.jobs in
+  let cur = ref 0 in
+  while remaining () do
+    let j = t.jobs.(!cur) in
+    if not (done_ j) then dispatch t j ~done_ ~run_one;
+    cur := (!cur + 1) mod k
+  done
+
+(** [startup_all t] runs every job's startup in ASID order, charging a
+    context switch between consecutive jobs (gang mode). *)
+let startup_all t =
+  Array.iter
+    (fun (j : Job.t) ->
+      switch_to t j;
+      Job.startup j)
+    t.jobs
+
+(** [warmup t] interleaves every job's warm-up pass to completion. *)
+let warmup t = run_pass t ~done_:Job.warmup_done ~run_one:Job.run_one_warmup
+
+(** [measured t] interleaves every job's measured window to
+    completion. *)
+let measured t =
+  run_pass t ~done_:Job.measured_done ~run_one:(fun j -> Job.run_one_measured j t.machine)
+
+(** [stats t] exposes the dispatch/switch accounting. *)
+let stats t = t.stats

@@ -11,6 +11,7 @@
 type t = {
   n_colors : int;
   free : int list array; (* per color, free frame numbers (LIFO) *)
+  free_n : int array; (* per color, length of [free.(c)] — kept in sync *)
   mutable free_count : int;
   total : int;
   mutable fallbacks : int; (* allocations that could not honor the color *)
@@ -23,12 +24,14 @@ type t = {
 let create ~frames ~n_colors =
   if frames <= 0 || n_colors <= 0 then invalid_arg "Frame_pool.create";
   let free = Array.make n_colors [] in
+  let free_n = Array.make n_colors 0 in
   (* Build LIFO lists so that frame numbers come out ascending. *)
   for f = frames - 1 downto 0 do
     let c = f mod n_colors in
-    free.(c) <- f :: free.(c)
+    free.(c) <- f :: free.(c);
+    free_n.(c) <- free_n.(c) + 1
   done;
-  { n_colors; free; free_count = frames; total = frames; fallbacks = 0; honored = 0 }
+  { n_colors; free; free_n; free_count = frames; total = frames; fallbacks = 0; honored = 0 }
 
 (** [n_colors t] is the machine's color count. *)
 let n_colors t = t.n_colors
@@ -39,8 +42,13 @@ let color_of t frame = frame mod t.n_colors
 (** [free_frames t] is the number of unallocated frames. *)
 let free_frames t = t.free_count
 
-(** [free_of_color t color] counts free frames of one color. *)
-let free_of_color t color = List.length t.free.(color)
+(** [total_frames t] is the pool size (allocated + free). *)
+let total_frames t = t.total
+
+(** [free_of_color t color] counts free frames of one color — O(1), the
+    count is maintained alongside the free list so pressure metrics and
+    the reclaim path can poll it per fault. *)
+let free_of_color t color = t.free_n.(color)
 
 (** [honored t] / [fallbacks t] count allocations that did / did not get
     the requested color. *)
@@ -62,6 +70,7 @@ let alloc t ~preferred =
       | [] -> None
       | f :: rest ->
         t.free.(c) <- rest;
+        t.free_n.(c) <- t.free_n.(c) - 1;
         t.free_count <- t.free_count - 1;
         Some f
     in
@@ -91,4 +100,5 @@ let release t frame =
   if frame < 0 || frame >= t.total then invalid_arg "Frame_pool.release: bad frame";
   let c = color_of t frame in
   t.free.(c) <- frame :: t.free.(c);
+  t.free_n.(c) <- t.free_n.(c) + 1;
   t.free_count <- t.free_count + 1

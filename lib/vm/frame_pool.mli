@@ -20,7 +20,10 @@ val color_of : t -> int -> int
 (** [free_frames t] counts unallocated frames. *)
 val free_frames : t -> int
 
-(** [free_of_color t color] counts free frames of one color. *)
+(** [total_frames t] is the pool size (allocated + free). *)
+val total_frames : t -> int
+
+(** [free_of_color t color] counts free frames of one color (O(1)). *)
 val free_of_color : t -> int -> int
 
 (** [honored t] / [fallbacks t] count allocations that did / did not

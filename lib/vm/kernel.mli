@@ -5,16 +5,32 @@
 
 type t
 
-(** [create ~cfg ~policy ?mem_frames ()] builds a kernel managing
+(** Raised on pool exhaustion when no reclaimer can free a frame;
+    carries the faulting CPU and virtual page for diagnostics. *)
+exception Out_of_frames of { cpu : int; vpage : int }
+
+(** [create ~cfg ~policy ?mem_frames ?pool ()] builds a kernel managing
     [mem_frames] physical frames (default: ample — at least 256 MB and
     4× the aggregate external-cache capacity).  Shrink [mem_frames] to
-    exercise hint fallback under memory pressure. *)
-val create : cfg:Pcolor_memsim.Config.t -> policy:Policy.t -> ?mem_frames:int -> unit -> t
+    exercise hint fallback under memory pressure; pass [pool] to share
+    one frame pool between several kernels (multiprogramming). *)
+val create :
+  cfg:Pcolor_memsim.Config.t ->
+  policy:Policy.t ->
+  ?mem_frames:int ->
+  ?pool:Frame_pool.t ->
+  unit ->
+  t
+
+(** [set_reclaim t f] installs the out-of-memory recovery path: on pool
+    exhaustion [translate] calls [f ~cpu] and retries while it reports
+    progress (frames freed > 0). *)
+val set_reclaim : t -> (cpu:int -> int) -> unit
 
 (** [translate t ~cpu ~vpage] returns [(frame, kernel_cycles)]:
     [kernel_cycles] is zero for a mapped page and the configured fault
-    cost when allocation happened.  Raises [Out_of_memory] when the
-    pool is exhausted. *)
+    cost when allocation happened.  Raises {!Out_of_frames} when the
+    pool is exhausted and reclaim (if any) frees nothing. *)
 val translate : t -> cpu:int -> vpage:int -> int * int
 
 (** [recolor t ~vpage ~preferred] remaps a page to a frame of a
@@ -22,6 +38,11 @@ val translate : t -> cpu:int -> vpage:int -> int * int
     unmapped, exhausted, or the color would not change.  The caller
     charges copy/TLB costs and invalidates stale cache lines. *)
 val recolor : t -> vpage:int -> preferred:int -> (int * int) option
+
+(** [evict t ~vpage] tears down a mapping and releases its frame back
+    to the pool, returning the frame — the reclaim path's teardown.
+    The caller must first invalidate TLB entries and cached lines. *)
+val evict : t -> vpage:int -> int option
 
 (** [policy t] / [pool t] / [page_table t] expose internals for
     inspection and tests. *)
@@ -34,13 +55,22 @@ val page_table : t -> Page_table.t
 (** [faults t] counts page faults taken. *)
 val faults : t -> int
 
+(** [honored t] / [hint_fallbacks t]: this kernel's allocations that
+    did / did not receive the preferred color.  With a shared pool they
+    partition the pool's own counters per address space. *)
+val honored : t -> int
+
+val hint_fallbacks : t -> int
+
 (** [color_histogram t] is frames granted per color. *)
 val color_histogram : t -> int array
 
-(** [publish_metrics t reg] registers and sets VM counters (faults,
-    hint honor/fallback, frames granted) and the per-color free-list
-    depth histogram in [reg] — once per run, off the fault path. *)
-val publish_metrics : t -> Pcolor_obs.Metrics.t -> unit
+(** [publish_metrics ?pool_stats t reg] registers and sets VM counters
+    (faults, hint honor/fallback, frames granted) and the per-color
+    free-list depth histogram in [reg] — once per run, off the fault
+    path.  Pass [~pool_stats:false] (default true) for all but one of
+    several kernels sharing a pool. *)
+val publish_metrics : ?pool_stats:bool -> t -> Pcolor_obs.Metrics.t -> unit
 
 (** [color_of_vpage t vpage] is the cache color the page landed on, if
     mapped — the ground truth CDPC tries to control. *)

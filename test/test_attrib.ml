@@ -145,7 +145,7 @@ let test_artifact_roundtrip () =
   in
   Alcotest.(check string) "re-serialization is byte-identical" s (Json.to_string parsed);
   Alcotest.(check (option int))
-    "schema v2" (Some 2)
+    "schema version" (Some Pcolor.Obs.Provenance.schema_version)
     (Option.bind (Json.member "schema_version" parsed) Json.to_int_opt);
   let att = Option.get (Json.member "attribution" parsed) in
   Alcotest.(check (option int))

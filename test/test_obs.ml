@@ -301,7 +301,13 @@ let test_artifact_json () =
         && (String.sub s i (String.length needle) = needle || find (i + 1))
       in
       Alcotest.(check bool) ("artifact contains " ^ needle) true (find 0))
-    [ "\"schema_version\":2"; "\"provenance\""; "\"report\""; "\"metrics\""; "\"benchmark\"" ]
+    [
+      Printf.sprintf "\"schema_version\":%d" Pcolor.Obs.Provenance.schema_version;
+      "\"provenance\"";
+      "\"report\"";
+      "\"metrics\"";
+      "\"benchmark\"";
+    ]
 
 let suite =
   [

@@ -146,11 +146,11 @@ let test_kernel_memory_pressure () =
   for v = 1 to 6 do
     ignore (Kernel.translate k ~cpu:0 ~vpage:v)
   done;
-  Alcotest.(check bool) "out of memory raised" true
+  Alcotest.(check bool) "out of frames raised with faulting cpu/vpage" true
     (try
-       ignore (Kernel.translate k ~cpu:0 ~vpage:100);
+       ignore (Kernel.translate k ~cpu:3 ~vpage:100);
        false
-     with Out_of_memory -> true)
+     with Kernel.Out_of_frames { cpu; vpage } -> cpu = 3 && vpage = 100)
 
 let test_kernel_histogram () =
   let cfg = Helpers.tiny_cfg () in
