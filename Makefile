@@ -9,7 +9,9 @@
 #                     the committed BENCH_throughput.json and
 #                     BENCH_mix.json baselines (warn-only: timing noise
 #                     is expected on shared machines; drop --warn-only
-#                     for a hard gate)
+#                     for a hard gate), then hard-gate the batch engine
+#                     against the interpreter with `pcolor diff --exact`
+#                     (simulated metrics must be byte-identical)
 #   make bench        full reproduction harness at the default scale
 
 DUNE ?= dune
@@ -34,6 +36,15 @@ bench-check:
 	  BENCH_throughput.json --threshold $(BENCH_THRESHOLD) --warn-only
 	$(DUNE) exec bin/pcolor_cli.exe -- diff _build/bench_mix_baseline.json \
 	  BENCH_mix.json --threshold $(BENCH_THRESHOLD) --warn-only
+	@# Engine byte-identity gate: the batch walker engine must produce
+	@# exactly the interpreter's simulated metrics (hard failure, not
+	@# warn-only — this is correctness, not timing).
+	$(DUNE) exec bin/pcolor_cli.exe -- run tomcatv --policy cdpc --cpus 4 \
+	  --scale 16 --prefetch --engine=batch --metrics-out _build/engine_batch.json
+	$(DUNE) exec bin/pcolor_cli.exe -- run tomcatv --policy cdpc --cpus 4 \
+	  --scale 16 --prefetch --engine=interp --metrics-out _build/engine_interp.json
+	$(DUNE) exec bin/pcolor_cli.exe -- diff _build/engine_batch.json \
+	  _build/engine_interp.json --exact
 
 bench:
 	$(DUNE) exec bench/main.exe

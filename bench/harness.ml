@@ -19,13 +19,14 @@ module Pool = Pcolor.Util.Pool
 (* Scale divisor for data sets and caches.  4 preserves the paper's
    color-space geometry closely (64 colors on the base machine) and
    keeps the full harness to tens of minutes; override with
-   PCOLOR_SCALE=1|4|16|64 (1 = the paper's exact geometry, slow). *)
+   PCOLOR_SCALE=1|4|16|64|256 (1 = the paper's exact geometry, slow;
+   256 = smoke-sized, for trace round-trip checks). *)
 let scale =
   match Sys.getenv_opt "PCOLOR_SCALE" with
   | Some s -> (
     match int_of_string_opt s with
-    | Some (1 | 4 | 16 | 64 as v) -> v
-    | _ -> failwith "PCOLOR_SCALE must be 1, 4, 16 or 64")
+    | Some (1 | 4 | 16 | 64 | 256 as v) -> v
+    | _ -> failwith "PCOLOR_SCALE must be 1, 4, 16, 64 or 256")
   | None -> 4
 
 (* Fast mode trims CPU sweeps; used by CI-style smoke runs. *)

@@ -28,18 +28,20 @@ let refs_executed (machine : M.t) =
   !total
 
 (* One uncached experiment: fresh program, machine and kernel. *)
-let run_once ?(prefetch = false) ~bench ~machine ~n_cpus ~policy () =
+let run_once ?(prefetch = false) ?(engine = Pcolor.Runtime.Engine.Batch) ~bench ~machine ~n_cpus
+    ~policy () =
   let d = Spec.find bench in
   let cfg = machine_cfg machine ~n_cpus in
   Run.run
     {
       (Run.default_setup ~cfg ~make_program:(fun () -> d.build ~scale ()) ~policy) with
       prefetch;
+      engine;
     }
 
 (* ---------- 1. single-domain hot path ---------- *)
 
-let single_domain () =
+let single_domain_with ~engine () =
   (* demand path and prefetch path, one workload each *)
   let cases =
     [ ("tomcatv demand", false); ("tomcatv +prefetch", true) ]
@@ -49,15 +51,28 @@ let single_domain () =
     List.fold_left
       (fun acc (_, prefetch) ->
         let o =
-          run_once ~prefetch ~bench:"tomcatv" ~machine:Sgi ~n_cpus:4 ~policy:Run.Page_coloring ()
+          run_once ~prefetch ~engine ~bench:"tomcatv" ~machine:Sgi ~n_cpus:4
+            ~policy:Run.Page_coloring ()
         in
         acc + refs_executed o.Run.machine)
       0 cases
   in
   let secs = Unix.gettimeofday () -. t0 in
   let rate = float_of_int refs /. secs in
-  note "  single-domain: %d references in %.2fs = %.3e refs/sec" refs secs rate;
   (refs, secs, rate)
+
+let single_domain () =
+  let ((refs, secs, rate) as r) = single_domain_with ~engine:Pcolor.Runtime.Engine.Batch () in
+  note "  single-domain (batch): %d references in %.2fs = %.3e refs/sec" refs secs rate;
+  r
+
+(* interp-vs-batch on the identical workload pair — the generation-
+   vs-consumption split's headline number *)
+let engines ~batch:(_, _, batch_rate) () =
+  let _, _, interp_rate = single_domain_with ~engine:Pcolor.Runtime.Engine.Interp () in
+  note "  engines: interp %.3e refs/sec, batch %.3e refs/sec = %.2fx" interp_rate batch_rate
+    (batch_rate /. interp_rate);
+  (interp_rate, batch_rate)
 
 (* ---------- 2. domain-parallel sweep ---------- *)
 
@@ -111,8 +126,8 @@ let sweep () =
 
 (* ---------- JSON emission ---------- *)
 
-let write_json ~file ~single:(s_refs, s_secs, s_rate) ~sweep:(w_refs, w_seq, w_par, w_speedup, ident)
-    =
+let write_json ~file ~single:(s_refs, s_secs, s_rate) ~engines:(interp_rate, batch_rate)
+    ~sweep:(w_refs, w_seq, w_par, w_speedup, ident) =
   let module J = Pcolor.Obs.Json in
   let json =
     J.Obj
@@ -127,6 +142,13 @@ let write_json ~file ~single:(s_refs, s_secs, s_rate) ~sweep:(w_refs, w_seq, w_p
               ("refs", J.Int s_refs);
               ("seconds", J.Float s_secs);
               ("refs_per_sec", J.Float s_rate);
+            ] );
+        ( "engines",
+          J.Obj
+            [
+              ("interp_refs_per_sec", J.Float interp_rate);
+              ("batch_refs_per_sec", J.Float batch_rate);
+              ("batch_speedup", J.Float (batch_rate /. interp_rate));
             ] );
         ( "sweep",
           J.Obj
@@ -152,5 +174,6 @@ let run () =
   section
     (Printf.sprintf "Throughput: simulated refs/sec, single- and %d-domain (PCOLOR_JOBS)" jobs);
   let single = single_domain () in
+  let eng = engines ~batch:single () in
   let sw = sweep () in
-  write_json ~file:"BENCH_throughput.json" ~single ~sweep:sw
+  write_json ~file:"BENCH_throughput.json" ~single ~engines:eng ~sweep:sw

@@ -12,6 +12,8 @@
 
 open Cmdliner
 module Run = Pcolor.Runtime.Run
+module Engine = Pcolor.Runtime.Engine
+module Btrace = Pcolor.Runtime.Btrace
 module Report = Pcolor.Stats.Report
 module Config = Pcolor.Memsim.Config
 module Spec = Pcolor.Workloads.Spec
@@ -32,7 +34,7 @@ let scale_arg =
         ~docv:"S"
         ~doc:
           "Data-set/cache scale divisor (1 = the paper's full geometry; 4 recommended for \
-           experiments; 16 for quick looks). Use 1, 4, 16 or 64.")
+           experiments; 16 for quick looks). Use 1, 4, 16, 64 or 256.")
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed (bin-hopping race).")
 
@@ -42,23 +44,30 @@ let cap_arg =
 let prefetch_arg =
   Arg.(value & flag & info [ "prefetch" ] ~doc:"Enable compiler-inserted prefetching.")
 
+let machine_names =
+  [ ("sgi", `Sgi); ("sgi-2way", `Sgi2); ("sgi-4mb", `Sgi4); ("alpha", `Alpha) ]
+
+let machine_name m = fst (List.find (fun (_, v) -> v = m) machine_names)
+
 let machine_arg =
   Arg.(
     value
-    & opt (enum [ ("sgi", `Sgi); ("sgi-2way", `Sgi2); ("sgi-4mb", `Sgi4); ("alpha", `Alpha) ]) `Sgi
+    & opt (enum machine_names) `Sgi
     & info [ "m"; "machine" ]
         ~doc:"Machine model: $(b,sgi) (1MB DM), $(b,sgi-2way), $(b,sgi-4mb), $(b,alpha).")
 
+(* Accepts both the short CLI spellings and the {!Run.policy_name}
+   labels, so recorded trace headers round-trip through it. *)
 let parse_policy = function
   | "pc" | "page-coloring" -> Ok Run.Page_coloring
   | "bh" | "bin-hopping" -> Ok Run.Bin_hopping
-  | "bh-unaligned" -> Ok Run.Bin_hopping_unaligned
+  | "bh-unaligned" | "bin-hopping-unaligned" -> Ok Run.Bin_hopping_unaligned
   | "random" -> Ok Run.Random_colors
   | "cdpc" -> Ok (Run.Cdpc { fallback = `Page_coloring; via_touch = false })
   | "cdpc-bh" -> Ok (Run.Cdpc { fallback = `Bin_hopping; via_touch = false })
   | "cdpc-touch" -> Ok (Run.Cdpc { fallback = `Bin_hopping; via_touch = true })
-  | "dynamic" -> Ok (Run.Dynamic_recoloring { base = `Page_coloring })
-  | "dynamic-bh" -> Ok (Run.Dynamic_recoloring { base = `Bin_hopping })
+  | "dynamic" | "dynamic(pc)" -> Ok (Run.Dynamic_recoloring { base = `Page_coloring })
+  | "dynamic-bh" | "dynamic(bh)" -> Ok (Run.Dynamic_recoloring { base = `Bin_hopping })
   | s -> Error (`Msg ("unknown policy: " ^ s))
 
 let policy_conv = Arg.conv (parse_policy, fun fmt p -> Format.pp_print_string fmt (Run.policy_name p))
@@ -70,6 +79,16 @@ let policy_arg =
     & info [ "policy" ]
         ~doc:"Mapping policy: $(b,pc), $(b,bh), $(b,bh-unaligned), $(b,random), $(b,cdpc), \
               $(b,cdpc-bh), $(b,cdpc-touch), $(b,dynamic), $(b,dynamic-bh).")
+
+let engine_arg =
+  Arg.(
+    value
+    & opt (enum [ ("batch", Engine.Batch); ("interp", Engine.Interp) ]) Engine.Batch
+    & info [ "engine" ]
+        ~doc:
+          "Reference-stream engine: $(b,batch) (precompiled affine walkers feeding a fused \
+           consume loop; the default) or $(b,interp) (the per-depth interpreter — slower, kept \
+           as the byte-identity oracle).")
 
 let trace_arg =
   let env = Cmd.Env.info "PCOLOR_TRACE" ~doc:"Trace file path (same as $(b,--trace))." in
@@ -170,12 +189,16 @@ let list_cmd =
 (* ---- run ---- *)
 
 let run_cmd =
-  let action bench machine n_cpus scale policy prefetch seed cap trace_path metrics_out =
+  let action bench machine n_cpus scale policy prefetch seed cap engine trace_path metrics_out =
     let cfg = config_of machine n_cpus scale in
     let io = obs_io_of ~trace_path ~metrics_out ~n_colors:(Config.n_colors cfg) in
     let obs, _metrics = io.fresh_ctx () in
     let setup =
-      { (setup_of bench machine n_cpus scale policy prefetch seed cap ~trace:false) with obs }
+      {
+        (setup_of bench machine n_cpus scale policy prefetch seed cap ~trace:false) with
+        obs;
+        engine;
+      }
     in
     let o = Run.run setup in
     Format.printf "%a@." Report.pp o.report;
@@ -195,12 +218,12 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run one benchmark under one policy and print the report.")
     Term.(
       const action $ bench_arg $ machine_arg $ cpus_arg $ scale_arg $ policy_arg $ prefetch_arg
-      $ seed_arg $ cap_arg $ trace_arg $ metrics_out_arg)
+      $ seed_arg $ cap_arg $ engine_arg $ trace_arg $ metrics_out_arg)
 
 (* ---- compare ---- *)
 
 let compare_cmd =
-  let action bench machine n_cpus scale prefetch seed cap trace_path metrics_out =
+  let action bench machine n_cpus scale prefetch seed cap engine trace_path metrics_out =
     let policies =
       [
         Run.Page_coloring;
@@ -223,7 +246,11 @@ let compare_cmd =
         (fun policy ->
           let obs, _ = io.fresh_ctx () in
           Run.run
-            { (setup_of bench machine n_cpus scale policy prefetch seed cap ~trace:false) with obs })
+            {
+              (setup_of bench machine n_cpus scale policy prefetch seed cap ~trace:false) with
+              obs;
+              engine;
+            })
         policies
     in
     let reports = List.map (fun (o : Run.outcome) -> o.report) outcomes in
@@ -277,7 +304,7 @@ let compare_cmd =
   Cmd.v (Cmd.info "compare" ~doc:"Compare all mapping policies on one benchmark.")
     Term.(
       const action $ bench_arg $ machine_arg $ cpus_arg $ scale_arg $ prefetch_arg $ seed_arg
-      $ cap_arg $ trace_arg $ metrics_out_arg)
+      $ cap_arg $ engine_arg $ trace_arg $ metrics_out_arg)
 
 (* ---- mix: multiprogrammed job mixes over one shared frame pool ---- *)
 
@@ -338,7 +365,7 @@ let mix_cmd =
              value is broadcast to every job. Default: $(b,cdpc).")
   in
   let action benches machine n_cpus scale sched_policy quantum switch_cost tlb mem_frames
-      policy_str prefetch seed cap trace_path metrics_out =
+      policy_str prefetch seed cap engine trace_path metrics_out =
     let k = List.length benches in
     let policies =
       let names =
@@ -368,7 +395,8 @@ let mix_cmd =
       List.map2
         (fun bench policy ->
           let d = Spec.find bench in
-          Pcolor.Sched.Job.spec ~policy ~prefetch ~seed ~name:bench (fun () -> d.build ~scale ()))
+          Pcolor.Sched.Job.spec ~policy ~prefetch ~seed ~engine_kind:engine ~name:bench (fun () ->
+              d.build ~scale ()))
         benches policies
     in
     let sched = { Pcolor.Sched.Scheduler.policy = sched_policy; quantum; switch_cost; tlb } in
@@ -449,7 +477,114 @@ let mix_cmd =
     Term.(
       const action $ benches_arg $ machine_arg $ cpus_arg $ scale_arg $ sched_arg $ quantum_arg
       $ switch_cost_arg $ tlb_arg $ mem_frames_arg $ mix_policy_arg $ prefetch_arg $ seed_arg
-      $ cap_arg $ trace_arg $ metrics_out_arg)
+      $ cap_arg $ engine_arg $ trace_arg $ metrics_out_arg)
+
+(* ---- record / replay: binary reference traces ---- *)
+
+let record_cmd =
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Binary trace output path.")
+  in
+  let action bench machine n_cpus scale policy prefetch seed cap out =
+    (match policy with
+    | Run.Dynamic_recoloring _ ->
+      Printf.eprintf "record: dynamic recoloring depends on runtime feedback and cannot be \
+                      replayed deterministically — pick a static policy\n";
+      exit 2
+    | _ -> ());
+    let header =
+      {
+        Btrace.bench;
+        machine = machine_name machine;
+        n_cpus;
+        scale;
+        policy = Run.policy_name policy;
+        prefetch;
+        seed;
+        cap;
+        provenance = Option.value ~default:"" (Pcolor.Obs.Provenance.git_describe ());
+      }
+    in
+    let oc = open_out_bin out in
+    let w = Btrace.create_writer oc header in
+    let setup = setup_of bench machine n_cpus scale policy prefetch seed cap ~trace:false in
+    let o = Run.run ~recorder:(Btrace.recorder w) setup in
+    Btrace.finish w;
+    let bytes = pos_out oc in
+    close_out oc;
+    Format.printf "%a@." Report.pp o.report;
+    Printf.eprintf "wrote %d-byte trace to %s\n%!" bytes out
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:
+         "Run one benchmark on the batch engine and stream every reference into a compact \
+          binary trace (delta-encoded varint batches). The trace embeds its setup, so \
+          $(b,pcolor replay) needs only the file.")
+    Term.(
+      const action $ bench_arg $ machine_arg $ cpus_arg $ scale_arg $ policy_arg $ prefetch_arg
+      $ seed_arg $ cap_arg $ out_arg)
+
+let replay_cmd =
+  let file_arg =
+    Arg.(
+      required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Binary trace to replay.")
+  in
+  let action file metrics_out =
+    let ic = open_in_bin file in
+    let r =
+      try Btrace.open_reader ic
+      with Invalid_argument msg ->
+        Printf.eprintf "%s: %s\n" file msg;
+        exit 2
+    in
+    let h = Btrace.header r in
+    let machine =
+      match List.assoc_opt h.Btrace.machine machine_names with
+      | Some m -> m
+      | None ->
+        Printf.eprintf "%s: unknown machine model %S in trace header\n" file h.Btrace.machine;
+        exit 2
+    in
+    let policy =
+      match parse_policy h.Btrace.policy with
+      | Ok p -> p
+      | Error (`Msg m) ->
+        Printf.eprintf "%s: %s (trace header)\n" file m;
+        exit 2
+    in
+    let setup =
+      setup_of h.Btrace.bench machine h.Btrace.n_cpus h.Btrace.scale policy h.Btrace.prefetch
+        h.Btrace.seed h.Btrace.cap ~trace:false
+    in
+    let o = Btrace.replay r ~setup in
+    close_in ic;
+    Printf.printf "replaying %s: %s on %s, %d CPUs, scale 1/%d, policy %s%s%s\n" file
+      h.Btrace.bench h.Btrace.machine h.Btrace.n_cpus h.Btrace.scale h.Btrace.policy
+      (if h.Btrace.prefetch then ", prefetch" else "")
+      (if h.Btrace.provenance = "" then "" else " (recorded at " ^ h.Btrace.provenance ^ ")");
+    Format.printf "%a@." Report.pp o.report;
+    Option.iter
+      (fun path ->
+        let provenance =
+          Pcolor.Obs.Provenance.collect ~scale:h.Btrace.scale ~jobs:1 ~seed:h.Btrace.seed
+            ~config_hash:(Pcolor.Obs.Provenance.hash_value setup.Run.cfg)
+            ()
+        in
+        write_json_file path (Run.artifact_json ~provenance o);
+        Printf.eprintf "wrote replay artifact to %s\n%!" path)
+      metrics_out
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-simulate a recorded binary trace: the reference stream comes off the file in \
+          bounded batches (never materialized), and the counters come out byte-identical to \
+          the recorded run.")
+    Term.(const action $ file_arg $ metrics_out_arg)
 
 (* ---- pattern (Figures 3 and 5) ---- *)
 
@@ -655,7 +790,16 @@ let diff_cmd =
       value & flag
       & info [ "warn-only" ] ~doc:"Report regressions but exit 0 (CI advisory mode).")
   in
-  let action a_path b_path threshold warn_only =
+  let exact_arg =
+    Arg.(
+      value & flag
+      & info [ "exact" ]
+          ~doc:
+            "Identity mode: fail on $(i,any) difference — numeric moves in either direction, \
+             label changes, added/removed sections (provenance still skipped). The \
+             engine-equivalence gate.")
+  in
+  let action a_path b_path threshold warn_only exact =
     let a = read_artifact a_path and b = read_artifact b_path in
     (match (schema_of a, schema_of b) with
     | Some va, Some vb when va <> vb ->
@@ -675,25 +819,39 @@ let diff_cmd =
       print_string "per-array miss deltas (rolled up from the hottest frames):\n";
       print_string (Pcolor.Stats.Delta.render dpa)
     end;
-    let regs = Pcolor.Stats.Delta.regressions d @ Pcolor.Stats.Delta.regressions dpa in
-    if regs <> [] then begin
-      Printf.printf "%d regression(s) past %.1f%% threshold (!! rows above)\n"
-        (List.length regs) (100.0 *. threshold);
-      if not warn_only then exit 1
+    let module D = Pcolor.Stats.Delta in
+    if exact then begin
+      let differences =
+        List.length (D.changed d) + List.length (D.changed dpa)
+        + List.length d.D.label_changes + List.length d.D.only_in_a + List.length d.D.only_in_b
+      in
+      if differences <> 0 then begin
+        Printf.printf "%d difference(s) — artifacts are not identical\n" differences;
+        if not warn_only then exit 1
+      end
+      else print_endline "artifacts are identical (modulo provenance)"
     end
-    else Printf.printf "no regressions (threshold %.1f%%)\n" (100.0 *. threshold)
+    else begin
+      let regs = D.regressions d @ D.regressions dpa in
+      if regs <> [] then begin
+        Printf.printf "%d regression(s) past %.1f%% threshold (!! rows above)\n"
+          (List.length regs) (100.0 *. threshold);
+        if not warn_only then exit 1
+      end
+      else Printf.printf "no regressions (threshold %.1f%%)\n" (100.0 *. threshold)
+    end
   in
   Cmd.v
     (Cmd.info "diff"
        ~doc:
          "Compare two run artifacts: per-class, per-array and per-color deltas with \
-          regression direction inferred per metric.  Exits 1 on regression unless \
-          $(b,--warn-only).")
+          regression direction inferred per metric.  Exits 1 on regression (or, with \
+          $(b,--exact), on any difference) unless $(b,--warn-only).")
     Term.(
       const action
       $ artifact_pos_arg ~at:0 ~docv:"OLD" ~doc:"Baseline artifact (JSON)."
       $ artifact_pos_arg ~at:1 ~docv:"NEW" ~doc:"Candidate artifact (JSON)."
-      $ threshold_arg $ warn_only_arg)
+      $ threshold_arg $ warn_only_arg $ exact_arg)
 
 (* ---- version ---- *)
 
@@ -717,6 +875,6 @@ let () =
        (Cmd.group
           (Cmd.info "pcolor" ~doc ~version:(version_string ()))
           [
-            list_cmd; run_cmd; compare_cmd; mix_cmd; pattern_cmd; hints_cmd; summary_cmd;
-            run_file_cmd; dump_cmd; explain_cmd; diff_cmd; version_cmd;
+            list_cmd; run_cmd; compare_cmd; mix_cmd; record_cmd; replay_cmd; pattern_cmd;
+            hints_cmd; summary_cmd; run_file_cmd; dump_cmd; explain_cmd; diff_cmd; version_cmd;
           ]))

@@ -1,0 +1,227 @@
+(** Precompiled affine walkers: reference {e generation} split from
+    reference {e consumption}.
+
+    The execution engine's interpreter re-derives every reference from
+    the nest description on every innermost iteration — per-reference
+    plan lookups, bounds branches and trace dispatch on the hot path.  A
+    walker instead {e compiles} one (nest, cpu-range) pair once per plan
+    step: it resolves the prefetch plan, precomputes per-reference byte
+    strides for every loop depth (loop-invariant references simply get a
+    zero innermost stride), and then streams references as packed
+    integers into a reusable flat [int array] batch — Bigarray-free,
+    Itab-style, so the consume loop touches nothing but immediate
+    integers.
+
+    Batch layout: two ints per reference, whole innermost iterations
+    only (so the consumer can charge {!Pcolor_memsim.Machine.tick} per
+    iteration group):
+
+    - [data.(2i)] = [(vaddr lsl 1) lor write_bit]
+    - [data.(2i+1)] = prefetch-vaddr delta: [0] means "no prefetch
+      here"; a positive delta [d] means "issue a prefetch to
+      [vaddr + d] before this access".  The walker performs the
+      one-prefetch-per-line dedup at generation time (the planner's
+      ahead distances are always positive, so [0] is unambiguous).
+
+    Byte identity: a walker emits exactly the (vaddr, write, prefetch)
+    sequence the interpreter executes, in the same order, using the same
+    incremental integer arithmetic — the property the QCheck suite pins
+    and the [--engine] byte-identity gate enforces end to end. *)
+
+type batch = {
+  data : int array; (* packed entries, 2 ints per reference *)
+  mutable len : int; (* ints in use; always a multiple of 2 × nrefs *)
+}
+
+(** [create_batch ?capacity_refs ()] allocates a reusable batch
+    ([capacity_refs] defaults to 4096 references = 64 KB of ints). *)
+let create_batch ?(capacity_refs = 4096) () =
+  if capacity_refs < 1 then invalid_arg "Walker.create_batch: capacity_refs < 1";
+  { data = Array.make (2 * capacity_refs) 0; len = 0 }
+
+(** [reset_batch b] empties the batch without freeing it. *)
+let reset_batch b = b.len <- 0
+
+(** [pack ~vaddr ~write] / [vaddr_of] / [write_of] expose the packed
+    entry encoding (the trace replayer re-encodes entries it decodes
+    from disk). *)
+let pack ~vaddr ~write = (vaddr lsl 1) lor (if write then 1 else 0)
+
+let vaddr_of w = w asr 1
+
+let write_of w = w land 1 <> 0
+
+type t = {
+  nrefs : int;
+  depth : int;
+  instr_per_iter : int; (* body_instr + 2 × nrefs, like the interpreter *)
+  extra_onchip_stall : int;
+  lo : int array; (* per-depth loop start: lo0 at depth 0, else 0 *)
+  hi : int array; (* per-depth loop bound: hi0 at depth 0, else bounds *)
+  idx : int array; (* current iteration vector *)
+  vaddr : int array; (* per-ref current byte address *)
+  wbit : int array; (* per-ref write bit, pre-shifted into place *)
+  step : int array; (* nrefs × depth: bytes per unit step of iv [d] *)
+  pf_add : int array; (* per-ref prefetch byte delta; 0 = never *)
+  prev_line : int array; (* per-ref last prefetched L2 line *)
+  line_bits : int;
+  mutable finished : bool;
+}
+
+(** [create ~nest ~plan ~lo0 ~hi0 ~l2_line_bits] compiles one CPU's
+    share of [nest] (depth-0 iterations [\[lo0, hi0)]) against prefetch
+    plan [plan].  Runs once per (nest, cpu-range) per plan step; all
+    per-reference state is resolved here so {!fill} allocates nothing. *)
+let create ~(nest : Ir.nest) ~(plan : Prefetcher.nest_plan) ~lo0 ~hi0 ~l2_line_bits =
+  let refs = Array.of_list nest.refs in
+  let nrefs = Array.length refs in
+  let depth = Array.length nest.bounds in
+  let lo = Array.init depth (fun d -> if d = 0 then lo0 else 0) in
+  let hi = Array.init depth (fun d -> if d = 0 then hi0 else nest.bounds.(d)) in
+  let empty = ref false in
+  Array.iteri (fun d l -> if hi.(d) <= l then empty := true) lo;
+  let vaddr =
+    Array.map
+      (fun (r : Ir.ref_) ->
+        let e = ref r.offset in
+        Array.iteri (fun d c -> e := !e + (c * lo.(d))) r.coeffs;
+        r.array.base + (!e * r.array.elem_size))
+      refs
+  in
+  let step = Array.make (max 1 (nrefs * depth)) 0 in
+  Array.iteri
+    (fun r (rf : Ir.ref_) ->
+      for d = 0 to depth - 1 do
+        step.((r * depth) + d) <- rf.coeffs.(d) * rf.array.elem_size
+      done)
+    refs;
+  {
+    nrefs;
+    depth;
+    instr_per_iter = nest.body_instr + (2 * nrefs);
+    extra_onchip_stall = nest.extra_onchip_stall;
+    lo;
+    hi;
+    idx = Array.copy lo;
+    vaddr;
+    wbit = Array.map (fun (r : Ir.ref_) -> if r.is_write then 1 else 0) refs;
+    step;
+    pf_add =
+      Array.mapi
+        (fun r (rf : Ir.ref_) ->
+          if plan.(r).Prefetcher.prefetch then plan.(r).Prefetcher.ahead_elems * rf.array.elem_size
+          else 0)
+        refs;
+    prev_line = Array.make (max 1 nrefs) (-1);
+    line_bits = l2_line_bits;
+    finished = !empty;
+  }
+
+let nrefs t = t.nrefs
+
+let instr_per_iter t = t.instr_per_iter
+
+let extra_onchip_stall t = t.extra_onchip_stall
+
+let finished t = t.finished
+
+(** [fill t b] appends whole innermost iterations ([nrefs] packed pairs
+    each) to [b] until the batch is full or the iteration space is
+    exhausted; returns [true] when the walker is done.  Resumable: call
+    again (after consuming and {!reset_batch}) to continue exactly where
+    the previous batch stopped.  Allocation-free. *)
+let fill t (b : batch) =
+  if t.finished then true
+  else begin
+    let data = b.data in
+    let cap = Array.length data in
+    let nrefs = t.nrefs in
+    let stride = 2 * nrefs in
+    let depth = t.depth in
+    let vaddr = t.vaddr in
+    let wbit = t.wbit in
+    let pf_add = t.pf_add in
+    let prev_line = t.prev_line in
+    let step = t.step in
+    let idx = t.idx in
+    let line_bits = t.line_bits in
+    let len = ref b.len in
+    while (not t.finished) && !len + stride <= cap do
+      (* emit one innermost iteration *)
+      let base_k = !len in
+      for r = 0 to nrefs - 1 do
+        let va = Array.unsafe_get vaddr r in
+        let k = base_k + (2 * r) in
+        Array.unsafe_set data k ((va lsl 1) lor Array.unsafe_get wbit r);
+        let pf = Array.unsafe_get pf_add r in
+        let emit =
+          if pf = 0 then 0
+          else begin
+            (* one prefetch per line, resolved at generation time; the
+               line is derived exactly as the interpreter does *)
+            let pl = (va + pf) lsr line_bits in
+            if pl <> Array.unsafe_get prev_line r then begin
+              Array.unsafe_set prev_line r pl;
+              pf
+            end
+            else 0
+          end
+        in
+        Array.unsafe_set data (k + 1) emit
+      done;
+      len := base_k + stride;
+      (* advance the odometer, innermost depth first.  The arithmetic
+         mirrors the interpreter's incremental element maintenance:
+         one [+step] per non-carry advance, and an exact rewind
+         ([- step × travelled]) per carry. *)
+      let d = ref (depth - 1) in
+      let carrying = ref true in
+      while !carrying do
+        let dd = !d in
+        let i = Array.unsafe_get idx dd + 1 in
+        if i < Array.unsafe_get t.hi dd then begin
+          Array.unsafe_set idx dd i;
+          for r = 0 to nrefs - 1 do
+            Array.unsafe_set vaddr r
+              (Array.unsafe_get vaddr r + Array.unsafe_get step ((r * depth) + dd))
+          done;
+          carrying := false
+        end
+        else begin
+          let travelled = Array.unsafe_get idx dd - Array.unsafe_get t.lo dd in
+          for r = 0 to nrefs - 1 do
+            Array.unsafe_set vaddr r
+              (Array.unsafe_get vaddr r - (Array.unsafe_get step ((r * depth) + dd) * travelled))
+          done;
+          Array.unsafe_set idx dd (Array.unsafe_get t.lo dd);
+          if dd = 0 then begin
+            t.finished <- true;
+            carrying := false
+          end
+          else d := dd - 1
+        end
+      done
+    done;
+    b.len <- !len;
+    t.finished
+  end
+
+(** [validate_bounds nest ~lo0 ~hi0] proves every reference of [nest]
+    in bounds over the whole (cpu-restricted) iteration space in one
+    pre-pass — affine extremes are attained at box corners, so the
+    {!Ir.min_max_index} range is exactly the set of visited element
+    indices.  Raises [Invalid_argument] like the old per-reference
+    check; both engines call this once per (nest, cpu-range) instead of
+    branching per reference. *)
+let validate_bounds (nest : Ir.nest) ~lo0 ~hi0 =
+  List.iteri
+    (fun i (r : Ir.ref_) ->
+      match Ir.min_max_index r ~bounds:nest.bounds ~lo0 ~hi0 with
+      | None -> ()
+      | Some (mn, mx) ->
+        let extent = Ir.elems r.array in
+        if mn < 0 || mx >= extent then
+          invalid_arg
+            (Printf.sprintf "%s: ref %d to %s out of bounds (elem range [%d, %d], extent %d)"
+               nest.label i r.array.aname mn mx extent))
+    nest.refs

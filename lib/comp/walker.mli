@@ -1,0 +1,60 @@
+(** Precompiled affine walkers: per-(nest, cpu-range) reference
+    generators that stream packed [(vaddr, write, prefetch-delta)]
+    entries into reusable flat [int array] batches — reference
+    generation split from consumption, byte-identical to the
+    interpreter's emission order. *)
+
+(** A reusable batch of packed references: two ints per reference,
+    whole innermost iterations only.  [data.(2i) = (vaddr lsl 1) lor
+    write_bit]; [data.(2i+1)] is the prefetch-vaddr delta ([0] = no
+    prefetch, positive = issue to [vaddr + delta] before the access). *)
+type batch = { data : int array; mutable len : int }
+
+(** [create_batch ?capacity_refs ()] allocates a batch holding up to
+    [capacity_refs] (default 4096) packed references. *)
+val create_batch : ?capacity_refs:int -> unit -> batch
+
+(** [reset_batch b] empties the batch without freeing it. *)
+val reset_batch : batch -> unit
+
+(** [pack ~vaddr ~write] / [vaddr_of] / [write_of] expose the packed
+    entry encoding (sign-preserving: [vaddr_of (pack ~vaddr ~write) =
+    vaddr] for any int that fits 62 bits). *)
+val pack : vaddr:int -> write:bool -> int
+
+val vaddr_of : int -> int
+
+val write_of : int -> bool
+
+type t
+
+(** [create ~nest ~plan ~lo0 ~hi0 ~l2_line_bits] compiles one CPU's
+    share of [nest] (depth-0 iterations [\[lo0, hi0)]): per-reference
+    byte strides for every depth, resolved prefetch plan (ahead bytes
+    and one-per-line dedup state), initial addresses. *)
+val create :
+  nest:Ir.nest -> plan:Prefetcher.nest_plan -> lo0:int -> hi0:int -> l2_line_bits:int -> t
+
+(** [nrefs t] / [instr_per_iter t] / [extra_onchip_stall t] are the
+    per-innermost-iteration constants the consume loop needs
+    ([instr_per_iter = body_instr + 2 × nrefs], as the interpreter
+    charges). *)
+val nrefs : t -> int
+
+val instr_per_iter : t -> int
+
+val extra_onchip_stall : t -> int
+
+(** [finished t] is true once the iteration space is exhausted. *)
+val finished : t -> bool
+
+(** [fill t b] appends whole innermost iterations to [b] until full or
+    exhausted; returns [true] when the walker is done.  Resumable and
+    allocation-free. *)
+val fill : t -> batch -> bool
+
+(** [validate_bounds nest ~lo0 ~hi0] proves every reference in bounds
+    over the whole restricted iteration space in one pre-pass (affine
+    extremes are attained at corners, so the {!Ir.min_max_index} range
+    is exact).  Raises [Invalid_argument] on the first violation. *)
+val validate_bounds : Ir.nest -> lo0:int -> hi0:int -> unit

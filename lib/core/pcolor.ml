@@ -60,6 +60,7 @@ module Comp = struct
   module Footprint = Pcolor_comp.Footprint
   module Summary = Pcolor_comp.Summary
   module Prefetcher = Pcolor_comp.Prefetcher
+  module Walker = Pcolor_comp.Walker
   module Sexp = Pcolor_comp.Sexp
   module Text = Pcolor_comp.Text
 end
@@ -77,6 +78,7 @@ module Runtime = struct
   module Engine = Pcolor_runtime.Engine
   module Recolor = Pcolor_runtime.Recolor
   module Run = Pcolor_runtime.Run
+  module Btrace = Pcolor_runtime.Btrace
   module Audit = Pcolor_runtime.Audit
 end
 

@@ -92,35 +92,41 @@ let access t ~addr ~write =
   let slot = find_way t.tags line base t.assoc 0 in
   if slot >= 0 then begin
     t.hits <- t.hits + 1;
-    t.stamp.(slot) <- t.tick;
-    let was_dirty = t.dirty.(slot) in
-    if write then t.dirty.(slot) <- true;
+    Array.unsafe_set t.stamp slot t.tick;
+    let was_dirty = Array.unsafe_get t.dirty slot in
+    if write then Array.unsafe_set t.dirty slot true;
     1 lor (if was_dirty then 2 else 0)
   end
   else begin
     t.misses <- t.misses + 1;
-    (* victim = empty way if any, else LRU way *)
-    let victim = ref (base) in
+    (* victim = first empty way if any, else LRU way (earliest index on
+       stamp ties — stamps are unique in practice, but keep the old
+       tie-break anyway) *)
+    let victim = ref base in
     let best = ref max_int in
-    (try
-       for i = 0 to t.assoc - 1 do
-         let s = base + i in
-         if t.tags.(s) = -1 then begin
-           victim := s;
-           raise Exit
-         end
-         else if t.stamp.(s) < !best then begin
-           best := t.stamp.(s);
-           victim := s
-         end
-       done
-     with Exit -> ());
+    let i = ref 0 in
+    let scanning = ref true in
+    while !scanning && !i < t.assoc do
+      let s = base + !i in
+      if Array.unsafe_get t.tags s = -1 then begin
+        victim := s;
+        scanning := false
+      end
+      else begin
+        let st = Array.unsafe_get t.stamp s in
+        if st < !best then begin
+          best := st;
+          victim := s
+        end;
+        incr i
+      end
+    done;
     let v = !victim in
-    let evicted = t.tags.(v) in
-    let evicted_dirty = evicted <> -1 && t.dirty.(v) in
-    t.tags.(v) <- line;
-    t.dirty.(v) <- write;
-    t.stamp.(v) <- t.tick;
+    let evicted = Array.unsafe_get t.tags v in
+    let evicted_dirty = evicted <> -1 && Array.unsafe_get t.dirty v in
+    Array.unsafe_set t.tags v line;
+    Array.unsafe_set t.dirty v write;
+    Array.unsafe_set t.stamp v t.tick;
     ((evicted + 1) lsl 2) lor (if evicted_dirty then 2 else 0)
   end
 

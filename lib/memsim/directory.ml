@@ -72,8 +72,11 @@ let create ?(n_cpus = 32) ~line_size () =
   let fits = n_cpus + writer_bits + 1 + words_per_line <= Sys.int_size - 1 in
   {
     repr =
-      (if fits then Packed (Pcolor_util.Itab.create ~capacity:(1 lsl 16) ())
-       else Boxed (Hashtbl.create (1 lsl 16)));
+      (* start small and let the table grow: pre-sizing for the largest
+         runs made every machine pay ~1 MB of zeroed arrays up front,
+         which dominated creation time for the scaled-down experiments *)
+      (if fits then Packed (Pcolor_util.Itab.create ~capacity:(1 lsl 12) ())
+       else Boxed (Hashtbl.create (1 lsl 12)));
     word_shift = 3;
     words_per_line_mask = words_per_line - 1;
     valid_all = (1 lsl n_cpus) - 1;

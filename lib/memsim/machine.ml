@@ -223,9 +223,9 @@ let translate_addr t c ~translate vaddr =
     end
     else begin
       let frame =
-        match Tlb.lookup c.tlb vpage with
-        | Some frame -> frame
-        | None ->
+        let hit = Tlb.lookup_frame c.tlb vpage in
+        if hit >= 0 then hit
+        else begin
           c.stats.tlb_misses <- c.stats.tlb_misses + 1;
           kernel t ~cpu:c.id t.cfg.tlb_miss_cycles;
           let frame, fault_cycles = translate ~cpu:c.id ~vpage in
@@ -241,6 +241,7 @@ let translate_addr t c ~translate vaddr =
           end;
           Tlb.insert c.tlb ~vpage ~frame;
           frame
+        end
       in
       c.memo_vpage <- vpage;
       c.memo_frame <- frame;
@@ -328,14 +329,9 @@ let upgrade_on_write t c ~vaddr ~paddr ~pline =
     invalidate_others t ~writer:c.id ~vaddr ~paddr ~mask
   end
 
-(** [access t ~cpu ~vaddr ~write ~translate] simulates one data
-    reference by CPU [cpu] to virtual address [vaddr].
-
-    [translate ~cpu ~vpage] must return [(frame, kernel_cycles)] where
-    [kernel_cycles] is nonzero when the lookup faulted.  The call charges
-    all stall and kernel time to the CPU's local clock and statistics. *)
-let access t ~cpu ~vaddr ~write ~translate =
-  let c = t.cpus.(cpu) in
+(* The access path parameterized on the per-CPU record, so the batched
+   entry point below hoists the [t.cpus.(cpu)] load out of its loop. *)
+let access_cpu t c ~vaddr ~write ~translate =
   let s = c.stats in
   let r1 = Cache.access c.l1 ~addr:vaddr ~write in
   if Cache.res_hit r1 then begin
@@ -361,8 +357,13 @@ let access t ~cpu ~vaddr ~write ~translate =
       s.l2_hits <- s.l2_hits + 1;
       s.stall_onchip <- s.stall_onchip + t.cfg.l2_hit_cycles;
       c.time <- c.time + t.cfg.l2_hit_cycles;
-      (* Was this line prefetched and still in flight? *)
-      let ready = Pcolor_util.Itab.find c.pf_ready pline ~default:min_int in
+      (* Was this line prefetched and still in flight?  The emptiness
+         guard keeps demand-only runs from paying a hash probe per L2
+         hit for a table that never has entries. *)
+      let ready =
+        if Pcolor_util.Itab.length c.pf_ready = 0 then min_int
+        else Pcolor_util.Itab.find c.pf_ready pline ~default:min_int
+      in
       if ready <> min_int then begin
         if ready > c.time then begin
           let wait = ready - c.time in
@@ -381,6 +382,14 @@ let access t ~cpu ~vaddr ~write ~translate =
         ~evicted_dirty:(Cache.res_dirty r2)
   end
 
+(** [access t ~cpu ~vaddr ~write ~translate] simulates one data
+    reference by CPU [cpu] to virtual address [vaddr].
+
+    [translate ~cpu ~vpage] must return [(frame, kernel_cycles)] where
+    [kernel_cycles] is nonzero when the lookup faulted.  The call charges
+    all stall and kernel time to the CPU's local clock and statistics. *)
+let access t ~cpu ~vaddr ~write ~translate = access_cpu t t.cpus.(cpu) ~vaddr ~write ~translate
+
 (* Drop completed prefetches from the in-flight ring (one in-place
    compaction — the old list representation re-ran [List.filter] and
    re-counted on every issue). *)
@@ -395,12 +404,10 @@ let retire_prefetches c =
   done;
   c.pf_count <- !live
 
-(** [prefetch t ~cpu ~vaddr] models a non-binding prefetch instruction
-    (§6.2): dropped on a TLB miss, ignored when the target is already
-    cached or in flight, otherwise fetched into the external cache only.
-    A fifth outstanding prefetch stalls the CPU until a slot frees. *)
-let prefetch t ~cpu ~vaddr =
-  let c = t.cpus.(cpu) in
+(* The prefetch path on the per-CPU record (same hoisting contract as
+   [access_cpu]). *)
+let prefetch_cpu t c ~vaddr =
+  let cpu = c.id in
   let s = c.stats in
   s.pf_issued <- s.pf_issued + 1;
   let vpage = vpage_of t vaddr in
@@ -449,6 +456,46 @@ let prefetch t ~cpu ~vaddr =
       Pcolor_util.Bitset.set c.seen pline
     end
   end
+
+(** [prefetch t ~cpu ~vaddr] models a non-binding prefetch instruction
+    (§6.2): dropped on a TLB miss, ignored when the target is already
+    cached or in flight, otherwise fetched into the external cache only.
+    A fifth outstanding prefetch stalls the CPU until a slot frees. *)
+let prefetch t ~cpu ~vaddr = prefetch_cpu t t.cpus.(cpu) ~vaddr
+
+(** [consume_batch t ~cpu ~translate ~data ~len ~nrefs ~instr_per_iter
+    ~extra_onchip_stall] is the batched access entry point: the fused
+    prefetch/access/tick loop over a packed reference batch (layout of
+    {!Pcolor_comp.Walker.batch}: [(vaddr lsl 1) lor write_bit] then a
+    prefetch delta, [0] = none).  [len] must cover whole innermost
+    iterations ([2 × nrefs] ints each); after every iteration group the
+    loop charges [instr_per_iter] instruction cycles and
+    [extra_onchip_stall] fetch-stall cycles, exactly as the interpreter
+    does per innermost iteration.  Per-CPU state is hoisted out of the
+    loop and the body allocates nothing. *)
+let consume_batch t ~cpu ~translate ~data ~len ~nrefs ~instr_per_iter ~extra_onchip_stall =
+  let c = t.cpus.(cpu) in
+  let s = c.stats in
+  let stride = 2 * nrefs in
+  if len mod stride <> 0 then invalid_arg "Machine.consume_batch: partial innermost iteration";
+  let k = ref 0 in
+  while !k < len do
+    let stop = !k + stride in
+    while !k < stop do
+      let w0 = Array.unsafe_get data !k in
+      let pf = Array.unsafe_get data (!k + 1) in
+      let vaddr = w0 asr 1 in
+      if pf <> 0 then prefetch_cpu t c ~vaddr:(vaddr + pf);
+      access_cpu t c ~vaddr ~write:(w0 land 1 <> 0) ~translate;
+      k := !k + 2
+    done;
+    c.time <- c.time + instr_per_iter;
+    s.instructions <- s.instructions + instr_per_iter;
+    if extra_onchip_stall > 0 then begin
+      c.time <- c.time + extra_onchip_stall;
+      s.stall_onchip <- s.stall_onchip + extra_onchip_stall
+    end
+  done
 
 (** [harvest_conflicts t ~min_count] returns frames that took at least
     [min_count] conflict misses since the last harvest, hottest first,

@@ -90,6 +90,27 @@ val access :
     the external cache only; a fifth outstanding prefetch stalls. *)
 val prefetch : t -> cpu:int -> vaddr:int -> unit
 
+(** [consume_batch t ~cpu ~translate ~data ~len ~nrefs ~instr_per_iter
+    ~extra_onchip_stall] is the batched access entry point: a fused
+    prefetch/access/tick loop over packed reference entries
+    ([data.(2i) = (vaddr lsl 1) lor write_bit], [data.(2i+1)] = prefetch
+    delta, [0] = none).  [len] ints must cover whole innermost
+    iterations of [nrefs] references; each group additionally charges
+    [instr_per_iter] instruction cycles and [extra_onchip_stall]
+    fetch-stall cycles.  Allocation-free; per-CPU state is hoisted out
+    of the loop.  Raises [Invalid_argument] when [len] is not a multiple
+    of [2 × nrefs]. *)
+val consume_batch :
+  t ->
+  cpu:int ->
+  translate:(cpu:int -> vpage:int -> int * int) ->
+  data:int array ->
+  len:int ->
+  nrefs:int ->
+  instr_per_iter:int ->
+  extra_onchip_stall:int ->
+  unit
+
 (** [harvest_conflicts t ~min_count] returns frames with at least
     [min_count] conflict misses since the last harvest (hottest first)
     and resets the counters — feedback for dynamic recoloring. *)

@@ -44,17 +44,20 @@ let create (g : Config.cache_geom) =
     size = 0;
   }
 
-let unlink t slot =
-  let p = t.prev.(slot) and n = t.next.(slot) in
-  if p <> -1 then t.next.(p) <- n else t.head <- n;
-  if n <> -1 then t.prev.(n) <- p else t.tail <- p;
-  t.prev.(slot) <- -1;
-  t.next.(slot) <- -1
+(* Slot indices come from the bounded tables below, so the intrusive
+   list updates skip bounds checks: these two run on every shadowed
+   reference. *)
+let[@inline] unlink t slot =
+  let p = Array.unsafe_get t.prev slot and n = Array.unsafe_get t.next slot in
+  if p <> -1 then Array.unsafe_set t.next p n else t.head <- n;
+  if n <> -1 then Array.unsafe_set t.prev n p else t.tail <- p;
+  Array.unsafe_set t.prev slot (-1);
+  Array.unsafe_set t.next slot (-1)
 
-let push_front t slot =
-  t.prev.(slot) <- -1;
-  t.next.(slot) <- t.head;
-  if t.head <> -1 then t.prev.(t.head) <- slot;
+let[@inline] push_front t slot =
+  Array.unsafe_set t.prev slot (-1);
+  Array.unsafe_set t.next slot t.head;
+  if t.head <> -1 then Array.unsafe_set t.prev t.head slot;
   t.head <- slot;
   if t.tail = -1 then t.tail <- slot
 
@@ -86,7 +89,7 @@ let access t line =
         victim
       end
     in
-    t.line_no.(slot) <- line;
+    Array.unsafe_set t.line_no slot line;
     Pcolor_util.Itab.set t.table line slot;
     push_front t slot;
     false

@@ -13,7 +13,22 @@ type t = {
   mutable gen : int; (* bumped on every content change (insert/invalidate/flush) *)
   mutable hits : int;
   mutable misses : int;
+  (* Deferred recency write: [touch] runs once per memoized translation
+     — i.e. on almost every simulated reference — so instead of a hash
+     probe per call the latest (vpage, stamp) is parked here and spilled
+     into [order] only when a different vpage is touched or any other
+     operation needs [order] to be exact.  Observable state after a
+     flush is identical to writing eagerly: only the newest stamp of a
+     run of same-vpage touches survives either way. *)
+  mutable pend_vpage : int; (* -1 = none pending *)
+  mutable pend_stamp : int;
 }
+
+let[@inline] flush_pending t =
+  if t.pend_vpage >= 0 then begin
+    Pcolor_util.Itab.set t.order t.pend_vpage t.pend_stamp;
+    t.pend_vpage <- -1
+  end
 
 (** [create ~entries] builds an empty TLB with [entries] slots. *)
 let create ~entries =
@@ -26,22 +41,32 @@ let create ~entries =
     gen = 0;
     hits = 0;
     misses = 0;
+    pend_vpage = -1;
+    pend_stamp = 0;
   }
 
-(** [lookup t vpage] returns the cached frame for [vpage] and refreshes
-    its recency, or [None] on a TLB miss.  Counters are updated. *)
-let lookup t vpage =
+(** [lookup_frame t vpage] is the cached frame for [vpage] (recency
+    refreshed, counters updated), or [-1] on a TLB miss.  The unboxed
+    variant exists for the translation hot path: a nest touching two
+    arrays alternates pages on consecutive references, which defeats
+    the caller's single-entry memo, and an option-returning lookup
+    would then allocate a [Some] per simulated reference. *)
+let lookup_frame t vpage =
+  flush_pending t;
   t.tick <- t.tick + 1;
-  let frame = Pcolor_util.Itab.find t.table vpage ~default:min_int in
-  if frame <> min_int then begin
+  let frame = Pcolor_util.Itab.find t.table vpage ~default:(-1) in
+  if frame >= 0 then begin
     t.hits <- t.hits + 1;
-    Pcolor_util.Itab.set t.order vpage t.tick;
-    Some frame
+    Pcolor_util.Itab.set t.order vpage t.tick
   end
-  else begin
-    t.misses <- t.misses + 1;
-    None
-  end
+  else t.misses <- t.misses + 1;
+  frame
+
+(** [lookup t vpage] is {!lookup_frame} boxed: the cached frame and a
+    recency refresh, or [None] on a TLB miss. *)
+let lookup t vpage =
+  let frame = lookup_frame t vpage in
+  if frame >= 0 then Some frame else None
 
 (** [probe t vpage] is [lookup] without statistics or recency effects —
     used by the prefetch unit, whose TLB probes do not fault (§6.2). *)
@@ -61,7 +86,11 @@ let probe_frame t vpage = Pcolor_util.Itab.find t.table vpage ~default:(-1)
 let touch t vpage =
   t.tick <- t.tick + 1;
   t.hits <- t.hits + 1;
-  Pcolor_util.Itab.set t.order vpage t.tick
+  if t.pend_vpage <> vpage then begin
+    flush_pending t;
+    t.pend_vpage <- vpage
+  end;
+  t.pend_stamp <- t.tick
 
 (** [generation t] changes whenever the TLB's {e contents} change —
     insert, invalidate or flush (recency refreshes do not count).  A
@@ -72,6 +101,7 @@ let generation t = t.gen
 (** [insert t ~vpage ~frame] installs a translation, evicting the LRU
     entry when full. *)
 let insert t ~vpage ~frame =
+  flush_pending t;
   if
     (not (Pcolor_util.Itab.mem t.table vpage))
     && Pcolor_util.Itab.length t.table >= t.entries
@@ -98,12 +128,14 @@ let insert t ~vpage ~frame =
 
 (** [invalidate t vpage] drops one translation (page remap / recolor). *)
 let invalidate t vpage =
+  flush_pending t;
   t.gen <- t.gen + 1;
   Pcolor_util.Itab.remove t.table vpage;
   Pcolor_util.Itab.remove t.order vpage
 
 (** [flush t] empties the TLB (context switch / recoloring shootdown). *)
 let flush t =
+  t.pend_vpage <- -1;
   t.gen <- t.gen + 1;
   Pcolor_util.Itab.reset t.table;
   Pcolor_util.Itab.reset t.order

@@ -11,6 +11,11 @@ val create : entries:int -> t
     counters update. *)
 val lookup : t -> int -> int option
 
+(** [lookup_frame t vpage] is {!lookup} without the option box: the
+    frame, or [-1] on a miss.  Same counter and recency effects; for
+    the per-reference translation path. *)
+val lookup_frame : t -> int -> int
+
 (** [probe t vpage] is [lookup] without statistics or recency effects
     (the prefetch unit's non-faulting probe). *)
 val probe : t -> int -> int option

@@ -1,0 +1,341 @@
+(** Binary reference traces: record a batch-engine run as a stream of
+    simulation events, replay it later without re-generating (or ever
+    materializing) the reference stream.
+
+    The format is a flat event tape mirroring exactly what the engine
+    does: SECTION opens one CPU's share of a nest, BATCH carries the
+    packed reference entries ({!Pcolor_comp.Walker} encoding) as
+    zigzag-delta varints keyed per reference slot, TICK/ONCHIP carry
+    aggregate cycle charges, BARRIER/PHASE_BEGIN/PHASE_END/RESET mark
+    the synchronization structure, and TOUCH records the §5.3 page-touch
+    order.  Batches are bounded (the engine's reusable batch), so both
+    recording and replay stream in O(batch) memory — a scale-1024 trace
+    never exists as a list.
+
+    Replay rebuilds the kernel and machine from the embedded header via
+    {!Run.prepare} (fault order is deterministic, so bin-hopping jitter,
+    CDPC hints and frame placement reproduce), then consumes the tape
+    through {!Pcolor_memsim.Machine.consume_batch} and the engine's own
+    {!Engine.barrier_step} / {!Engine.contention_settle} arithmetic —
+    counters come out byte-identical to the recorded run. *)
+
+module M = Pcolor_memsim.Machine
+module Walker = Pcolor_comp.Walker
+module Ir = Pcolor_comp.Ir
+
+type header = {
+  bench : string;
+  machine : string;
+  n_cpus : int;
+  scale : int;
+  policy : string;  (** {!Run.policy_name} label *)
+  prefetch : bool;
+  seed : int;
+  cap : int;
+  provenance : string;  (** free-form, e.g. [git describe] at record time *)
+}
+
+let magic = "PCBT"
+
+let version = 1
+
+(* ------------------------------------------------------------------ *)
+(* Varint codec: LEB128 on OCaml's 63-bit ints, zigzag for signed. *)
+
+let zigzag n = (n lsl 1) lxor (n asr 62)
+
+let unzigzag u = (u lsr 1) lxor (-(u land 1))
+
+let write_varint oc n =
+  if n < 0 then invalid_arg "Btrace.write_varint: negative";
+  let n = ref n in
+  while !n >= 0x80 do
+    output_byte oc (0x80 lor (!n land 0x7f));
+    n := !n lsr 7
+  done;
+  output_byte oc !n
+
+let read_varint ic =
+  let n = ref 0 and shift = ref 0 and continue = ref true in
+  while !continue do
+    let b = input_byte ic in
+    n := !n lor ((b land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    continue := b land 0x80 <> 0
+  done;
+  !n
+
+let write_string oc s =
+  write_varint oc (String.length s);
+  output_string oc s
+
+let read_string ic =
+  let len = read_varint ic in
+  really_input_string ic len
+
+(* Event tags. *)
+let tag_end = 0
+
+let tag_tick = 1
+
+let tag_onchip = 2
+
+let tag_barrier = 3
+
+let tag_touch = 4
+
+let tag_phase_begin = 5
+
+let tag_phase_end = 6
+
+let tag_reset = 7
+
+let tag_section = 8
+
+let tag_batch = 9
+
+let kind_code = function Ir.Parallel _ -> 0 | Ir.Sequential -> 1 | Ir.Suppressed -> 2
+
+(* Only the constructor class matters to barrier accounting; the
+   partition payload never reaches the replayer's arithmetic. *)
+let kind_of_code = function
+  | 0 -> Ir.Parallel { policy = Pcolor_comp.Partition.Even; direction = Pcolor_comp.Partition.Forward }
+  | 1 -> Ir.Sequential
+  | 2 -> Ir.Suppressed
+  | c -> invalid_arg (Printf.sprintf "Btrace: bad barrier kind code %d" c)
+
+(* ------------------------------------------------------------------ *)
+(* Writer *)
+
+type writer = {
+  oc : out_channel;
+  mutable nrefs : int; (* current SECTION's reference count *)
+  mutable prev : int array; (* per-slot previous packed entry (delta base) *)
+  mutable finished : bool;
+}
+
+let create_writer oc (h : header) =
+  output_string oc magic;
+  output_byte oc version;
+  write_string oc h.bench;
+  write_string oc h.machine;
+  write_varint oc h.n_cpus;
+  write_varint oc h.scale;
+  write_string oc h.policy;
+  output_byte oc (if h.prefetch then 1 else 0);
+  write_varint oc h.seed;
+  write_varint oc h.cap;
+  write_string oc h.provenance;
+  { oc; nrefs = 0; prev = [||]; finished = false }
+
+let recorder w : Engine.recorder =
+  let oc = w.oc in
+  {
+    rec_section =
+      (fun ~cpu ~nrefs ~instr_per_iter ~extra_onchip_stall ->
+        output_byte oc tag_section;
+        write_varint oc cpu;
+        write_varint oc nrefs;
+        write_varint oc instr_per_iter;
+        write_varint oc extra_onchip_stall;
+        w.nrefs <- nrefs;
+        if Array.length w.prev < nrefs then w.prev <- Array.make nrefs 0
+        else Array.fill w.prev 0 nrefs 0);
+    rec_batch =
+      (fun (b : Walker.batch) ->
+        let npairs = b.len / 2 in
+        output_byte oc tag_batch;
+        write_varint oc npairs;
+        let data = b.data and prev = w.prev and nrefs = w.nrefs in
+        for k = 0 to npairs - 1 do
+          let r = k mod nrefs in
+          let w0 = Array.unsafe_get data (2 * k) in
+          write_varint oc (zigzag (w0 - Array.unsafe_get prev r));
+          Array.unsafe_set prev r w0;
+          write_varint oc (Array.unsafe_get data ((2 * k) + 1))
+        done);
+    rec_tick =
+      (fun ~cpu n ->
+        output_byte oc tag_tick;
+        write_varint oc cpu;
+        write_varint oc n);
+    rec_onchip =
+      (fun ~cpu n ->
+        output_byte oc tag_onchip;
+        write_varint oc cpu;
+        write_varint oc n);
+    rec_barrier =
+      (fun kind ->
+        output_byte oc tag_barrier;
+        output_byte oc (kind_code kind));
+    rec_reset = (fun () -> output_byte oc tag_reset);
+    rec_touch =
+      (fun ~cpu ~vpage ->
+        output_byte oc tag_touch;
+        write_varint oc cpu;
+        write_varint oc vpage);
+    rec_phase_begin = (fun () -> output_byte oc tag_phase_begin);
+    rec_phase_end = (fun () -> output_byte oc tag_phase_end);
+  }
+
+let finish w =
+  if not w.finished then begin
+    w.finished <- true;
+    output_byte w.oc tag_end;
+    flush w.oc
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reader *)
+
+type reader = { ic : in_channel; hdr : header }
+
+let open_reader ic =
+  let m = really_input_string ic (String.length magic) in
+  if m <> magic then invalid_arg "Btrace.open_reader: not a pcolor binary trace";
+  let v = input_byte ic in
+  if v <> version then
+    invalid_arg (Printf.sprintf "Btrace.open_reader: trace version %d, expected %d" v version);
+  let bench = read_string ic in
+  let machine = read_string ic in
+  let n_cpus = read_varint ic in
+  let scale = read_varint ic in
+  let policy = read_string ic in
+  let prefetch = input_byte ic <> 0 in
+  let seed = read_varint ic in
+  let cap = read_varint ic in
+  let provenance = read_string ic in
+  { ic; hdr = { bench; machine; n_cpus; scale; policy; prefetch; seed; cap; provenance } }
+
+let header r = r.hdr
+
+(* ------------------------------------------------------------------ *)
+(* Replay *)
+
+(** Replay drives the recorded tape against a fresh kernel/machine.  The
+    measured window's occurrence weights are not on the tape: they are
+    re-derived from the program ({!Window.plan}), exactly as the engine
+    derived them, and consumed one per PHASE_BEGIN/PHASE_END pair after
+    the RESET marker. *)
+let replay r ~(setup : Run.setup) =
+  let cfg = setup.Run.cfg in
+  let { Run.program; summary; hints_info; policy; layout_end = _ } = Run.prepare setup in
+  let kernel = Pcolor_vm.Kernel.create ~cfg ~policy ?mem_frames:setup.Run.mem_frames () in
+  let machine = M.create cfg in
+  let translate ~cpu ~vpage = Pcolor_vm.Kernel.translate kernel ~cpu ~vpage in
+  let n = cfg.n_cpus in
+  let page_bits = Pcolor_util.Bits.log2 cfg.page_size in
+  let ov = ref (Pcolor_stats.Overheads.create ~n_cpus:n) in
+  let totals = Pcolor_stats.Totals.create ~n_cpus:n in
+  (* one weight per measured occurrence, in tape order *)
+  let weights =
+    ref
+      (Window.plan ~cap:setup.Run.cap program
+      |> List.concat_map (fun (s : Window.step) -> List.init s.simulate (fun _ -> s.weight)))
+  in
+  let measuring = ref false in
+  (* snapshots live across PHASE_BEGIN → PHASE_END *)
+  let t0 = Array.make n 0 and stall0 = Array.make n 0 in
+  let busy0 = ref 0 in
+  let start = ref None in
+  (* current SECTION state *)
+  let cpu = ref 0 and nrefs = ref 0 and ipi = ref 0 and extra = ref 0 in
+  let prev = ref [||] in
+  let data = ref (Array.make (2 * 4096) 0) in
+  let ic = r.ic in
+  let running = ref true in
+  while !running do
+    let tag = input_byte ic in
+    if tag = tag_batch then begin
+      let npairs = read_varint ic in
+      if 2 * npairs > Array.length !data then data := Array.make (2 * npairs) 0;
+      let d = !data and p = !prev and nr = !nrefs in
+      for k = 0 to npairs - 1 do
+        let rslot = k mod nr in
+        let w0 = Array.unsafe_get p rslot + unzigzag (read_varint ic) in
+        Array.unsafe_set p rslot w0;
+        Array.unsafe_set d (2 * k) w0;
+        Array.unsafe_set d ((2 * k) + 1) (read_varint ic)
+      done;
+      M.consume_batch machine ~cpu:!cpu ~translate ~data:d ~len:(2 * npairs) ~nrefs:nr
+        ~instr_per_iter:!ipi ~extra_onchip_stall:!extra
+    end
+    else if tag = tag_section then begin
+      cpu := read_varint ic;
+      nrefs := read_varint ic;
+      ipi := read_varint ic;
+      extra := read_varint ic;
+      if Array.length !prev < !nrefs then prev := Array.make !nrefs 0
+      else Array.fill !prev 0 !nrefs 0
+    end
+    else if tag = tag_tick then begin
+      let c = read_varint ic in
+      M.tick machine ~cpu:c (read_varint ic)
+    end
+    else if tag = tag_onchip then begin
+      let c = read_varint ic in
+      M.add_onchip_stall machine ~cpu:c (read_varint ic)
+    end
+    else if tag = tag_barrier then
+      Engine.barrier_step machine !ov ~first_cpu:0 ~n (kind_of_code (input_byte ic))
+    else if tag = tag_touch then begin
+      let c = read_varint ic in
+      let vpage = read_varint ic in
+      M.touch_page machine ~cpu:c ~vaddr:(vpage lsl page_bits) ~translate
+    end
+    else if tag = tag_phase_begin then begin
+      for c = 0 to n - 1 do
+        t0.(c) <- M.cpu_time machine ~cpu:c;
+        stall0.(c) <- M.total_mem_stall (M.stats machine ~cpu:c)
+      done;
+      busy0 := Pcolor_memsim.Bus.busy_cycles (M.bus machine);
+      if !measuring then start := Some (Pcolor_stats.Totals.snapshot machine !ov)
+    end
+    else if tag = tag_phase_end then begin
+      let f = Engine.contention_settle machine ~t0 ~stall0 ~busy0:!busy0 in
+      match !start with
+      | None -> ()
+      | Some s ->
+        let fin = Pcolor_stats.Totals.snapshot machine !ov in
+        let weight =
+          match !weights with
+          | w :: rest ->
+            weights := rest;
+            w
+          | [] -> invalid_arg "Btrace.replay: more measured occurrences than the window plan"
+        in
+        Pcolor_stats.Totals.accumulate ~into:totals ~start:s ~fin ~f ~weight;
+        start := None
+    end
+    else if tag = tag_reset then begin
+      M.reset_stats machine;
+      ov := Pcolor_stats.Overheads.create ~n_cpus:n;
+      measuring := true
+    end
+    else if tag = tag_end then running := false
+    else invalid_arg (Printf.sprintf "Btrace.replay: bad event tag %d" tag)
+  done;
+  if !weights <> [] then invalid_arg "Btrace.replay: truncated trace (measured window incomplete)";
+  let pool = Pcolor_vm.Kernel.pool kernel in
+  let report =
+    Pcolor_stats.Report.of_totals ~benchmark:program.Ir.name ~machine:cfg.name ~n_cpus:cfg.n_cpus
+      ~policy:(Run.policy_name setup.Run.policy) ~prefetch:setup.Run.prefetch
+      ~page_faults:(Pcolor_vm.Kernel.faults kernel)
+      ~hints_honored:(Pcolor_vm.Frame_pool.honored pool)
+      ~hints_fallback:(Pcolor_vm.Frame_pool.fallbacks pool)
+      totals
+  in
+  {
+    Run.cfg;
+    report;
+    totals;
+    program;
+    summary;
+    hints_info = Option.map snd hints_info;
+    trace = [];
+    kernel;
+    machine;
+    recolorings = 0;
+    metrics = None;
+    attrib = None;
+  }

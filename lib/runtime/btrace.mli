@@ -1,0 +1,55 @@
+(** Binary reference traces: record a batch-engine run as a stream of
+    simulation events (delta-encoded varint batches in the
+    {!Pcolor_comp.Walker} packed encoding), replay it later through
+    {!Pcolor_memsim.Machine.consume_batch} and the engine's own barrier
+    and contention arithmetic — byte-identical counters, O(batch)
+    memory in both directions. *)
+
+(** Trace self-description, embedded after the magic/version preamble
+    so a replay can rebuild the identical kernel, machine and window
+    plan.  [policy] is the {!Run.policy_name} label. *)
+type header = {
+  bench : string;
+  machine : string;
+  n_cpus : int;
+  scale : int;
+  policy : string;
+  prefetch : bool;
+  seed : int;
+  cap : int;
+  provenance : string;  (** free-form, e.g. [git describe] at record time *)
+}
+
+(** {2 Recording} *)
+
+type writer
+
+(** [create_writer oc h] writes the preamble and header to [oc] and
+    returns a writer.  The caller owns the channel. *)
+val create_writer : out_channel -> header -> writer
+
+(** [recorder w] is the hook set to pass to {!Run.run} (or
+    {!Engine.create}); requires the batch engine. *)
+val recorder : writer -> Engine.recorder
+
+(** [finish w] terminates the tape (END marker) and flushes.
+    Idempotent; does not close the channel. *)
+val finish : writer -> unit
+
+(** {2 Replay} *)
+
+type reader
+
+(** [open_reader ic] checks the preamble and decodes the header.
+    Raises [Invalid_argument] on a foreign or incompatible file. *)
+val open_reader : in_channel -> reader
+
+val header : reader -> header
+
+(** [replay r ~setup] consumes the event tape against a fresh
+    kernel/machine built from [setup] (construct it from {!header} —
+    the recorded run's setup) and returns the outcome with counters
+    byte-identical to the recorded run.  The reference stream is never
+    materialized: batches stream from disk straight into the consume
+    loop.  Raises [Invalid_argument] on a corrupt or truncated tape. *)
+val replay : reader -> setup:Run.setup -> Run.outcome

@@ -17,6 +17,36 @@
 
 module M = Pcolor_memsim.Machine
 module Ir = Pcolor_comp.Ir
+module Walker = Pcolor_comp.Walker
+
+(** Reference-stream generation strategy.  [Batch] (the default)
+    compiles each (nest, cpu-range) into a {!Pcolor_comp.Walker} that
+    streams packed references into a reusable flat batch consumed by
+    {!Pcolor_memsim.Machine.consume_batch}; [Interp] is the original
+    recursive per-depth interpreter, retained as the byte-identity
+    oracle. *)
+type kind = Interp | Batch
+
+(** A trace recorder: closures the engine invokes at every simulation
+    event so a binary trace ({!Btrace}) can be written as a tee on the
+    batch engine.  Defined here (and constructed by [Btrace]) to keep
+    the dependency one-way: the trace module depends on the engine, not
+    vice versa. *)
+type recorder = {
+  rec_section : cpu:int -> nrefs:int -> instr_per_iter:int -> extra_onchip_stall:int -> unit;
+      (** a CPU begins its share of a nest; batches follow *)
+  rec_batch : Walker.batch -> unit;
+  rec_tick : cpu:int -> int -> unit;
+      (** aggregate instruction cycles: the master-only startup section
+          and reference-free nests (tick accounting is additive) *)
+  rec_onchip : cpu:int -> int -> unit;
+      (** aggregate fetch-stall cycles of a reference-free nest *)
+  rec_barrier : Ir.loop_kind -> unit;
+  rec_reset : unit -> unit;  (** warm-up discard: machine stats reset *)
+  rec_touch : cpu:int -> vpage:int -> unit;  (** §5.3 page-touch order *)
+  rec_phase_begin : unit -> unit;
+  rec_phase_end : unit -> unit;  (** contention settles here on replay *)
+}
 
 (* Metric handles created once per engine when a registry is attached,
    so the phase loop updates bare cells (no name lookups). *)
@@ -42,6 +72,9 @@ type t = {
   trace_cpu_bits : int; (* key width reserved for the cpu id *)
   first_cpu : int; (* first physical CPU this engine schedules onto *)
   n_sched : int; (* how many physical CPUs it owns (space sharing) *)
+  engine_kind : kind;
+  batch : Walker.batch; (* reused across every nest (batch engine) *)
+  recorder : recorder option;
   mutable last_contention : float;
   obs_trace : Pcolor_obs.Trace.buffer option; (* phase spans + instant events *)
   obs_metrics : obs_handles option;
@@ -58,7 +91,9 @@ type t = {
     job's engine schedules its nests over its own CPUs only, with the
     job-local master at [first]. *)
 let create ?(check_bounds = false) ?(collect_trace = false) ?(obs = Pcolor_obs.Ctx.disabled) ?cpus
-    ~machine ~kernel ~program ~plans () =
+    ?(engine = Batch) ?recorder ~machine ~kernel ~program ~plans () =
+  if Option.is_some recorder && engine <> Batch then
+    invalid_arg "Engine.create: trace recording requires the batch engine";
   Ir.check_program program;
   let cfg = M.config machine in
   let first_cpu, n_sched =
@@ -111,6 +146,9 @@ let create ?(check_bounds = false) ?(collect_trace = false) ?(obs = Pcolor_obs.C
     trace_cpu_bits;
     first_cpu;
     n_sched;
+    engine_kind = engine;
+    batch = Walker.create_batch ();
+    recorder;
     last_contention = 1.0;
     obs_trace;
     obs_metrics;
@@ -124,6 +162,10 @@ let create ?(check_bounds = false) ?(collect_trace = false) ?(obs = Pcolor_obs.C
 let run_cpu_nest t (nest : Ir.nest) ~n_cpus ~lcpu ~cpu =
   let lo0, hi0 = Pcolor_comp.Schedule.range nest ~n_cpus ~cpu:lcpu in
   if hi0 > lo0 then begin
+    (* bounds are proved once per (nest, cpu-range) — affine extremes
+       live at iteration-space corners, so the pre-pass is exact and the
+       per-reference branch disappears from the hot loop *)
+    if t.check_bounds then Walker.validate_bounds nest ~lo0 ~hi0;
     let refs = Array.of_list nest.refs in
     let nrefs = Array.length refs in
     let plan = Pcolor_comp.Prefetcher.find t.plans nest in
@@ -131,7 +173,6 @@ let run_cpu_nest t (nest : Ir.nest) ~n_cpus ~lcpu ~cpu =
     let elem = Array.make nrefs 0 in
     let bases = Array.map (fun (r : Ir.ref_) -> r.array.base) refs in
     let esize = Array.map (fun (r : Ir.ref_) -> r.array.elem_size) refs in
-    let extent = Array.map (fun (r : Ir.ref_) -> Ir.elems r.array) refs in
     let writes = Array.map (fun (r : Ir.ref_) -> r.is_write) refs in
     let prev_line = Array.make nrefs (-1) in
     let prev_vpage = Array.make nrefs (-1) in
@@ -141,10 +182,6 @@ let run_cpu_nest t (nest : Ir.nest) ~n_cpus ~lcpu ~cpu =
     let rec go d =
       if d = depth then begin
         for r = 0 to nrefs - 1 do
-          if t.check_bounds && (elem.(r) < 0 || elem.(r) >= extent.(r)) then
-            invalid_arg
-              (Printf.sprintf "%s: ref %d to %s out of bounds (elem %d, extent %d)" nest.label r
-                 refs.(r).array.aname elem.(r) extent.(r));
           let vaddr = bases.(r) + (elem.(r) * esize.(r)) in
           if plan.(r).prefetch then begin
             let pv = vaddr + (plan.(r).ahead_elems * esize.(r)) in
@@ -192,43 +229,127 @@ let run_cpu_nest t (nest : Ir.nest) ~n_cpus ~lcpu ~cpu =
     go 0
   end
 
-(* Barrier at the end of a nest region: classify waiting time by the
-   nest kind, charge the software barrier cost, and synchronize clocks. *)
-let barrier t (kind : Ir.loop_kind) =
-  let n = t.n_sched in
-  let lo = t.first_cpu in
+(* The batch path: compile the (nest, cpu-range) pair into a walker
+   once, then alternate generation ([Walker.fill] into the engine's
+   reused batch) with consumption (the fused
+   [Machine.consume_batch] loop).  The traced variant replays the same
+   batch with per-reference trace-set inserts — set semantics make the
+   interpreter's per-reference page memo unnecessary for identity. *)
+let consume_traced t tbl ~cpu ~nrefs ~instr_per_iter ~extra (b : Walker.batch) =
+  let machine = t.machine and translate = t.translate in
+  let data = b.data in
+  let stride = 2 * nrefs in
+  let k = ref 0 in
+  while !k < b.len do
+    let stop = !k + stride in
+    while !k < stop do
+      let w0 = Array.unsafe_get data !k in
+      let pf = Array.unsafe_get data (!k + 1) in
+      let vaddr = w0 asr 1 in
+      if pf <> 0 then M.prefetch machine ~cpu ~vaddr:(vaddr + pf);
+      M.access machine ~cpu ~vaddr ~write:(w0 land 1 <> 0) ~translate;
+      let vpage = vaddr lsr t.page_bits in
+      Pcolor_util.Itab.Set.add tbl ((vpage lsl t.trace_cpu_bits) lor cpu);
+      k := !k + 2
+    done;
+    M.tick machine ~cpu instr_per_iter;
+    if extra > 0 then M.add_onchip_stall machine ~cpu extra
+  done
+
+let run_cpu_nest_batch t (nest : Ir.nest) ~n_cpus ~lcpu ~cpu =
+  let lo0, hi0 = Pcolor_comp.Schedule.range nest ~n_cpus ~cpu:lcpu in
+  if hi0 > lo0 then begin
+    if t.check_bounds then Walker.validate_bounds nest ~lo0 ~hi0;
+    let plan = Pcolor_comp.Prefetcher.find t.plans nest in
+    let w = Walker.create ~nest ~plan ~lo0 ~hi0 ~l2_line_bits:t.l2_line_bits in
+    let nrefs = Walker.nrefs w in
+    if nrefs = 0 then begin
+      (* a reference-free nest is pure tick accounting; the interpreter
+         path is already the tight loop for it.  Tick accounting is
+         additive, so the trace records one aggregate per CPU. *)
+      (match t.recorder with
+      | Some r ->
+        let iters = ref (hi0 - lo0) in
+        Array.iteri (fun d b -> if d > 0 then iters := !iters * b) nest.bounds;
+        if !iters > 0 then begin
+          if nest.body_instr > 0 then r.rec_tick ~cpu (!iters * nest.body_instr);
+          if nest.extra_onchip_stall > 0 then r.rec_onchip ~cpu (!iters * nest.extra_onchip_stall)
+        end
+      | None -> ());
+      run_cpu_nest t nest ~n_cpus ~lcpu ~cpu
+    end
+    else begin
+      let instr_per_iter = Walker.instr_per_iter w in
+      let extra = Walker.extra_onchip_stall w in
+      (match t.recorder with
+      | Some r -> r.rec_section ~cpu ~nrefs ~instr_per_iter ~extra_onchip_stall:extra
+      | None -> ());
+      let b = t.batch in
+      let exhausted = ref (Walker.finished w) in
+      while not !exhausted do
+        Walker.reset_batch b;
+        exhausted := Walker.fill w b;
+        (match t.recorder with Some r -> r.rec_batch b | None -> ());
+        match t.trace with
+        | None ->
+          M.consume_batch t.machine ~cpu ~translate:t.translate ~data:b.data ~len:b.len ~nrefs
+            ~instr_per_iter ~extra_onchip_stall:extra
+        | Some tbl -> consume_traced t tbl ~cpu ~nrefs ~instr_per_iter ~extra b
+      done
+    end
+  end
+
+(** [barrier_step machine ov ~first_cpu ~n kind] is the barrier at the
+    end of a nest region: classify waiting time by the nest kind into
+    [ov], charge the software barrier cost, and synchronize the clocks
+    of CPUs [\[first_cpu, first_cpu + n)].  Standalone over the machine
+    so the binary-trace replayer ([Btrace]) applies the same
+    arithmetic. *)
+let barrier_step machine ov ~first_cpu ~n (kind : Ir.loop_kind) =
+  let lo = first_cpu in
   let tmax = ref 0 in
   for cpu = lo to lo + n - 1 do
-    tmax := max !tmax (M.cpu_time t.machine ~cpu)
+    tmax := max !tmax (M.cpu_time machine ~cpu)
   done;
   let cost = Pcolor_stats.Overheads.barrier_cost ~n_cpus:n in
   for cpu = lo to lo + n - 1 do
-    let wait = float_of_int (!tmax - M.cpu_time t.machine ~cpu) in
+    let wait = float_of_int (!tmax - M.cpu_time machine ~cpu) in
     (match kind with
-    | Ir.Parallel _ -> Pcolor_stats.Overheads.add_imbalance t.ov ~cpu wait
-    | Ir.Sequential -> Pcolor_stats.Overheads.add_sequential t.ov ~cpu wait
-    | Ir.Suppressed -> Pcolor_stats.Overheads.add_suppressed t.ov ~cpu wait);
-    Pcolor_stats.Overheads.add_sync t.ov ~cpu (float_of_int cost);
-    M.set_cpu_time t.machine ~cpu (!tmax + cost)
+    | Ir.Parallel _ -> Pcolor_stats.Overheads.add_imbalance ov ~cpu wait
+    | Ir.Sequential -> Pcolor_stats.Overheads.add_sequential ov ~cpu wait
+    | Ir.Suppressed -> Pcolor_stats.Overheads.add_suppressed ov ~cpu wait);
+    Pcolor_stats.Overheads.add_sync ov ~cpu (float_of_int cost);
+    M.set_cpu_time machine ~cpu (!tmax + cost)
   done
+
+let barrier t (kind : Ir.loop_kind) =
+  (match t.recorder with Some r -> r.rec_barrier kind | None -> ());
+  barrier_step t.machine t.ov ~first_cpu:t.first_cpu ~n:t.n_sched kind
 
 let run_nest t nest =
   let n = t.n_sched in
+  let per_cpu =
+    match t.engine_kind with Batch -> run_cpu_nest_batch t | Interp -> run_cpu_nest t
+  in
   for lcpu = 0 to n - 1 do
-    run_cpu_nest t nest ~n_cpus:n ~lcpu ~cpu:(t.first_cpu + lcpu)
+    per_cpu nest ~n_cpus:n ~lcpu ~cpu:(t.first_cpu + lcpu)
   done;
   barrier t nest.Ir.kind
 
-(* Solve the contention fixed point for one phase occurrence and charge
-   the stretched extra stall to the CPU clocks. Returns the factor. *)
-let settle_contention t ~t0 ~stall0 ~busy0 =
-  let n = M.n_cpus t.machine in
-  let dt = Array.init n (fun cpu -> float_of_int (M.cpu_time t.machine ~cpu - t0.(cpu))) in
+(** [contention_settle machine ~t0 ~stall0 ~busy0] solves the per-phase
+    bus-contention fixed point over deltas since the [(t0, stall0,
+    busy0)] snapshot and charges the stretched extra stall to the CPU
+    clocks, returning the factor.  A standalone function over the
+    machine (no engine state) so the binary-trace replayer ([Btrace])
+    applies the {e same} arithmetic and reproduces counters exactly. *)
+let contention_settle machine ~t0 ~stall0 ~busy0 =
+  let n = M.n_cpus machine in
+  let dt = Array.init n (fun cpu -> float_of_int (M.cpu_time machine ~cpu - t0.(cpu))) in
   let ds =
     Array.init n (fun cpu ->
-        float_of_int (M.total_mem_stall (M.stats t.machine ~cpu) - stall0.(cpu)))
+        float_of_int (M.total_mem_stall (M.stats machine ~cpu) - stall0.(cpu)))
   in
-  let busy = float_of_int (Pcolor_memsim.Bus.busy_cycles (M.bus t.machine) - busy0) in
+  let busy = float_of_int (Pcolor_memsim.Bus.busy_cycles (M.bus machine) - busy0) in
   let f = ref 1.0 in
   for _ = 1 to 25 do
     let wall = ref 1.0 in
@@ -243,8 +364,13 @@ let settle_contention t ~t0 ~stall0 ~busy0 =
   let f = !f in
   for cpu = 0 to n - 1 do
     let extra = int_of_float (ds.(cpu) *. (f -. 1.0)) in
-    if extra > 0 then M.add_stall t.machine ~cpu extra
+    if extra > 0 then M.add_stall machine ~cpu extra
   done;
+  f
+
+(* Engine-level wrapper: settle, then surface knee crossings to obs. *)
+let settle_contention t ~t0 ~stall0 ~busy0 =
+  let f = contention_settle t.machine ~t0 ~stall0 ~busy0 in
   (* knee crossing: the bus just went from uncontended to saturated *)
   if f > 1.0 && t.last_contention <= 1.0 then begin
     (match t.obs_metrics with
@@ -282,7 +408,9 @@ let run_phase_once ?(cat = "measured") t phase =
   let stall0 = Array.init n (fun cpu -> M.total_mem_stall (M.stats t.machine ~cpu)) in
   let busy0 = Pcolor_memsim.Bus.busy_cycles (M.bus t.machine) in
   let dropped0 = match t.obs_trace with Some _ -> sum_pf_dropped t | None -> 0 in
+  (match t.recorder with Some r -> r.rec_phase_begin () | None -> ());
   List.iter (run_nest t) phase.Ir.nests;
+  (match t.recorder with Some r -> r.rec_phase_end () | None -> ());
   (match t.obs_trace with
   | Some buf ->
     let name = phase.Ir.pname in
@@ -309,6 +437,7 @@ let touch_pages_in_order t vpages =
   let master = t.first_cpu + Pcolor_comp.Schedule.master in
   List.iter
     (fun vpage ->
+      (match t.recorder with Some r -> r.rec_touch ~cpu:master ~vpage | None -> ());
       M.touch_page t.machine ~cpu:master ~vaddr:(vpage lsl t.page_bits) ~translate:t.translate)
     vpages
 
@@ -322,7 +451,11 @@ let touch_pages_in_order t vpages =
 (** [startup t] executes the master-only initialization section. *)
 let startup t =
   if t.program.seq_startup_instr > 0 then begin
-    M.tick t.machine ~cpu:(t.first_cpu + Pcolor_comp.Schedule.master) t.program.seq_startup_instr;
+    let master = t.first_cpu + Pcolor_comp.Schedule.master in
+    (match t.recorder with
+    | Some r -> r.rec_tick ~cpu:master t.program.seq_startup_instr
+    | None -> ());
+    M.tick t.machine ~cpu:master t.program.seq_startup_instr;
     barrier t Ir.Sequential
   end
 
@@ -382,6 +515,7 @@ let run t ?(cap = 2) ?(after_phase = fun () -> ()) () =
   startup t;
   (* warm-up pass: fault pages in, warm caches; then discard statistics *)
   List.iter (run_warmup_step t ~after_phase) (warmup_plan t);
+  (match t.recorder with Some r -> r.rec_reset () | None -> ());
   M.reset_stats t.machine;
   begin_measured t;
   (* measured pass *)

@@ -5,26 +5,73 @@
 
 type t
 
+(** Reference-stream generation strategy: [Batch] (default) compiles
+    each (nest, cpu-range) into a precompiled affine walker
+    ({!Pcolor_comp.Walker}) feeding the fused
+    {!Pcolor_memsim.Machine.consume_batch} loop; [Interp] is the
+    recursive per-depth interpreter, retained as the byte-identity
+    oracle. *)
+type kind = Interp | Batch
+
+(** Trace-recording hooks ({!Btrace} constructs these): the engine
+    invokes them at every simulation event so a binary trace can be
+    written as a tee on the batch engine. *)
+type recorder = {
+  rec_section : cpu:int -> nrefs:int -> instr_per_iter:int -> extra_onchip_stall:int -> unit;
+  rec_batch : Pcolor_comp.Walker.batch -> unit;
+  rec_tick : cpu:int -> int -> unit;
+  rec_onchip : cpu:int -> int -> unit;
+  rec_barrier : Pcolor_comp.Ir.loop_kind -> unit;
+  rec_reset : unit -> unit;
+  rec_touch : cpu:int -> vpage:int -> unit;
+  rec_phase_begin : unit -> unit;
+  rec_phase_end : unit -> unit;
+}
+
 (** [create ~machine ~kernel ~program ~plans ()] wires an engine.
-    [check_bounds] (slow; tests) validates every reference against its
-    array extent; [collect_trace] records every (vpage, cpu) touch in
-    the measured window; [obs] (default disabled) attaches structured
-    tracing (per-CPU phase spans, prefetch-drop and bus-knee instants)
-    and runtime metrics (phase-duration histogram, occurrence and
-    window-weight counters); [cpus] (default: the whole machine)
-    restricts the engine to the contiguous physical CPU range
-    [(first, count)] — the space-sharing hook. *)
+    [check_bounds] (tests; now a one-shot pre-pass per (nest,
+    cpu-range), not a per-reference branch) validates every reference
+    range against its array extent; [collect_trace] records every
+    (vpage, cpu) touch in the measured window; [obs] (default disabled)
+    attaches structured tracing (per-CPU phase spans, prefetch-drop and
+    bus-knee instants) and runtime metrics (phase-duration histogram,
+    occurrence and window-weight counters); [cpus] (default: the whole
+    machine) restricts the engine to the contiguous physical CPU range
+    [(first, count)] — the space-sharing hook.  [engine] selects the
+    generation strategy (default [Batch]); [recorder] (requires
+    [Batch]) tees every simulation event to a binary-trace writer. *)
 val create :
   ?check_bounds:bool ->
   ?collect_trace:bool ->
   ?obs:Pcolor_obs.Ctx.t ->
   ?cpus:int * int ->
+  ?engine:kind ->
+  ?recorder:recorder ->
   machine:Pcolor_memsim.Machine.t ->
   kernel:Pcolor_vm.Kernel.t ->
   program:Pcolor_comp.Ir.program ->
   plans:Pcolor_comp.Prefetcher.t ->
   unit ->
   t
+
+(** [contention_settle machine ~t0 ~stall0 ~busy0] solves the per-phase
+    bus-contention fixed point over deltas since the snapshot and
+    charges the stretched stall — exposed so trace replay applies the
+    identical arithmetic. *)
+val contention_settle :
+  Pcolor_memsim.Machine.t -> t0:int array -> stall0:int array -> busy0:int -> float
+
+(** [barrier_step machine ov ~first_cpu ~n kind] classifies barrier
+    waiting time into [ov], charges the software barrier cost and
+    synchronizes the clocks of CPUs [\[first_cpu, first_cpu + n)] —
+    exposed for the same reason. *)
+val barrier_step :
+  Pcolor_memsim.Machine.t ->
+  Pcolor_stats.Overheads.t ->
+  first_cpu:int ->
+  n:int ->
+  Pcolor_comp.Ir.loop_kind ->
+  unit
 
 (** [touch_pages_in_order t vpages] makes the master fault pages in
     order — the §5.3 Digital-UNIX user-level CDPC implementation. *)

@@ -54,6 +54,9 @@ type setup = {
   obs : Pcolor_obs.Ctx.t;
       (** observability context (metrics registry, trace buffer);
           [Ctx.disabled] by default — runs are byte-identical with it off *)
+  engine : Engine.kind;
+      (** reference-stream generation strategy ([Batch] by default);
+          [Interp] is the byte-identity oracle *)
 }
 
 (** [default_setup ~cfg ~make_program ~policy] fills conservative
@@ -72,6 +75,7 @@ let default_setup ~cfg ~make_program ~policy =
     check_bounds = false;
     cdpc_ablation = Pcolor_cdpc.Colorer.full_algorithm;
     obs = Pcolor_obs.Ctx.disabled;
+    engine = Engine.Batch;
   }
 
 type outcome = {
@@ -184,8 +188,10 @@ let prepare ?(relocate = 0) (setup : setup) =
   let policy = Pcolor_vm.Policy.create ~n_colors ~seed:setup.seed ~race_jitter policy_spec in
   { program; summary; hints_info; policy; layout_end = layout_end + relocate }
 
-(** [run setup] executes one experiment end to end. *)
-let run (setup : setup) =
+(** [run ?recorder setup] executes one experiment end to end.
+    [recorder] (requires the batch engine) tees every simulation event
+    to a binary-trace writer ({!Btrace}). *)
+let run ?recorder (setup : setup) =
   let cfg = setup.cfg in
   let { program; summary; hints_info; policy; layout_end = _ } = prepare setup in
   let kernel = Pcolor_vm.Kernel.create ~cfg ~policy ?mem_frames:setup.mem_frames () in
@@ -195,7 +201,7 @@ let run (setup : setup) =
   in
   let engine =
     Engine.create ~check_bounds:setup.check_bounds ~collect_trace:setup.collect_trace
-      ~obs:setup.obs ~machine ~kernel ~program ~plans ()
+      ~obs:setup.obs ~engine:setup.engine ?recorder ~machine ~kernel ~program ~plans ()
   in
   (* Pool exhaustion surfaces as a diagnostic (PCOLOR_LOG channel) with
      the faulting CPU/page and the pool state before propagating, so a

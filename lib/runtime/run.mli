@@ -37,6 +37,9 @@ type setup = {
   obs : Pcolor_obs.Ctx.t;
       (** observability context; [Ctx.disabled] by default — with it off
           runs are byte-identical to an uninstrumented build *)
+  engine : Engine.kind;
+      (** reference-stream generation strategy ([Batch] by default);
+          [Interp] is the byte-identity oracle *)
 }
 
 (** [default_setup ~cfg ~make_program ~policy] fills conservative
@@ -89,10 +92,12 @@ type prepared = {
     making jobs' virtual pages disjoint. *)
 val prepare : ?relocate:int -> setup -> prepared
 
-(** [run setup] executes one experiment end to end.  Pool exhaustion
+(** [run ?recorder setup] executes one experiment end to end.
+    [recorder] (requires the batch engine) tees every simulation event
+    to a binary-trace writer ({!Btrace}).  Pool exhaustion
     ({!Pcolor_vm.Kernel.Out_of_frames}) is logged on the [PCOLOR_LOG]
     channel (faulting CPU/page, pool occupancy) before propagating. *)
-val run : setup -> outcome
+val run : ?recorder:Engine.recorder -> setup -> outcome
 
 (** [artifact_json ?provenance outcome] is the machine-readable run
     artifact ([schema_version], provenance, report, metrics snapshot,

@@ -32,13 +32,16 @@ type spec = {
   prefetch : bool;
   seed : int;
   cdpc_ablation : Pcolor_cdpc.Colorer.ablation;
+  engine_kind : Engine.kind;
 }
 
 (** [spec ~name make_program] fills conservative defaults (page
-    coloring, no prefetch, seed 42, full CDPC algorithm). *)
+    coloring, no prefetch, seed 42, full CDPC algorithm, batch
+    engine). *)
 let spec ?(policy = Run.Page_coloring) ?(prefetch = false) ?(seed = 42)
-    ?(cdpc_ablation = Pcolor_cdpc.Colorer.full_algorithm) ~name make_program =
-  { name; make_program; policy; prefetch; seed; cdpc_ablation }
+    ?(cdpc_ablation = Pcolor_cdpc.Colorer.full_algorithm) ?(engine_kind = Engine.Batch) ~name
+    make_program =
+  { name; make_program; policy; prefetch; seed; cdpc_ablation; engine_kind }
 
 (** [setup_of ~cfg spec] is the equivalent single-run setup — the
     shared vocabulary between [pcolor run] and a mix job. *)
@@ -48,6 +51,7 @@ let setup_of ~cfg (s : spec) : Run.setup =
     prefetch = s.prefetch;
     seed = s.seed;
     cdpc_ablation = s.cdpc_ablation;
+    engine = s.engine_kind;
   }
 
 type t = {
@@ -96,7 +100,10 @@ let create ~cfg ~machine ~pool ~obs ~asid ~relocate ~cpus ~cap (s : spec) =
     if s.prefetch then Pcolor_comp.Prefetcher.plan cfg p.Run.program
     else Pcolor_comp.Prefetcher.none
   in
-  let engine = Engine.create ~obs ~cpus ~machine ~kernel ~program:p.Run.program ~plans () in
+  let engine =
+    Engine.create ~obs ~cpus ~engine:s.engine_kind ~machine ~kernel ~program:p.Run.program ~plans
+      ()
+  in
   let first_cpu, width = cpus in
   let recolorer =
     match s.policy with

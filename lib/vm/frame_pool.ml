@@ -10,8 +10,9 @@
 
 type t = {
   n_colors : int;
-  free : int list array; (* per color, free frame numbers (LIFO) *)
-  free_n : int array; (* per color, length of [free.(c)] — kept in sync *)
+  freed : int list array; (* per color, explicitly released frames (LIFO) *)
+  fresh : int array; (* per color, next never-allocated frame; >= total = none left *)
+  free_n : int array; (* per color, freed + remaining fresh — kept in sync *)
   mutable free_count : int;
   total : int;
   mutable fallbacks : int; (* allocations that could not honor the color *)
@@ -20,18 +21,32 @@ type t = {
 
 (** [create ~frames ~n_colors] builds a pool of frames [0..frames-1].
     [frames] should normally be a multiple of [n_colors] (real memories
-    are); uneven pools are allowed and simply have richer low colors. *)
+    are); uneven pools are allowed and simply have richer low colors.
+
+    Never-allocated frames are represented by a per-color counter rather
+    than materialized free lists: color [c]'s untouched frames are
+    exactly the arithmetic sequence [c, c + n_colors, ...], handed out
+    ascending — the same order the eager LIFO build produced — so a
+    256 MB pool costs a few words instead of a cons cell per frame.
+    Released frames go to an explicit per-color stack consulted first,
+    which again matches the eager representation (releases pushed on the
+    list head, ahead of the ascending tail). *)
 let create ~frames ~n_colors =
   if frames <= 0 || n_colors <= 0 then invalid_arg "Frame_pool.create";
-  let free = Array.make n_colors [] in
-  let free_n = Array.make n_colors 0 in
-  (* Build LIFO lists so that frame numbers come out ascending. *)
-  for f = frames - 1 downto 0 do
-    let c = f mod n_colors in
-    free.(c) <- f :: free.(c);
-    free_n.(c) <- free_n.(c) + 1
-  done;
-  { n_colors; free; free_n; free_count = frames; total = frames; fallbacks = 0; honored = 0 }
+  let fresh = Array.init n_colors (fun c -> c) in
+  let free_n =
+    Array.init n_colors (fun c -> if c >= frames then 0 else ((frames - c - 1) / n_colors) + 1)
+  in
+  {
+    n_colors;
+    freed = Array.make n_colors [];
+    fresh;
+    free_n;
+    free_count = frames;
+    total = frames;
+    fallbacks = 0;
+    honored = 0;
+  }
 
 (** [n_colors t] is the machine's color count. *)
 let n_colors t = t.n_colors
@@ -66,13 +81,21 @@ let alloc t ~preferred =
   else begin
     let preferred = ((preferred mod t.n_colors) + t.n_colors) mod t.n_colors in
     let take c =
-      match t.free.(c) with
-      | [] -> None
+      match t.freed.(c) with
       | f :: rest ->
-        t.free.(c) <- rest;
+        t.freed.(c) <- rest;
         t.free_n.(c) <- t.free_n.(c) - 1;
         t.free_count <- t.free_count - 1;
         Some f
+      | [] ->
+        let f = t.fresh.(c) in
+        if f >= t.total then None
+        else begin
+          t.fresh.(c) <- f + t.n_colors;
+          t.free_n.(c) <- t.free_n.(c) - 1;
+          t.free_count <- t.free_count - 1;
+          Some f
+        end
     in
     let rec scan d =
       if d > t.n_colors / 2 + 1 then None
@@ -99,6 +122,6 @@ let alloc t ~preferred =
 let release t frame =
   if frame < 0 || frame >= t.total then invalid_arg "Frame_pool.release: bad frame";
   let c = color_of t frame in
-  t.free.(c) <- frame :: t.free.(c);
+  t.freed.(c) <- frame :: t.freed.(c);
   t.free_n.(c) <- t.free_n.(c) + 1;
   t.free_count <- t.free_count + 1

@@ -42,12 +42,12 @@ let arr3 c name ~d0 ~d1 ~d2 =
 let arrays c = List.rev c.arrays
 
 (** [dim2 ~base ~scale] scales a linear 2-D dimension.  [scale] divides
-    the {e data-set size} and must be a square (1, 4, 16, 64) so the
+    the {e data-set size} and must be a square (1, 4, 16, 64, 256) so the
     side shrinks by an integer factor.  SPEC95fp grids are 2^k or 2^k+1
     on a side (tomcatv/swim are 513²), which makes array sizes all-but
     multiples of the external cache — the geometry behind Figure 3's
     color-phase collisions; dividing by √scale preserves it exactly
-    ([513 → 257 → 129 → 65]). *)
+    ([513 → 257 → 129 → 65 → 33]). *)
 let dim2 ~base ~scale =
   let d =
     match scale with
@@ -55,7 +55,8 @@ let dim2 ~base ~scale =
     | 4 -> 2
     | 16 -> 4
     | 64 -> 8
-    | _ -> invalid_arg "Gen.dim2: scale must be 1, 4, 16 or 64"
+    | 256 -> 16
+    | _ -> invalid_arg "Gen.dim2: scale must be 1, 4, 16, 64 or 256"
   in
   if base mod 2 = 1 then ((base - 1) / d) + 1 else base / d
 

@@ -1,0 +1,305 @@
+(* The batch-streaming engine's contracts:
+
+   - a compiled {!Walker} emits exactly the reference stream the
+     per-depth interpreter would (same order, same packed prefetch
+     dedup), for arbitrary affine nests and cpu sub-ranges;
+   - the fused consume loop and the walker generator allocate nothing
+     per reference in the steady state;
+   - a full run under [--engine=batch] is byte-identical to
+     [--engine=interp] across mapping policies, with and without
+     prefetching;
+   - a binary trace recorded from a run replays to the identical
+     report;
+   - {!Engine.trace_points} comes back sorted by (vpage, cpu). *)
+
+module Ir = Pcolor.Comp.Ir
+module Walker = Pcolor.Comp.Walker
+module Prefetcher = Pcolor.Comp.Prefetcher
+module M = Pcolor.Memsim.Machine
+module Run = Pcolor.Runtime.Run
+module Btrace = Pcolor.Runtime.Btrace
+module Report = Pcolor.Stats.Report
+
+(* ---------- walker emission vs the interpreter's loop ---------- *)
+
+type event = Pf of int | Acc of int * bool
+
+(* The oracle: the interpreter's per-depth walk (engine.ml
+   [run_cpu_nest]) re-stated as a pure emitter — incremental element
+   indices, prefetch resolved per reference with one-per-line dedup. *)
+let interpreter_events (nest : Ir.nest) ~(plan : Prefetcher.nest_plan) ~lo0 ~hi0 ~l2_line_bits =
+  let refs = Array.of_list nest.refs in
+  let nrefs = Array.length refs in
+  let depth = Array.length nest.bounds in
+  let elem = Array.map (fun (r : Ir.ref_) -> r.offset) refs in
+  let prev_line = Array.make nrefs (-1) in
+  let out = ref [] in
+  let rec go d =
+    if d = depth then
+      for r = 0 to nrefs - 1 do
+        let rf = refs.(r) in
+        let vaddr = rf.array.base + (elem.(r) * rf.array.elem_size) in
+        if plan.(r).Prefetcher.prefetch then begin
+          let pv = vaddr + (plan.(r).Prefetcher.ahead_elems * rf.array.elem_size) in
+          let pl = pv lsr l2_line_bits in
+          if pl <> prev_line.(r) then begin
+            prev_line.(r) <- pl;
+            out := Pf pv :: !out
+          end
+        end;
+        out := Acc (vaddr, rf.is_write) :: !out
+      done
+    else begin
+      let lo = if d = 0 then lo0 else 0 in
+      let hi = if d = 0 then hi0 else nest.bounds.(d) in
+      for r = 0 to nrefs - 1 do
+        elem.(r) <- elem.(r) + (refs.(r).coeffs.(d) * lo)
+      done;
+      for _i = lo to hi - 1 do
+        go (d + 1);
+        for r = 0 to nrefs - 1 do
+          elem.(r) <- elem.(r) + refs.(r).coeffs.(d)
+        done
+      done;
+      for r = 0 to nrefs - 1 do
+        elem.(r) <- elem.(r) - (refs.(r).coeffs.(d) * hi)
+      done
+    end
+  in
+  go 0;
+  List.rev !out
+
+(* Drain a walker through a deliberately small batch (forcing several
+   fill/resume cycles) and decode the packed entries back to events. *)
+let walker_events (nest : Ir.nest) ~plan ~lo0 ~hi0 ~l2_line_bits =
+  let w = Walker.create ~nest ~plan ~lo0 ~hi0 ~l2_line_bits in
+  let nrefs = Walker.nrefs w in
+  let b = Walker.create_batch ~capacity_refs:(max nrefs 5) () in
+  let out = ref [] in
+  let exhausted = ref (Walker.finished w) in
+  while not !exhausted do
+    Walker.reset_batch b;
+    exhausted := Walker.fill w b;
+    let k = ref 0 in
+    while !k < b.Walker.len do
+      let w0 = b.Walker.data.(!k) in
+      let pf = b.Walker.data.(!k + 1) in
+      let vaddr = w0 asr 1 in
+      if pf <> 0 then out := Pf (vaddr + pf) :: !out;
+      out := Acc (vaddr, w0 land 1 <> 0) :: !out;
+      k := !k + 2
+    done
+  done;
+  List.rev !out
+
+let random_nest_case rng =
+  let depth = 1 + Random.State.int rng 3 in
+  let bounds = Array.init depth (fun _ -> 1 + Random.State.int rng 5) in
+  let nrefs = 1 + Random.State.int rng 3 in
+  let refs =
+    List.init nrefs (fun i ->
+        let dims = Array.make depth 64 in
+        let a = Ir.make_array ~id:i ~name:(Printf.sprintf "A%d" i) ~elem_size:8 ~dims in
+        a.Ir.base <- Random.State.int rng 1_000_000 * 8;
+        let coeffs = Array.init depth (fun _ -> Random.State.int rng 6 - 2) in
+        Ir.ref_to a ~coeffs
+          ~offset:(Random.State.int rng 13 - 4)
+          ~write:(Random.State.bool rng))
+  in
+  let nest =
+    Ir.make_nest ~label:"rand" ~kind:(Ir.Parallel { policy = Even; direction = Forward })
+      ~bounds ~refs ~body_instr:(Random.State.int rng 8) ()
+  in
+  let lo0 = Random.State.int rng (bounds.(0) + 1) in
+  let hi0 = lo0 + Random.State.int rng (bounds.(0) - lo0 + 1) in
+  (nest, lo0, hi0)
+
+let test_walker_matches_interpreter () =
+  let rng = Random.State.make [| 0xB47C4 |] in
+  let cfg = Helpers.tiny_cfg () in
+  let l2_line_bits = 7 in
+  for case = 1 to 300 do
+    let nest, lo0, hi0 = random_nest_case rng in
+    (* half the cases through the real prefetch planner, half without *)
+    let plan =
+      if case mod 2 = 0 then Prefetcher.plan_nest cfg nest else Prefetcher.find Prefetcher.none nest
+    in
+    let expect = interpreter_events nest ~plan ~lo0 ~hi0 ~l2_line_bits in
+    let got = walker_events nest ~plan ~lo0 ~hi0 ~l2_line_bits in
+    if expect <> got then
+      Alcotest.failf "case %d (%s, lo0=%d hi0=%d): walker diverged after %d/%d events" case
+        nest.Ir.label lo0 hi0
+        (let rec common i = function
+           | x :: xs, y :: ys when x = y -> common (i + 1) (xs, ys)
+           | _ -> i
+         in
+         common 0 (expect, got))
+        (List.length expect)
+  done
+
+let test_walker_iter_constants () =
+  let rng = Random.State.make [| 0x5EED |] in
+  let nest, lo0, hi0 = random_nest_case rng in
+  let plan = Prefetcher.find Prefetcher.none nest in
+  let w = Walker.create ~nest ~plan ~lo0 ~hi0 ~l2_line_bits:7 in
+  Alcotest.(check int) "nrefs" (List.length nest.Ir.refs) (Walker.nrefs w);
+  Alcotest.(check int) "instr_per_iter"
+    (nest.Ir.body_instr + (2 * List.length nest.Ir.refs))
+    (Walker.instr_per_iter w)
+
+(* ---------- steady-state allocation pins ---------- *)
+
+(* Same contract (and tolerance note) as the coherence suite's hit-path
+   pin: the tolerance absorbs the boxed float from [Gc.minor_words];
+   anything per-reference would cost tens of thousands of words. *)
+let test_consume_batch_no_alloc () =
+  let cfg = Helpers.tiny_cfg ~n_cpus:1 () in
+  let m = M.create cfg in
+  let translate ~cpu:_ ~vpage = (vpage, 0) in
+  let iters = 512 in
+  (* the 8 distinct pages fit the tiny TLB exactly: a steady-state
+     reference never calls the (allocating) translate callback, while
+     the 8 KB footprint still misses the 512 B L1 throughout *)
+  let b = Walker.create_batch ~capacity_refs:(2 * iters) () in
+  for i = 0 to iters - 1 do
+    let va = i mod 256 * 16 in
+    b.Walker.data.(4 * i) <- Walker.pack ~vaddr:va ~write:false;
+    b.Walker.data.((4 * i) + 1) <- 0;
+    b.Walker.data.((4 * i) + 2) <- Walker.pack ~vaddr:(va + 4096) ~write:true;
+    b.Walker.data.((4 * i) + 3) <- 0
+  done;
+  b.Walker.len <- 4 * iters;
+  let consume () =
+    M.consume_batch m ~cpu:0 ~translate ~data:b.Walker.data ~len:b.Walker.len ~nrefs:2
+      ~instr_per_iter:8 ~extra_onchip_stall:1
+  in
+  (* warm: size every table, fault every page, then measure a full
+     replay of the same batch (which still misses L1/L2 heavily — the
+     span exceeds both) *)
+  consume ();
+  consume ();
+  let before = Gc.minor_words () in
+  consume ();
+  let delta = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "consume loop allocation-free (%.0f minor words for %d refs)" delta (2 * iters))
+    true (delta <= 64.0)
+
+let test_walker_fill_no_alloc () =
+  let a = Ir.make_array ~id:0 ~name:"A" ~elem_size:8 ~dims:[| 64; 64 |] in
+  a.Ir.base <- 0;
+  let nest =
+    Ir.make_nest ~label:"fill" ~kind:(Ir.Parallel { policy = Even; direction = Forward })
+      ~bounds:[| 64; 64 |]
+      ~refs:[ Ir.ref_to a ~coeffs:[| 64; 1 |] ~offset:0 ~write:false ]
+      ()
+  in
+  let plan = Prefetcher.find Prefetcher.none nest in
+  let w = Walker.create ~nest ~plan ~lo0:0 ~hi0:64 ~l2_line_bits:7 in
+  let b = Walker.create_batch ~capacity_refs:256 () in
+  Walker.reset_batch b;
+  ignore (Walker.fill w b);
+  let before = Gc.minor_words () in
+  Walker.reset_batch b;
+  ignore (Walker.fill w b);
+  Walker.reset_batch b;
+  ignore (Walker.fill w b);
+  let delta = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "walker fill allocation-free (%.0f minor words)" delta)
+    true (delta <= 64.0)
+
+(* ---------- run-level engine identity ---------- *)
+
+let setup ?(policy = Run.Page_coloring) ?(prefetch = false) ~engine () =
+  let cfg = Helpers.tiny_cfg ~n_cpus:2 () in
+  {
+    (Run.default_setup ~cfg ~make_program:(fun () -> Helpers.figure4_program ()) ~policy) with
+    prefetch;
+    collect_trace = true;
+    engine;
+  }
+
+let render (o : Run.outcome) = Format.asprintf "%a" Report.pp o.Run.report
+
+let test_engines_identical () =
+  List.iter
+    (fun policy ->
+      List.iter
+        (fun prefetch ->
+          let b = Run.run (setup ~policy ~prefetch ~engine:Pcolor.Runtime.Engine.Batch ()) in
+          let i = Run.run (setup ~policy ~prefetch ~engine:Pcolor.Runtime.Engine.Interp ()) in
+          let label =
+            Printf.sprintf "%s%s" (Run.policy_name policy) (if prefetch then "+pf" else "")
+          in
+          Alcotest.(check string) (label ^ " report") (render i) (render b);
+          Alcotest.(check (list (pair int int))) (label ^ " trace") i.Run.trace b.Run.trace)
+        [ false; true ])
+    [
+      Run.Page_coloring;
+      Run.Bin_hopping;
+      Run.Random_colors;
+      Run.Cdpc { fallback = `Page_coloring; via_touch = false };
+      Run.Cdpc { fallback = `Page_coloring; via_touch = true };
+    ]
+
+(* ---------- binary trace round trip ---------- *)
+
+let test_btrace_roundtrip () =
+  let s =
+    {
+      (setup ~policy:(Run.Cdpc { fallback = `Page_coloring; via_touch = false }) ~prefetch:true
+         ~engine:Pcolor.Runtime.Engine.Batch ()) with
+      collect_trace = false;
+    }
+  in
+  let path = Filename.temp_file "pcolor_btrace" ".btrace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      let w =
+        Btrace.create_writer oc
+          {
+            Btrace.bench = "fig4";
+            machine = "tiny";
+            n_cpus = 2;
+            scale = 1;
+            policy = "cdpc";
+            prefetch = true;
+            seed = s.Run.seed;
+            cap = s.Run.cap;
+            provenance = "test";
+          }
+      in
+      let direct = Run.run ~recorder:(Btrace.recorder w) s in
+      Btrace.finish w;
+      close_out oc;
+      let ic = open_in_bin path in
+      let r = Btrace.open_reader ic in
+      Alcotest.(check string) "header bench" "fig4" (Btrace.header r).Btrace.bench;
+      let replayed = Btrace.replay r ~setup:s in
+      close_in ic;
+      Alcotest.(check string) "replayed report identical" (render direct) (render replayed))
+
+(* ---------- trace-point ordering ---------- *)
+
+let test_trace_points_sorted () =
+  let o = Run.run (setup ~policy:Run.Bin_hopping ~engine:Pcolor.Runtime.Engine.Batch ()) in
+  Alcotest.(check bool) "non-empty" true (o.Run.trace <> []);
+  Alcotest.(check (list (pair int int))) "sorted by (vpage, cpu)"
+    (List.sort compare o.Run.trace) o.Run.trace
+
+let suite =
+  [
+    ( "walker",
+      [
+        Alcotest.test_case "emission matches interpreter" `Quick test_walker_matches_interpreter;
+        Alcotest.test_case "per-iteration constants" `Quick test_walker_iter_constants;
+        Alcotest.test_case "consume loop zero-alloc" `Quick test_consume_batch_no_alloc;
+        Alcotest.test_case "walker fill zero-alloc" `Quick test_walker_fill_no_alloc;
+        Alcotest.test_case "batch == interp across policies" `Quick test_engines_identical;
+        Alcotest.test_case "btrace round trip" `Quick test_btrace_roundtrip;
+        Alcotest.test_case "trace points sorted" `Quick test_trace_points_sorted;
+      ] );
+  ]
