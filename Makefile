@@ -12,12 +12,17 @@
 #                     for a hard gate), then hard-gate the batch engine
 #                     against the interpreter with `pcolor diff --exact`
 #                     (simulated metrics must be byte-identical)
+#   make timeline-check  record/replay observability-parity gate plus
+#                     the timeline-off byte-identity gate: a taped run
+#                     must yield the same artifact (timeline included)
+#                     as a live run, and attaching the sampler must not
+#                     move a single simulated counter
 #   make bench        full reproduction harness at the default scale
 
 DUNE ?= dune
 BENCH_THRESHOLD ?= 0.25
 
-.PHONY: build test bench bench-smoke bench-check clean
+.PHONY: build test bench bench-smoke bench-check timeline-check clean
 
 build:
 	$(DUNE) build
@@ -45,6 +50,25 @@ bench-check:
 	  --scale 16 --prefetch --engine=interp --metrics-out _build/engine_interp.json
 	$(DUNE) exec bin/pcolor_cli.exe -- diff _build/engine_batch.json \
 	  _build/engine_interp.json --exact
+
+timeline-check:
+	@# Replay observability-parity gate: replaying a taped run with the
+	@# same --timeline epoch must yield a byte-identical artifact
+	@# (report, metrics, attribution AND timeline sections).
+	$(DUNE) exec bin/pcolor_cli.exe -- record tomcatv --policy cdpc --cpus 4 \
+	  --scale 64 -o _build/timeline_gate.pcbt --timeline=100000 \
+	  --metrics-out _build/timeline_record.json
+	$(DUNE) exec bin/pcolor_cli.exe -- replay _build/timeline_gate.pcbt \
+	  --timeline=100000 --metrics-out _build/timeline_replay.json
+	$(DUNE) exec bin/pcolor_cli.exe -- diff _build/timeline_record.json \
+	  _build/timeline_replay.json --exact
+	@# Timeline-off byte-identity gate: attaching the sampler must not
+	@# move a single simulated counter — the artifacts must match
+	@# exactly once the timeline section itself is ignored.
+	$(DUNE) exec bin/pcolor_cli.exe -- run tomcatv --policy cdpc --cpus 4 \
+	  --scale 64 --metrics-out _build/timeline_off.json
+	$(DUNE) exec bin/pcolor_cli.exe -- diff _build/timeline_off.json \
+	  _build/timeline_record.json --exact --ignore timeline
 
 bench:
 	$(DUNE) exec bench/main.exe

@@ -107,6 +107,16 @@ let metrics_out_arg =
     & info [ "metrics-out" ] ~docv:"FILE"
         ~doc:"Write the machine-readable run artifact (report + metrics + provenance) to $(docv).")
 
+let timeline_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some Pcolor.Obs.Sampler.default_epoch_cycles) (some int) None
+    & info [ "timeline" ] ~docv:"CYCLES"
+        ~doc:
+          "Sample the full counter set every $(docv) simulated cycles (default 1000000 when \
+           given without a value) into the artifact's \"timeline\" section and, with \
+           $(b,--trace), Perfetto counter tracks. Render with $(b,pcolor timeline).")
+
 (* Observability plumbing shared by run/compare: a sink (when tracing)
    and a constructor for per-run contexts.  Each run gets its own
    registry, attribution engine and trace buffer so parallel policy
@@ -118,19 +128,24 @@ type obs_io = {
   fresh_ctx : unit -> Pcolor.Obs.Ctx.t * Pcolor.Obs.Metrics.t option;
 }
 
-let obs_io_of ~trace_path ~metrics_out ~n_colors =
+let obs_io_of ~trace_path ~metrics_out ?timeline cfg =
   let sink = Option.map (fun path -> Pcolor.Obs.Trace.open_sink ~path) trace_path in
   let fresh_ctx () =
     let metrics = if metrics_out <> None then Some (Pcolor.Obs.Metrics.create ()) else None in
     let attrib =
       if metrics_out <> None then
         Some
-          (Pcolor.Obs.Attrib.create ~n_colors
+          (Pcolor.Obs.Attrib.create ~n_colors:(Config.n_colors cfg)
              ~n_classes:(List.length Pcolor.Memsim.Mclass.all) ())
       else None
     in
+    let sampler =
+      Option.map
+        (fun epoch_cycles -> Pcolor.Memsim.Machine.sampler_for ~epoch_cycles cfg)
+        timeline
+    in
     let trace = Option.map Pcolor.Obs.Trace.buffer sink in
-    (Pcolor.Obs.Ctx.create ?metrics ?trace ?attrib (), metrics)
+    (Pcolor.Obs.Ctx.create ?metrics ?trace ?attrib ?sampler (), metrics)
   in
   { sink; fresh_ctx }
 
@@ -189,9 +204,10 @@ let list_cmd =
 (* ---- run ---- *)
 
 let run_cmd =
-  let action bench machine n_cpus scale policy prefetch seed cap engine trace_path metrics_out =
+  let action bench machine n_cpus scale policy prefetch seed cap engine trace_path metrics_out
+      timeline =
     let cfg = config_of machine n_cpus scale in
-    let io = obs_io_of ~trace_path ~metrics_out ~n_colors:(Config.n_colors cfg) in
+    let io = obs_io_of ~trace_path ~metrics_out ?timeline cfg in
     let obs, _metrics = io.fresh_ctx () in
     let setup =
       {
@@ -218,12 +234,12 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run one benchmark under one policy and print the report.")
     Term.(
       const action $ bench_arg $ machine_arg $ cpus_arg $ scale_arg $ policy_arg $ prefetch_arg
-      $ seed_arg $ cap_arg $ engine_arg $ trace_arg $ metrics_out_arg)
+      $ seed_arg $ cap_arg $ engine_arg $ trace_arg $ metrics_out_arg $ timeline_arg)
 
 (* ---- compare ---- *)
 
 let compare_cmd =
-  let action bench machine n_cpus scale prefetch seed cap engine trace_path metrics_out =
+  let action bench machine n_cpus scale prefetch seed cap engine trace_path metrics_out timeline =
     let policies =
       [
         Run.Page_coloring;
@@ -233,7 +249,7 @@ let compare_cmd =
       ]
     in
     let cfg = config_of machine n_cpus scale in
-    let io = obs_io_of ~trace_path ~metrics_out ~n_colors:(Config.n_colors cfg) in
+    let io = obs_io_of ~trace_path ~metrics_out ?timeline cfg in
     let jobs = min (Pcolor.Util.Pool.default_jobs ()) (List.length policies) in
     (* each policy is an independent simulation: fan them out across
        PCOLOR_JOBS domains (PCOLOR_JOBS=1 for strictly sequential); the
@@ -304,7 +320,7 @@ let compare_cmd =
   Cmd.v (Cmd.info "compare" ~doc:"Compare all mapping policies on one benchmark.")
     Term.(
       const action $ bench_arg $ machine_arg $ cpus_arg $ scale_arg $ prefetch_arg $ seed_arg
-      $ cap_arg $ engine_arg $ trace_arg $ metrics_out_arg)
+      $ cap_arg $ engine_arg $ trace_arg $ metrics_out_arg $ timeline_arg)
 
 (* ---- mix: multiprogrammed job mixes over one shared frame pool ---- *)
 
@@ -365,7 +381,7 @@ let mix_cmd =
              value is broadcast to every job. Default: $(b,cdpc).")
   in
   let action benches machine n_cpus scale sched_policy quantum switch_cost tlb mem_frames
-      policy_str prefetch seed cap engine trace_path metrics_out =
+      policy_str prefetch seed cap engine trace_path metrics_out timeline =
     let k = List.length benches in
     let policies =
       let names =
@@ -389,7 +405,7 @@ let mix_cmd =
         exit 2
     in
     let cfg = config_of machine n_cpus scale in
-    let io = obs_io_of ~trace_path ~metrics_out ~n_colors:(Config.n_colors cfg) in
+    let io = obs_io_of ~trace_path ~metrics_out ?timeline cfg in
     let obs, _ = io.fresh_ctx () in
     let specs =
       List.map2
@@ -477,7 +493,7 @@ let mix_cmd =
     Term.(
       const action $ benches_arg $ machine_arg $ cpus_arg $ scale_arg $ sched_arg $ quantum_arg
       $ switch_cost_arg $ tlb_arg $ mem_frames_arg $ mix_policy_arg $ prefetch_arg $ seed_arg
-      $ cap_arg $ engine_arg $ trace_arg $ metrics_out_arg)
+      $ cap_arg $ engine_arg $ trace_arg $ metrics_out_arg $ timeline_arg)
 
 (* ---- record / replay: binary reference traces ---- *)
 
@@ -488,7 +504,8 @@ let record_cmd =
       & opt (some string) None
       & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Binary trace output path.")
   in
-  let action bench machine n_cpus scale policy prefetch seed cap out =
+  let action bench machine n_cpus scale policy prefetch seed cap out trace_path metrics_out
+      timeline =
     (match policy with
     | Run.Dynamic_recoloring _ ->
       Printf.eprintf "record: dynamic recoloring depends on runtime feedback and cannot be \
@@ -510,12 +527,28 @@ let record_cmd =
     in
     let oc = open_out_bin out in
     let w = Btrace.create_writer oc header in
-    let setup = setup_of bench machine n_cpus scale policy prefetch seed cap ~trace:false in
+    let cfg = config_of machine n_cpus scale in
+    let io = obs_io_of ~trace_path ~metrics_out ?timeline cfg in
+    let obs, _ = io.fresh_ctx () in
+    let setup =
+      { (setup_of bench machine n_cpus scale policy prefetch seed cap ~trace:false) with obs }
+    in
     let o = Run.run ~recorder:(Btrace.recorder w) setup in
     Btrace.finish w;
     let bytes = pos_out oc in
     close_out oc;
     Format.printf "%a@." Report.pp o.report;
+    Option.iter
+      (fun path ->
+        let provenance =
+          Pcolor.Obs.Provenance.collect ~scale ~jobs:1 ~seed
+            ~config_hash:(Pcolor.Obs.Provenance.hash_value setup.Run.cfg)
+            ()
+        in
+        write_json_file path (Run.artifact_json ~provenance o);
+        Printf.eprintf "wrote run artifact to %s\n%!" path)
+      metrics_out;
+    close_obs io;
     Printf.eprintf "wrote %d-byte trace to %s\n%!" bytes out
   in
   Cmd.v
@@ -523,22 +556,23 @@ let record_cmd =
        ~doc:
          "Run one benchmark on the batch engine and stream every reference into a compact \
           binary trace (delta-encoded varint batches). The trace embeds its setup, so \
-          $(b,pcolor replay) needs only the file.")
+          $(b,pcolor replay) needs only the file. Observability flags ($(b,--metrics-out), \
+          $(b,--trace), $(b,--timeline)) apply to the recording run itself.")
     Term.(
       const action $ bench_arg $ machine_arg $ cpus_arg $ scale_arg $ policy_arg $ prefetch_arg
-      $ seed_arg $ cap_arg $ out_arg)
+      $ seed_arg $ cap_arg $ out_arg $ trace_arg $ metrics_out_arg $ timeline_arg)
 
 let replay_cmd =
   let file_arg =
     Arg.(
       required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Binary trace to replay.")
   in
-  let action file metrics_out =
+  let action file trace_path metrics_out timeline =
     let ic = open_in_bin file in
     let r =
       try Btrace.open_reader ic
-      with Invalid_argument msg ->
-        Printf.eprintf "%s: %s\n" file msg;
+      with Btrace.Error c ->
+        Printf.eprintf "%s: %s\n" file (Btrace.corruption_message c);
         exit 2
     in
     let h = Btrace.header r in
@@ -556,11 +590,24 @@ let replay_cmd =
         Printf.eprintf "%s: %s (trace header)\n" file m;
         exit 2
     in
+    let cfg = config_of machine h.Btrace.n_cpus h.Btrace.scale in
+    let io = obs_io_of ~trace_path ~metrics_out ?timeline cfg in
+    let obs, _ = io.fresh_ctx () in
     let setup =
-      setup_of h.Btrace.bench machine h.Btrace.n_cpus h.Btrace.scale policy h.Btrace.prefetch
-        h.Btrace.seed h.Btrace.cap ~trace:false
+      {
+        (setup_of h.Btrace.bench machine h.Btrace.n_cpus h.Btrace.scale policy h.Btrace.prefetch
+           h.Btrace.seed h.Btrace.cap ~trace:false)
+        with
+        obs;
+      }
     in
-    let o = Btrace.replay r ~setup in
+    let o =
+      try Btrace.replay r ~setup
+      with Btrace.Error c ->
+        Printf.eprintf "%s: %s\n" file (Btrace.corruption_message c);
+        close_obs io;
+        exit 2
+    in
     close_in ic;
     Printf.printf "replaying %s: %s on %s, %d CPUs, scale 1/%d, policy %s%s%s\n" file
       h.Btrace.bench h.Btrace.machine h.Btrace.n_cpus h.Btrace.scale h.Btrace.policy
@@ -576,15 +623,18 @@ let replay_cmd =
         in
         write_json_file path (Run.artifact_json ~provenance o);
         Printf.eprintf "wrote replay artifact to %s\n%!" path)
-      metrics_out
+      metrics_out;
+    close_obs io;
+    Option.iter (fun path -> Printf.eprintf "wrote trace to %s\n%!" path) trace_path
   in
   Cmd.v
     (Cmd.info "replay"
        ~doc:
          "Re-simulate a recorded binary trace: the reference stream comes off the file in \
           bounded batches (never materialized), and the counters come out byte-identical to \
-          the recorded run.")
-    Term.(const action $ file_arg $ metrics_out_arg)
+          the recorded run. Observability flags ($(b,--metrics-out), $(b,--trace), \
+          $(b,--timeline)) produce the same artifact sections a live run would.")
+    Term.(const action $ file_arg $ trace_arg $ metrics_out_arg $ timeline_arg)
 
 (* ---- pattern (Figures 3 and 5) ---- *)
 
@@ -747,6 +797,23 @@ let artifact_pos_arg ~at ~docv ~doc =
 let schema_of artifact =
   Option.bind (Pcolor.Obs.Json.member "schema_version" artifact) Pcolor.Obs.Json.to_int_opt
 
+let epoch_range_conv =
+  let parse s =
+    let int_of t =
+      match int_of_string_opt (String.trim t) with
+      | Some v -> Ok v
+      | None -> Error (`Msg (Printf.sprintf "bad epoch %S (expected LO-HI or N)" t))
+    in
+    match String.index_opt s '-' with
+    | Some i ->
+      Result.bind (int_of (String.sub s 0 i)) (fun lo ->
+          Result.map
+            (fun hi -> (lo, hi))
+            (int_of (String.sub s (i + 1) (String.length s - i - 1))))
+    | None -> Result.map (fun v -> (v, v)) (int_of s)
+  in
+  Arg.conv (parse, fun fmt (lo, hi) -> Format.fprintf fmt "%d-%d" lo hi)
+
 let explain_cmd =
   let top_arg =
     Arg.(value & opt int 10 & info [ "top" ] ~docv:"K" ~doc:"Rows in the pair/set tables.")
@@ -756,25 +823,99 @@ let explain_cmd =
       value & opt int 16
       & info [ "pages" ] ~docv:"N" ~doc:"Rows in the per-page decision listing.")
   in
-  let action path top page_rows =
+  let at_arg =
+    Arg.(
+      value
+      & opt (some epoch_range_conv) None
+      & info [ "at" ] ~docv:"LO-HI"
+          ~doc:
+            "Explain one epoch range of the artifact's \"timeline\" section (inclusive; a \
+             single epoch $(b,N) also works) instead of the whole-run audit view.  Requires an \
+             artifact produced with $(b,--timeline).")
+  in
+  let action path top page_rows at =
     let artifact = read_artifact path in
     (match schema_of artifact with
     | Some v when v <> Pcolor.Obs.Provenance.schema_version ->
       Printf.eprintf "warning: %s has artifact schema v%d, this binary writes v%d\n%!" path v
         Pcolor.Obs.Provenance.schema_version
     | _ -> ());
-    print_string (Pcolor.Stats.Explain.render ~top ~page_rows artifact)
+    match at with
+    | None -> print_string (Pcolor.Stats.Explain.render ~top ~page_rows artifact)
+    | Some (lo, hi) -> (
+      match Pcolor.Stats.Phases.of_artifact artifact with
+      | Error msg ->
+        Printf.eprintf "%s: %s\n" path msg;
+        exit 2
+      | Ok tl -> (
+        try print_string (Pcolor.Stats.Phases.render_window tl ~lo ~hi)
+        with Invalid_argument msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 2))
   in
   Cmd.v
     (Cmd.info "explain"
        ~doc:
          "Render a run artifact's audit sections: top conflicting page pairs, per-array \
           miss-class bars, color-occupancy heatmap, and the CDPC (§5.2) decision log.  Produce \
-          artifacts with $(b,pcolor run --metrics-out).")
+          artifacts with $(b,pcolor run --metrics-out).  With $(b,--at=LO-HI), zoom into one \
+          epoch range of the timeline instead.")
     Term.(
       const action
       $ artifact_pos_arg ~at:0 ~docv:"ARTIFACT" ~doc:"Run artifact (JSON) to explain."
-      $ top_arg $ pages_arg)
+      $ top_arg $ pages_arg $ at_arg)
+
+(* ---- timeline: render the cycle-epoch sampling section ---- *)
+
+let timeline_cmd =
+  let job_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "job" ] ~docv:"ASID" ~doc:"Restrict the series to one job's rows (mix artifacts).")
+  in
+  let window_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "window" ] ~docv:"EPOCHS" ~doc:"Change-point detector window (epochs per side).")
+  in
+  let threshold_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "threshold" ] ~docv:"SCORE"
+          ~doc:"Change-point significance threshold (mean shift / pooled deviation).")
+  in
+  let action path job window threshold =
+    let artifact = read_artifact path in
+    match Pcolor.Stats.Phases.of_artifact artifact with
+    | Error msg ->
+      Printf.eprintf "%s: %s\n" path msg;
+      exit 2
+    | Ok tl ->
+      (match job with
+      | None -> print_string (Pcolor.Stats.Phases.render tl)
+      | Some j ->
+        let module P = Pcolor.Stats.Phases in
+        let miss = P.miss_series ~job:j tl in
+        Printf.printf "job %d l2-miss   %s\n" j (Pcolor.Util.Chart.sparkline miss);
+        Printf.printf "job %d conflict  %s\n" j
+          (Pcolor.Util.Chart.sparkline (P.conflict_series ~job:j tl));
+        List.iter
+          (fun (c : P.change) ->
+            Printf.printf "  transition @ epoch %d: %.1f -> %.1f (score %.1f)\n" c.epoch
+              c.before c.after c.score)
+          (P.detect ~window ~threshold miss))
+  in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:
+         "Render an artifact's \"timeline\" section: per-epoch sparklines of the miss, \
+          conflict-pressure and stall series, detected phase transitions, the per-job split \
+          and the context-switch log.  Produce artifacts with $(b,--timeline --metrics-out).")
+    Term.(
+      const action
+      $ artifact_pos_arg ~at:0 ~docv:"ARTIFACT" ~doc:"Run or mix artifact (JSON) with a timeline."
+      $ job_arg $ window_arg $ threshold_arg)
 
 let diff_cmd =
   let threshold_arg =
@@ -799,19 +940,27 @@ let diff_cmd =
              label changes, added/removed sections (provenance still skipped). The \
              engine-equivalence gate.")
   in
-  let action a_path b_path threshold warn_only exact =
+  let ignore_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "ignore" ] ~docv:"KEY"
+          ~doc:
+            "Skip object key $(docv) everywhere in both artifacts (repeatable), e.g. \
+             $(b,--ignore timeline) to compare a sampled run against an unsampled baseline.")
+  in
+  let action a_path b_path threshold warn_only exact ignore =
     let a = read_artifact a_path and b = read_artifact b_path in
     (match (schema_of a, schema_of b) with
     | Some va, Some vb when va <> vb ->
       Printf.eprintf "warning: schema v%d vs v%d — added/removed sections diff as structural\n%!"
         va vb
     | _ -> ());
-    let d = Pcolor.Stats.Delta.diff ~threshold a b in
+    let d = Pcolor.Stats.Delta.diff ~threshold ~ignore a b in
     print_string (Pcolor.Stats.Delta.render d);
     (* per-array deltas: the raw hot lists are rankings, so they are
        aggregated by array name before pairing *)
     let dpa =
-      Pcolor.Stats.Delta.diff ~threshold
+      Pcolor.Stats.Delta.diff ~threshold ~ignore
         (Pcolor.Stats.Explain.per_array_rollup a)
         (Pcolor.Stats.Explain.per_array_rollup b)
     in
@@ -851,7 +1000,7 @@ let diff_cmd =
       const action
       $ artifact_pos_arg ~at:0 ~docv:"OLD" ~doc:"Baseline artifact (JSON)."
       $ artifact_pos_arg ~at:1 ~docv:"NEW" ~doc:"Candidate artifact (JSON)."
-      $ threshold_arg $ warn_only_arg $ exact_arg)
+      $ threshold_arg $ warn_only_arg $ exact_arg $ ignore_arg)
 
 (* ---- version ---- *)
 
@@ -876,5 +1025,6 @@ let () =
           (Cmd.info "pcolor" ~doc ~version:(version_string ()))
           [
             list_cmd; run_cmd; compare_cmd; mix_cmd; record_cmd; replay_cmd; pattern_cmd;
-            hints_cmd; summary_cmd; run_file_cmd; dump_cmd; explain_cmd; diff_cmd; version_cmd;
+            hints_cmd; summary_cmd; run_file_cmd; dump_cmd; explain_cmd; timeline_cmd; diff_cmd;
+            version_cmd;
           ]))

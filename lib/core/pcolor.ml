@@ -114,6 +114,7 @@ module Stats = struct
   module Spec_ratio = Pcolor_stats.Spec_ratio
   module Delta = Pcolor_stats.Delta
   module Explain = Pcolor_stats.Explain
+  module Phases = Pcolor_stats.Phases
 end
 
 module Obs = struct
@@ -124,6 +125,7 @@ module Obs = struct
   module Ctx = Pcolor_obs.Ctx
   module Attrib = Pcolor_obs.Attrib
   module Log = Pcolor_obs.Log
+  module Sampler = Pcolor_obs.Sampler
 end
 
 (** One-call experiment helpers. *)

@@ -110,7 +110,45 @@ type t = {
   sample_miss_stall : Pcolor_obs.Metrics.histogram option;
       (* per-miss stall histogram; allocated only under the
          PCOLOR_OBS_SAMPLE knob so the hot path stays one branch *)
+  sampler : Pcolor_obs.Sampler.t option;
+      (* cycle-epoch counter timeline (--timeline); epoch boundaries are
+         checked per innermost iteration group, per reference in the
+         interpreter and at barriers — never inside a reference *)
+  n_colors : int;
+  sampler_colors : int array;
+      (* cumulative conflict misses per page color; fed at the l2-miss
+         classification site only when a sampler is attached *)
 }
+
+(* The per-CPU counter columns of a timeline row, in [fill_scratch]
+   order.  The names match the summed [publish_metrics] registry names
+   (without the "memsim." prefix) so rows reconcile against the
+   aggregate snapshot by name. *)
+let counter_columns =
+  [ "instructions"; "l1_hits"; "l1_misses"; "l2_hits" ]
+  @ List.map (fun c -> "l2_miss." ^ Mclass.to_string c) Mclass.all
+  @ [ "stall.onchip_cycles" ]
+  @ List.map (fun c -> "stall." ^ Mclass.to_string c ^ "_cycles") Mclass.all
+  @ [
+      "stall.prefetch_late_cycles";
+      "stall.prefetch_full_cycles";
+      "kernel_cycles";
+      "tlb_misses";
+      "page_fault_cycles";
+      "prefetch.issued";
+      "prefetch.dropped_tlb";
+      "prefetch.useless";
+      "prefetch.useful";
+    ]
+
+let n_counter_columns = List.length counter_columns
+
+(** [sampler_for ?epoch_cycles cfg] dimensions a timeline sampler for
+    [cfg]: the full per-CPU counter set plus the machine-wide bus
+    categories and per-color conflict pressure. *)
+let sampler_for ?epoch_cycles (cfg : Config.t) =
+  Pcolor_obs.Sampler.create ?epoch_cycles ~n_cpus:cfg.n_cpus ~n_counters:n_counter_columns
+    ~n_global:(3 + Config.n_colors cfg) ()
 
 (** [create ?obs cfg] builds an empty machine.  [obs] (default
     disabled) attaches the observability context: page faults become
@@ -154,6 +192,19 @@ let create ?(obs = Pcolor_obs.Ctx.disabled) (cfg : Config.t) =
           (Pcolor_obs.Metrics.histogram reg "memsim.sampled.miss_stall_cycles"
              ~bounds:[| 16; 64; 256; 1024; 4096; 16384 |])
       | _ -> None);
+    sampler =
+      (match Pcolor_obs.Ctx.sampler obs with
+      | None -> None
+      | Some sm ->
+        let module S = Pcolor_obs.Sampler in
+        if
+          S.n_cpus sm <> cfg.n_cpus
+          || S.n_counters sm <> n_counter_columns
+          || S.n_global sm <> 3 + Config.n_colors cfg
+        then invalid_arg "Machine.create: sampler dimensions do not match the machine (use sampler_for)";
+        Some sm);
+    n_colors = Config.n_colors cfg;
+    sampler_colors = Array.make (Config.n_colors cfg) 0;
   }
 
 (** [config t] is the machine's configuration. *)
@@ -296,7 +347,16 @@ let l2_miss t c ~vaddr ~paddr ~pline ~write ~fa_hit ~evicted ~evicted_dirty =
   | None -> ());
   (* single-probe upsert (the Hashtbl version paid a find_opt plus a
      replace, re-hashing the key and allocating a [Some] each time) *)
-  if cls = Conflict then Pcolor_util.Itab.add t.conflict_by_frame (paddr lsr t.page_bits) 1;
+  if cls = Conflict then begin
+    Pcolor_util.Itab.add t.conflict_by_frame (paddr lsr t.page_bits) 1;
+    (* per-color conflict pressure for the timeline: same site, so
+       color sums reconcile exactly with the conflict-class counter *)
+    match t.sampler with
+    | Some _ ->
+      let color = (paddr lsr t.page_bits) mod t.n_colors in
+      t.sampler_colors.(color) <- t.sampler_colors.(color) + 1
+    | None -> ()
+  end;
   (* latency and bus occupancy *)
   let base = if Directory.v_remote_dirty verdict then t.cfg.remote_cycles else t.cfg.mem_cycles in
   s.stall_by_class.(Mclass.index cls) <- s.stall_by_class.(Mclass.index cls) + base;
@@ -463,6 +523,119 @@ let prefetch_cpu t c ~vaddr =
     A fifth outstanding prefetch stalls the CPU until a slot frees. *)
 let prefetch t ~cpu ~vaddr = prefetch_cpu t t.cpus.(cpu) ~vaddr
 
+(* ---- cycle-epoch timeline sampling ---------------------------------- *)
+
+(** [has_sampler t] lets callers hoist the timeline check out of their
+    hot loops. *)
+let has_sampler t = match t.sampler with Some _ -> true | None -> false
+
+(** [sampler t] exposes the attached timeline sampler. *)
+let sampler t = t.sampler
+
+(* Fill the sampler scratch buffer with CPU [c]'s cumulative counters
+   ([counter_columns] order) followed by the machine-wide columns (bus
+   categories, then per-color conflict pressure). *)
+let fill_scratch t c (buf : int array) =
+  let s = c.stats in
+  buf.(0) <- s.instructions;
+  buf.(1) <- s.l1_hits;
+  buf.(2) <- s.l1_misses;
+  buf.(3) <- s.l2_hits;
+  Array.blit s.l2_miss_counts 0 buf 4 (Array.length s.l2_miss_counts);
+  buf.(9) <- s.stall_onchip;
+  Array.blit s.stall_by_class 0 buf 10 (Array.length s.stall_by_class);
+  buf.(15) <- s.stall_pf_late;
+  buf.(16) <- s.stall_pf_full;
+  buf.(17) <- s.kernel_cycles;
+  buf.(18) <- s.tlb_misses;
+  buf.(19) <- s.page_fault_cycles;
+  buf.(20) <- s.pf_issued;
+  buf.(21) <- s.pf_dropped_tlb;
+  buf.(22) <- s.pf_useless;
+  buf.(23) <- s.pf_useful;
+  let data, wb, upg = Bus.categories t.bus in
+  buf.(24) <- data;
+  buf.(25) <- wb;
+  buf.(26) <- upg;
+  Array.blit t.sampler_colors 0 buf 27 t.n_colors
+
+let commit_sample t sm c =
+  fill_scratch t c (Pcolor_obs.Sampler.scratch sm);
+  Pcolor_obs.Sampler.commit sm ~cpu:c.id ~time:c.time
+
+(** [sample_point t ~cpu] checks [cpu]'s epoch boundary and commits a
+    timeline row when it has been crossed.  Callers place this at the
+    engine-identical points of the reference stream: per innermost
+    iteration and per barrier arrival. *)
+let sample_point t ~cpu =
+  match t.sampler with
+  | None -> ()
+  | Some sm ->
+    let c = t.cpus.(cpu) in
+    if Pcolor_obs.Sampler.due sm ~cpu ~time:c.time then commit_sample t sm c
+
+(** [sample_flush t] commits one final partial row per CPU so the
+    timeline's column sums telescope exactly to the end-of-run
+    aggregate counters (the reconciliation invariant).  Idempotent. *)
+let sample_flush t =
+  match t.sampler with
+  | None -> ()
+  | Some sm ->
+    if not (Pcolor_obs.Sampler.flushed sm) then begin
+      Array.iter (fun c -> commit_sample t sm c) t.cpus;
+      Pcolor_obs.Sampler.set_flushed sm
+    end
+
+(** [timeline_columns t] names every column of a timeline row, header
+    included. *)
+let timeline_columns t =
+  [ "epoch"; "cpu"; "job"; "time" ]
+  @ counter_columns
+  @ [ "bus.data_cycles"; "bus.writeback_cycles"; "bus.upgrade_cycles" ]
+  @ List.init t.n_colors (fun i -> "conflict.color." ^ string_of_int i)
+
+(** [timeline_json t] is the schema-v4 ["timeline"] artifact section,
+    when a sampler is attached (callers run {!sample_flush} first). *)
+let timeline_json t =
+  match t.sampler with
+  | None -> None
+  | Some sm -> Some (Pcolor_obs.Sampler.to_json ~columns:(timeline_columns t) sm)
+
+(** [emit_timeline_counters t buf] renders the committed timeline as
+    Chrome [counterEvent]s ("l2-miss" per-class series and a
+    "pressure" track) so it opens in Perfetto next to the span view. *)
+let emit_timeline_counters t buf =
+  match t.sampler with
+  | None -> ()
+  | Some sm ->
+    let module S = Pcolor_obs.Sampler in
+    let h = S.header_width in
+    let miss0 = h + 4 in
+    let gl0 = h + n_counter_columns in
+    S.iter_rows sm (fun r ->
+        let cpu = S.cell sm ~row:r ~col:1 in
+        let time = S.cell sm ~row:r ~col:3 in
+        let miss_args =
+          List.mapi
+            (fun i cls -> (Mclass.to_string cls, Pcolor_obs.Json.Int (S.cell sm ~row:r ~col:(miss0 + i))))
+            Mclass.all
+        in
+        Pcolor_obs.Trace.counter buf ~ts:time ~tid:cpu ~cat:"timeline" ~args:miss_args "l2-miss";
+        let bus_busy =
+          S.cell sm ~row:r ~col:gl0 + S.cell sm ~row:r ~col:(gl0 + 1) + S.cell sm ~row:r ~col:(gl0 + 2)
+        in
+        let pressure = ref 0 in
+        for i = 0 to t.n_colors - 1 do
+          pressure := !pressure + S.cell sm ~row:r ~col:(gl0 + 3 + i)
+        done;
+        Pcolor_obs.Trace.counter buf ~ts:time ~tid:cpu ~cat:"timeline"
+          ~args:
+            [
+              ("conflict_pressure", Pcolor_obs.Json.Int !pressure);
+              ("bus_busy", Pcolor_obs.Json.Int bus_busy);
+            ]
+          "pressure")
+
 (** [consume_batch t ~cpu ~translate ~data ~len ~nrefs ~instr_per_iter
     ~extra_onchip_stall] is the batched access entry point: the fused
     prefetch/access/tick loop over a packed reference batch (layout of
@@ -478,24 +651,51 @@ let consume_batch t ~cpu ~translate ~data ~len ~nrefs ~instr_per_iter ~extra_onc
   let s = c.stats in
   let stride = 2 * nrefs in
   if len mod stride <> 0 then invalid_arg "Machine.consume_batch: partial innermost iteration";
-  let k = ref 0 in
-  while !k < len do
-    let stop = !k + stride in
-    while !k < stop do
-      let w0 = Array.unsafe_get data !k in
-      let pf = Array.unsafe_get data (!k + 1) in
-      let vaddr = w0 asr 1 in
-      if pf <> 0 then prefetch_cpu t c ~vaddr:(vaddr + pf);
-      access_cpu t c ~vaddr ~write:(w0 land 1 <> 0) ~translate;
-      k := !k + 2
-    done;
-    c.time <- c.time + instr_per_iter;
-    s.instructions <- s.instructions + instr_per_iter;
-    if extra_onchip_stall > 0 then begin
-      c.time <- c.time + extra_onchip_stall;
-      s.stall_onchip <- s.stall_onchip + extra_onchip_stall
-    end
-  done
+  match t.sampler with
+  | None ->
+    let k = ref 0 in
+    while !k < len do
+      let stop = !k + stride in
+      while !k < stop do
+        let w0 = Array.unsafe_get data !k in
+        let pf = Array.unsafe_get data (!k + 1) in
+        let vaddr = w0 asr 1 in
+        if pf <> 0 then prefetch_cpu t c ~vaddr:(vaddr + pf);
+        access_cpu t c ~vaddr ~write:(w0 land 1 <> 0) ~translate;
+        k := !k + 2
+      done;
+      c.time <- c.time + instr_per_iter;
+      s.instructions <- s.instructions + instr_per_iter;
+      if extra_onchip_stall > 0 then begin
+        c.time <- c.time + extra_onchip_stall;
+        s.stall_onchip <- s.stall_onchip + extra_onchip_stall
+      end
+    done
+  | Some sm ->
+    (* instrumented copy of the loop above: the epoch boundary is
+       checked once per innermost iteration group, exactly where the
+       interpreter checks once per iteration — so both engines (and
+       trace replay, which shares this loop) commit identical rows.
+       The duplication keeps the timeline-off hot path branch-free. *)
+    let k = ref 0 in
+    while !k < len do
+      let stop = !k + stride in
+      while !k < stop do
+        let w0 = Array.unsafe_get data !k in
+        let pf = Array.unsafe_get data (!k + 1) in
+        let vaddr = w0 asr 1 in
+        if pf <> 0 then prefetch_cpu t c ~vaddr:(vaddr + pf);
+        access_cpu t c ~vaddr ~write:(w0 land 1 <> 0) ~translate;
+        k := !k + 2
+      done;
+      c.time <- c.time + instr_per_iter;
+      s.instructions <- s.instructions + instr_per_iter;
+      if extra_onchip_stall > 0 then begin
+        c.time <- c.time + extra_onchip_stall;
+        s.stall_onchip <- s.stall_onchip + extra_onchip_stall
+      end;
+      if Pcolor_obs.Sampler.due sm ~cpu ~time:c.time then commit_sample t sm c
+    done
 
 (** [harvest_conflicts t ~min_count] returns frames that took at least
     [min_count] conflict misses since the last harvest, hottest first,
@@ -610,6 +810,11 @@ let reset_stats t =
     t.cpus;
   Bus.reset t.bus;
   Pcolor_util.Itab.reset t.conflict_by_frame;
+  Array.fill t.sampler_colors 0 (Array.length t.sampler_colors) 0;
+  (* the timeline, like the attribution tables below, describes the
+     measured pass only: warm-up rows are discarded and every epoch
+     boundary re-arms against the rebased clocks *)
+  (match t.sampler with Some sm -> Pcolor_obs.Sampler.reset sm | None -> ());
   (* the attribution tables describe the measured pass only, like every
      other statistic this function discards *)
   match t.attrib with Some a -> Pcolor_obs.Attrib.reset a | None -> ()

@@ -111,6 +111,50 @@ val consume_batch :
   extra_onchip_stall:int ->
   unit
 
+(** {2 Cycle-epoch timeline sampling}
+
+    A {!Pcolor_obs.Sampler.t} attached through the observability
+    context turns the machine into a timeline producer: epoch
+    boundaries are checked per innermost iteration group (inside
+    {!consume_batch}; the interpreter and the barrier path call
+    {!sample_point} at the matching stream positions) and each crossing
+    commits one delta row of the full counter set plus the machine-wide
+    bus categories and per-color conflict pressure. *)
+
+(** [sampler_for ?epoch_cycles cfg] builds a sampler dimensioned for
+    [cfg] ([epoch_cycles] defaults to
+    {!Pcolor_obs.Sampler.default_epoch_cycles}); {!create} rejects a
+    sampler whose dimensions don't match the machine. *)
+val sampler_for : ?epoch_cycles:int -> Config.t -> Pcolor_obs.Sampler.t
+
+(** [has_sampler t] is true when a timeline sampler is attached (hoist
+    this out of hot loops). *)
+val has_sampler : t -> bool
+
+(** [sampler t] exposes the attached sampler. *)
+val sampler : t -> Pcolor_obs.Sampler.t option
+
+(** [sample_point t ~cpu] commits a timeline row iff [cpu]'s clock
+    crossed its next epoch boundary; a no-op without a sampler. *)
+val sample_point : t -> cpu:int -> unit
+
+(** [sample_flush t] commits one final partial row per CPU (once), so
+    column sums over all rows equal the end-of-run aggregates. *)
+val sample_flush : t -> unit
+
+(** [timeline_columns t] names every timeline column:
+    [epoch; cpu; job; time], the per-CPU counter set, bus categories,
+    and [conflict.color.N]. *)
+val timeline_columns : t -> string list
+
+(** [timeline_json t] is the schema-v4 ["timeline"] artifact section
+    ([None] without a sampler); call {!sample_flush} first. *)
+val timeline_json : t -> Pcolor_obs.Json.t option
+
+(** [emit_timeline_counters t buf] renders committed rows as Chrome
+    counter events ("l2-miss" and "pressure" tracks) into [buf]. *)
+val emit_timeline_counters : t -> Pcolor_obs.Trace.buffer -> unit
+
 (** [harvest_conflicts t ~min_count] returns frames with at least
     [min_count] conflict misses since the last harvest (hottest first)
     and resets the counters — feedback for dynamic recoloring. *)

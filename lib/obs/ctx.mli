@@ -8,6 +8,7 @@ type t = {
   metrics : Metrics.t option;  (** per-run registry, snapshotted after the run *)
   trace : Trace.buffer option;  (** private event buffer (own trace pid) *)
   attrib : Attrib.t option;  (** conflict-attribution engine (miss path only) *)
+  sampler : Sampler.t option;  (** cycle-epoch counter timeline ([--timeline]) *)
   sample : bool;  (** enable per-event histograms on the simulator hot path *)
 }
 
@@ -15,10 +16,16 @@ type t = {
     sampling. *)
 val disabled : t
 
-(** [create ?metrics ?trace ?attrib ?sample ()] builds a context;
-    [sample] defaults to {!sample_from_env}. *)
+(** [create ?metrics ?trace ?attrib ?sampler ?sample ()] builds a
+    context; [sample] defaults to {!sample_from_env}. *)
 val create :
-  ?metrics:Metrics.t -> ?trace:Trace.buffer -> ?attrib:Attrib.t -> ?sample:bool -> unit -> t
+  ?metrics:Metrics.t ->
+  ?trace:Trace.buffer ->
+  ?attrib:Attrib.t ->
+  ?sampler:Sampler.t ->
+  ?sample:bool ->
+  unit ->
+  t
 
 (** [sample_from_env ()] is true when [PCOLOR_OBS_SAMPLE] is set to
     [1]/[true]/[on] — the opt-in knob for per-reference signals. *)
@@ -27,12 +34,14 @@ val sample_from_env : unit -> bool
 (** [enabled t] is true when any instrument is attached. *)
 val enabled : t -> bool
 
-(** [metrics t] / [trace t] / [attrib t] accessors. *)
+(** [metrics t] / [trace t] / [attrib t] / [sampler t] accessors. *)
 val metrics : t -> Metrics.t option
 
 val trace : t -> Trace.buffer option
 
 val attrib : t -> Attrib.t option
+
+val sampler : t -> Sampler.t option
 
 (** [flush t] drains the trace buffer to its sink, if any. *)
 val flush : t -> unit

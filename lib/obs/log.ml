@@ -1,5 +1,48 @@
 let src = Logs.Src.create "pcolor" ~doc:"page-coloring runtime diagnostics"
 
+(* One id per process, minted lazily so runs that never log pay
+   nothing.  Combined with the per-line sequence number it lets
+   interleaved multi-job diagnostics (mix runs, parallel compare) be
+   attributed to a run and ordered against timeline epochs. *)
+let run_id_state = ref None
+
+let run_id () =
+  match !run_id_state with
+  | Some id -> id
+  | None ->
+    let id =
+      Printf.sprintf "%08x"
+        (Hashtbl.hash (Unix.gettimeofday (), Unix.getpid ()) land 0xffffffff)
+    in
+    run_id_state := Some id;
+    id
+
+let seq = Atomic.make 0
+
+let level_label = function
+  | Logs.App -> "app"
+  | Logs.Error -> "error"
+  | Logs.Warning -> "warn"
+  | Logs.Info -> "info"
+  | Logs.Debug -> "debug"
+
+(* Like Logs.format_reporter but every line leads with
+   "[<run-id> #<seq>]" so interleaved streams can be correlated. *)
+let reporter () =
+  let report _src level ~over k msgf =
+    let n = Atomic.fetch_and_add seq 1 in
+    msgf (fun ?header:_ ?tags:_ fmt ->
+        Format.kfprintf
+          (fun ppf ->
+            Format.pp_print_flush ppf ();
+            over ();
+            k ())
+          Format.err_formatter
+          ("[%s #%d] %s: @[" ^^ fmt ^^ "@]@.")
+          (run_id ()) n (level_label level))
+  in
+  { Logs.report }
+
 let init () =
   match Sys.getenv_opt "PCOLOR_LOG" with
   | None -> ()
@@ -16,4 +59,4 @@ let init () =
         Some Logs.Info
     in
     Logs.set_level ~all:true level;
-    Logs.set_reporter (Logs.format_reporter ~app:Fmt.stderr ~dst:Fmt.stderr ())
+    Logs.set_reporter (reporter ())

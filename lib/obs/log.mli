@@ -3,10 +3,19 @@
     All pcolor libraries log through {!src}; nothing is printed unless
     {!init} finds [PCOLOR_LOG] set (so default runs stay byte-identical
     and pay only a level check per log point).  Levels:
-    [PCOLOR_LOG=debug|info|warn|error|quiet]. *)
+    [PCOLOR_LOG=debug|info|warn|error|quiet].
+
+    Every emitted line is prefixed ["[<run-id> #<seq>] <level>:"] — a
+    stable per-process run id plus a monotonic sequence number — so
+    interleaved multi-job logs can be correlated with each other and
+    with timeline epochs. *)
 
 (** The shared log source ("pcolor"). *)
 val src : Logs.src
+
+(** [run_id ()] is this process's diagnostic run id (minted on first
+    use; stable for the process lifetime). *)
+val run_id : unit -> string
 
 (** [init ()] reads [PCOLOR_LOG] and, when set, installs a stderr
     reporter at the requested level.  Unknown level strings warn on

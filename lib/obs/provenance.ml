@@ -2,8 +2,11 @@
    sections (both optional).
    v3: mix artifacts ("mix"/"aggregate"/"per_job" sections, pcolor
    mix) join the run artifacts; attribution may span several address
-   spaces. *)
-let schema_version = 3
+   spaces.
+   v4: optional "timeline" section (cycle-epoch delta rows + context-
+   switch events, --timeline); replay artifacts carry the same
+   sections as live runs. *)
+let schema_version = 4
 
 type t = {
   timestamp : string;

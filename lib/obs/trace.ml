@@ -40,6 +40,8 @@ let duration_end buf ~ts ~tid ?cat name = event buf ~ph:"E" ~ts ~tid ?cat name
 
 let instant buf ~ts ~tid ?cat ?args name = event buf ~ph:"i" ~ts ~tid ?cat ?args name
 
+let counter buf ~ts ~tid ?cat ~args name = event buf ~ph:"C" ~ts ~tid ?cat ~args name
+
 let metadata buf ~tid ~name value =
   event buf ~ph:"M" ~ts:0 ~tid ~args:[ ("name", Json.Str value) ] name
 

@@ -39,6 +39,11 @@ val duration_end : buffer -> ts:int -> tid:int -> ?cat:string -> string -> unit
     ([ph:"i"]), with optional argument payload. *)
 val instant : buffer -> ts:int -> tid:int -> ?cat:string -> ?args:(string * Json.t) list -> string -> unit
 
+(** [counter buf ~ts ~tid ~args name] emits a counter sample
+    ([ph:"C"]); [args] must be a flat numeric dictionary — each key
+    becomes a series on the counter track [name] in Perfetto. *)
+val counter : buffer -> ts:int -> tid:int -> ?cat:string -> args:(string * Json.t) list -> string -> unit
+
 (** [process_name buf name] / [thread_name buf ~tid name] emit the
     metadata events viewers use to label timeline rows. *)
 val process_name : buffer -> string -> unit

@@ -17,7 +17,13 @@
     CDPC hints and frame placement reproduce), then consumes the tape
     through {!Pcolor_memsim.Machine.consume_batch} and the engine's own
     {!Engine.barrier_step} / {!Engine.contention_settle} arithmetic —
-    counters come out byte-identical to the recorded run. *)
+    counters come out byte-identical to the recorded run.  The
+    observability context in the replay setup is honored in full:
+    metrics, phase spans, attribution and the timeline all reproduce,
+    so a taped run yields the same artifact sections as a live one.
+
+    Malformed input raises the typed {!Error} exception (never a bare
+    [Failure] and never silently-garbage counters). *)
 
 module M = Pcolor_memsim.Machine
 module Walker = Pcolor_comp.Walker
@@ -40,6 +46,26 @@ let magic = "PCBT"
 let version = 1
 
 (* ------------------------------------------------------------------ *)
+(* Typed errors *)
+
+type corruption =
+  | Bad_magic of string  (** the file doesn't start with "PCBT" *)
+  | Bad_version of { found : int; expected : int }
+  | Truncated of string  (** unexpected EOF; payload names the region *)
+  | Corrupt of string  (** structurally invalid content *)
+
+exception Error of corruption
+
+let corruption_message = function
+  | Bad_magic m -> Printf.sprintf "not a pcolor binary trace (magic %S)" m
+  | Bad_version { found; expected } ->
+    Printf.sprintf "trace format version %d, expected %d" found expected
+  | Truncated region -> Printf.sprintf "truncated trace: %s" region
+  | Corrupt what -> Printf.sprintf "corrupt trace: %s" what
+
+let fail c = raise (Error c)
+
+(* ------------------------------------------------------------------ *)
 (* Varint codec: LEB128 on OCaml's 63-bit ints, zigzag for signed. *)
 
 let zigzag n = (n lsl 1) lxor (n asr 62)
@@ -58,6 +84,7 @@ let write_varint oc n =
 let read_varint ic =
   let n = ref 0 and shift = ref 0 and continue = ref true in
   while !continue do
+    if !shift > 62 then fail (Corrupt "varint wider than 63 bits");
     let b = input_byte ic in
     n := !n lor ((b land 0x7f) lsl !shift);
     shift := !shift + 7;
@@ -71,6 +98,7 @@ let write_string oc s =
 
 let read_string ic =
   let len = read_varint ic in
+  if len > 1 lsl 20 then fail (Corrupt "unreasonable string length");
   really_input_string ic len
 
 (* Event tags. *)
@@ -102,7 +130,7 @@ let kind_of_code = function
   | 0 -> Ir.Parallel { policy = Pcolor_comp.Partition.Even; direction = Pcolor_comp.Partition.Forward }
   | 1 -> Ir.Sequential
   | 2 -> Ir.Suppressed
-  | c -> invalid_arg (Printf.sprintf "Btrace: bad barrier kind code %d" c)
+  | c -> fail (Corrupt (Printf.sprintf "bad barrier kind code %d" c))
 
 (* ------------------------------------------------------------------ *)
 (* Writer *)
@@ -191,42 +219,101 @@ let finish w =
 type reader = { ic : in_channel; hdr : header }
 
 let open_reader ic =
-  let m = really_input_string ic (String.length magic) in
-  if m <> magic then invalid_arg "Btrace.open_reader: not a pcolor binary trace";
-  let v = input_byte ic in
-  if v <> version then
-    invalid_arg (Printf.sprintf "Btrace.open_reader: trace version %d, expected %d" v version);
-  let bench = read_string ic in
-  let machine = read_string ic in
-  let n_cpus = read_varint ic in
-  let scale = read_varint ic in
-  let policy = read_string ic in
-  let prefetch = input_byte ic <> 0 in
-  let seed = read_varint ic in
-  let cap = read_varint ic in
-  let provenance = read_string ic in
-  { ic; hdr = { bench; machine; n_cpus; scale; policy; prefetch; seed; cap; provenance } }
+  try
+    let m = really_input_string ic (String.length magic) in
+    if m <> magic then fail (Bad_magic m);
+    let v = input_byte ic in
+    if v <> version then fail (Bad_version { found = v; expected = version });
+    let bench = read_string ic in
+    let machine = read_string ic in
+    let n_cpus = read_varint ic in
+    let scale = read_varint ic in
+    let policy = read_string ic in
+    let prefetch = input_byte ic <> 0 in
+    let seed = read_varint ic in
+    let cap = read_varint ic in
+    let provenance = read_string ic in
+    { ic; hdr = { bench; machine; n_cpus; scale; policy; prefetch; seed; cap; provenance } }
+  with End_of_file -> fail (Truncated "header")
 
 let header r = r.hdr
 
 (* ------------------------------------------------------------------ *)
 (* Replay *)
 
+(* Bounds on decoded structure fields, far above anything a real tape
+   contains: a fuzzed varint must not turn into a giant allocation. *)
+let max_nrefs = 1 lsl 16
+
+let max_batch_pairs = 1 lsl 22
+
 (** Replay drives the recorded tape against a fresh kernel/machine.  The
     measured window's occurrence weights are not on the tape: they are
     re-derived from the program ({!Window.plan}), exactly as the engine
     derived them, and consumed one per PHASE_BEGIN/PHASE_END pair after
-    the RESET marker. *)
+    the RESET marker.  Phase names and span categories are likewise
+    re-derived ({!Window.warmup_plan} order, then the measured plan), so
+    an attached trace buffer receives the same span/instant stream the
+    live run emitted. *)
 let replay r ~(setup : Run.setup) =
   let cfg = setup.Run.cfg in
   let { Run.program; summary; hints_info; policy; layout_end = _ } = Run.prepare setup in
   let kernel = Pcolor_vm.Kernel.create ~cfg ~policy ?mem_frames:setup.Run.mem_frames () in
-  let machine = M.create cfg in
+  let obs = setup.Run.obs in
+  let machine = M.create ~obs cfg in
   let translate ~cpu ~vpage = Pcolor_vm.Kernel.translate kernel ~cpu ~vpage in
   let n = cfg.n_cpus in
   let page_bits = Pcolor_util.Bits.log2 cfg.page_size in
   let ov = ref (Pcolor_stats.Overheads.create ~n_cpus:n) in
   let totals = Pcolor_stats.Totals.create ~n_cpus:n in
+  (* --- observability replication (the live engine's Engine.create /
+     run_phase_once / run_measured_occurrence instrumentation) --- *)
+  let obs_trace = Pcolor_obs.Ctx.trace obs in
+  (match obs_trace with
+  | Some buf ->
+    Pcolor_obs.Trace.process_name buf program.Ir.name;
+    for cpu = 0 to n - 1 do
+      Pcolor_obs.Trace.thread_name buf ~tid:cpu (Printf.sprintf "cpu%d" cpu)
+    done
+  | None -> ());
+  let obs_handles =
+    match Pcolor_obs.Ctx.metrics obs with
+    | None -> None
+    | Some reg ->
+      let module Mx = Pcolor_obs.Metrics in
+      Some
+        ( Mx.histogram reg "runtime.phase_cycles"
+            ~bounds:[| 1_000; 10_000; 100_000; 1_000_000; 10_000_000; 100_000_000 |],
+          Mx.counter reg "runtime.phase_occurrences",
+          Mx.counter reg "runtime.window_weight_ppm",
+          Mx.counter reg "runtime.bus_knee_crossings" )
+  in
+  let phases = Array.of_list program.Ir.phases in
+  (* phase occurrences in tape order: the warm-up pass, then the
+     measured plan expanded per simulated occurrence *)
+  let occs =
+    ref
+      (List.map
+         (fun (s : Window.step) -> (phases.(s.phase_idx).Ir.pname, "warmup"))
+         (Window.warmup_plan program)
+      @ (Window.plan ~cap:setup.Run.cap program
+        |> List.concat_map (fun (s : Window.step) ->
+               List.init s.simulate (fun _ -> (phases.(s.phase_idx).Ir.pname, "measured")))))
+  in
+  let sum_pf_dropped () =
+    let total = ref 0 in
+    for cpu = 0 to n - 1 do
+      total := !total + (M.stats machine ~cpu).M.pf_dropped_tlb
+    done;
+    !total
+  in
+  let tmax () =
+    let m = ref 0 in
+    for cpu = 0 to n - 1 do
+      m := max !m (M.cpu_time machine ~cpu)
+    done;
+    !m
+  in
   (* one weight per measured occurrence, in tape order *)
   let weights =
     ref
@@ -237,86 +324,168 @@ let replay r ~(setup : Run.setup) =
   (* snapshots live across PHASE_BEGIN → PHASE_END *)
   let t0 = Array.make n 0 and stall0 = Array.make n 0 in
   let busy0 = ref 0 in
+  let dropped0 = ref 0 in
+  let wall0 = ref 0 in
+  let last_contention = ref 1.0 in
   let start = ref None in
   (* current SECTION state *)
   let cpu = ref 0 and nrefs = ref 0 and ipi = ref 0 and extra = ref 0 in
   let prev = ref [||] in
   let data = ref (Array.make (2 * 4096) 0) in
   let ic = r.ic in
+  let check_cpu c = if c < 0 || c >= n then fail (Corrupt (Printf.sprintf "cpu %d out of range" c)) in
   let running = ref true in
-  while !running do
-    let tag = input_byte ic in
-    if tag = tag_batch then begin
-      let npairs = read_varint ic in
-      if 2 * npairs > Array.length !data then data := Array.make (2 * npairs) 0;
-      let d = !data and p = !prev and nr = !nrefs in
-      for k = 0 to npairs - 1 do
-        let rslot = k mod nr in
-        let w0 = Array.unsafe_get p rslot + unzigzag (read_varint ic) in
-        Array.unsafe_set p rslot w0;
-        Array.unsafe_set d (2 * k) w0;
-        Array.unsafe_set d ((2 * k) + 1) (read_varint ic)
-      done;
-      M.consume_batch machine ~cpu:!cpu ~translate ~data:d ~len:(2 * npairs) ~nrefs:nr
-        ~instr_per_iter:!ipi ~extra_onchip_stall:!extra
-    end
-    else if tag = tag_section then begin
-      cpu := read_varint ic;
-      nrefs := read_varint ic;
-      ipi := read_varint ic;
-      extra := read_varint ic;
-      if Array.length !prev < !nrefs then prev := Array.make !nrefs 0
-      else Array.fill !prev 0 !nrefs 0
-    end
-    else if tag = tag_tick then begin
-      let c = read_varint ic in
-      M.tick machine ~cpu:c (read_varint ic)
-    end
-    else if tag = tag_onchip then begin
-      let c = read_varint ic in
-      M.add_onchip_stall machine ~cpu:c (read_varint ic)
-    end
-    else if tag = tag_barrier then
-      Engine.barrier_step machine !ov ~first_cpu:0 ~n (kind_of_code (input_byte ic))
-    else if tag = tag_touch then begin
-      let c = read_varint ic in
-      let vpage = read_varint ic in
-      M.touch_page machine ~cpu:c ~vaddr:(vpage lsl page_bits) ~translate
-    end
-    else if tag = tag_phase_begin then begin
-      for c = 0 to n - 1 do
-        t0.(c) <- M.cpu_time machine ~cpu:c;
-        stall0.(c) <- M.total_mem_stall (M.stats machine ~cpu:c)
-      done;
-      busy0 := Pcolor_memsim.Bus.busy_cycles (M.bus machine);
-      if !measuring then start := Some (Pcolor_stats.Totals.snapshot machine !ov)
-    end
-    else if tag = tag_phase_end then begin
-      let f = Engine.contention_settle machine ~t0 ~stall0 ~busy0:!busy0 in
-      match !start with
-      | None -> ()
-      | Some s ->
-        let fin = Pcolor_stats.Totals.snapshot machine !ov in
-        let weight =
-          match !weights with
-          | w :: rest ->
-            weights := rest;
-            w
-          | [] -> invalid_arg "Btrace.replay: more measured occurrences than the window plan"
-        in
-        Pcolor_stats.Totals.accumulate ~into:totals ~start:s ~fin ~f ~weight;
-        start := None
-    end
-    else if tag = tag_reset then begin
-      M.reset_stats machine;
-      ov := Pcolor_stats.Overheads.create ~n_cpus:n;
-      measuring := true
-    end
-    else if tag = tag_end then running := false
-    else invalid_arg (Printf.sprintf "Btrace.replay: bad event tag %d" tag)
-  done;
-  if !weights <> [] then invalid_arg "Btrace.replay: truncated trace (measured window incomplete)";
+  (try
+     while !running do
+       let tag = input_byte ic in
+       if tag = tag_batch then begin
+         let npairs = read_varint ic in
+         let nr = !nrefs in
+         if nr <= 0 then fail (Corrupt "BATCH before any SECTION");
+         if npairs > max_batch_pairs then fail (Corrupt "oversized batch");
+         if npairs mod nr <> 0 then fail (Corrupt "batch is not whole innermost iterations");
+         if 2 * npairs > Array.length !data then data := Array.make (2 * npairs) 0;
+         let d = !data and p = !prev in
+         for k = 0 to npairs - 1 do
+           let rslot = k mod nr in
+           let w0 = Array.unsafe_get p rslot + unzigzag (read_varint ic) in
+           if w0 < 0 then fail (Corrupt "negative reference address");
+           Array.unsafe_set p rslot w0;
+           Array.unsafe_set d (2 * k) w0;
+           Array.unsafe_set d ((2 * k) + 1) (read_varint ic)
+         done;
+         M.consume_batch machine ~cpu:!cpu ~translate ~data:d ~len:(2 * npairs) ~nrefs:nr
+           ~instr_per_iter:!ipi ~extra_onchip_stall:!extra
+       end
+       else if tag = tag_section then begin
+         cpu := read_varint ic;
+         check_cpu !cpu;
+         nrefs := read_varint ic;
+         if !nrefs <= 0 || !nrefs > max_nrefs then
+           fail (Corrupt (Printf.sprintf "section with %d references" !nrefs));
+         ipi := read_varint ic;
+         extra := read_varint ic;
+         if Array.length !prev < !nrefs then prev := Array.make !nrefs 0
+         else Array.fill !prev 0 !nrefs 0
+       end
+       else if tag = tag_tick then begin
+         let c = read_varint ic in
+         check_cpu c;
+         M.tick machine ~cpu:c (read_varint ic)
+       end
+       else if tag = tag_onchip then begin
+         let c = read_varint ic in
+         check_cpu c;
+         M.add_onchip_stall machine ~cpu:c (read_varint ic)
+       end
+       else if tag = tag_barrier then
+         Engine.barrier_step machine !ov ~first_cpu:0 ~n (kind_of_code (input_byte ic))
+       else if tag = tag_touch then begin
+         let c = read_varint ic in
+         check_cpu c;
+         let vpage = read_varint ic in
+         M.touch_page machine ~cpu:c ~vaddr:(vpage lsl page_bits) ~translate
+       end
+       else if tag = tag_phase_begin then begin
+         for c = 0 to n - 1 do
+           t0.(c) <- M.cpu_time machine ~cpu:c;
+           stall0.(c) <- M.total_mem_stall (M.stats machine ~cpu:c)
+         done;
+         busy0 := Pcolor_memsim.Bus.busy_cycles (M.bus machine);
+         dropped0 := (match obs_trace with Some _ -> sum_pf_dropped () | None -> 0);
+         wall0 := (match obs_handles with Some _ -> tmax () | None -> 0);
+         if !measuring then start := Some (Pcolor_stats.Totals.snapshot machine !ov)
+       end
+       else if tag = tag_phase_end then begin
+         let pname, cat =
+           match !occs with
+           | o :: rest ->
+             occs := rest;
+             o
+           | [] -> fail (Corrupt "more phase occurrences than the window plan")
+         in
+         (match obs_trace with
+         | Some buf ->
+           for c = 0 to n - 1 do
+             Pcolor_obs.Trace.duration_begin buf ~ts:t0.(c) ~tid:c ~cat pname;
+             Pcolor_obs.Trace.duration_end buf ~ts:(M.cpu_time machine ~cpu:c) ~tid:c ~cat pname
+           done;
+           let dropped = sum_pf_dropped () - !dropped0 in
+           let master = Pcolor_comp.Schedule.master in
+           if dropped > 0 then
+             Pcolor_obs.Trace.instant buf
+               ~ts:(M.cpu_time machine ~cpu:master)
+               ~tid:master ~cat:"prefetch"
+               ~args:[ ("count", Pcolor_obs.Json.Int dropped) ]
+               "prefetch-drops"
+         | None -> ());
+         let f = Engine.contention_settle machine ~t0 ~stall0 ~busy0:!busy0 in
+         if f > 1.0 && !last_contention <= 1.0 then begin
+           (match obs_handles with
+           | Some (_, _, _, knee) -> Pcolor_obs.Metrics.incr knee
+           | None -> ());
+           let master = Pcolor_comp.Schedule.master in
+           (match obs_trace with
+           | Some buf ->
+             Pcolor_obs.Trace.instant buf
+               ~ts:(M.cpu_time machine ~cpu:master)
+               ~tid:master ~cat:"bus"
+               ~args:[ ("stretch_factor", Pcolor_obs.Json.Float f) ]
+               "bus-knee"
+           | None -> ());
+           Logs.debug ~src:Pcolor_obs.Log.src (fun m ->
+               m "bus crossed the saturation knee: stretch factor %.3f" f)
+         end;
+         last_contention := f;
+         match !start with
+         | None -> ()
+         | Some s ->
+           let fin = Pcolor_stats.Totals.snapshot machine !ov in
+           let weight =
+             match !weights with
+             | w :: rest ->
+               weights := rest;
+               w
+             | [] -> fail (Corrupt "more measured occurrences than the window plan")
+           in
+           (match obs_handles with
+           | Some (phase_cycles, occurrences, weight_ppm, _) ->
+             let module Mx = Pcolor_obs.Metrics in
+             Mx.observe phase_cycles (tmax () - !wall0);
+             Mx.incr occurrences;
+             Mx.add weight_ppm (int_of_float (weight *. 1e6))
+           | None -> ());
+           Pcolor_stats.Totals.accumulate ~into:totals ~start:s ~fin ~f ~weight;
+           start := None
+       end
+       else if tag = tag_reset then begin
+         M.reset_stats machine;
+         ov := Pcolor_stats.Overheads.create ~n_cpus:n;
+         measuring := true
+       end
+       else if tag = tag_end then running := false
+       else fail (Corrupt (Printf.sprintf "bad event tag %d" tag))
+     done
+   with
+  | Error _ as e -> raise e
+  | End_of_file -> fail (Truncated "event stream (missing END marker)")
+  | Invalid_argument m | Failure m -> fail (Corrupt m)
+  | Division_by_zero -> fail (Corrupt "division by zero while decoding")
+  | Pcolor_vm.Kernel.Out_of_frames _ ->
+    fail (Corrupt "reference stream exhausted physical memory"));
+  if !weights <> [] then fail (Truncated "measured window incomplete (missing END marker)");
+  M.sample_flush machine;
+  (match obs_trace with Some buf -> M.emit_timeline_counters machine buf | None -> ());
   let pool = Pcolor_vm.Kernel.pool kernel in
+  let metrics_snapshot =
+    match Pcolor_obs.Ctx.metrics obs with
+    | None -> None
+    | Some reg ->
+      M.publish_metrics machine reg;
+      Pcolor_vm.Kernel.publish_metrics kernel reg;
+      Some (Pcolor_obs.Metrics.snapshot reg)
+  in
+  Pcolor_obs.Ctx.flush obs;
   let report =
     Pcolor_stats.Report.of_totals ~benchmark:program.Ir.name ~machine:cfg.name ~n_cpus:cfg.n_cpus
       ~policy:(Run.policy_name setup.Run.policy) ~prefetch:setup.Run.prefetch
@@ -336,6 +505,6 @@ let replay r ~(setup : Run.setup) =
     kernel;
     machine;
     recolorings = 0;
-    metrics = None;
-    attrib = None;
+    metrics = metrics_snapshot;
+    attrib = Pcolor_obs.Ctx.attrib obs;
   }

@@ -3,7 +3,12 @@
     {!Pcolor_comp.Walker} packed encoding), replay it later through
     {!Pcolor_memsim.Machine.consume_batch} and the engine's own barrier
     and contention arithmetic — byte-identical counters, O(batch)
-    memory in both directions. *)
+    memory in both directions.
+
+    Replay honors the observability context in the setup: metrics,
+    phase spans, attribution and the cycle-epoch timeline all
+    reproduce, so a taped run yields the same artifact sections as a
+    live run. *)
 
 (** Trace self-description, embedded after the magic/version preamble
     so a replay can rebuild the identical kernel, machine and window
@@ -19,6 +24,22 @@ type header = {
   cap : int;
   provenance : string;  (** free-form, e.g. [git describe] at record time *)
 }
+
+(** {2 Errors}
+
+    Every malformed-input path raises {!Error} — never a bare
+    [Failure], and never silently-garbage counters. *)
+
+type corruption =
+  | Bad_magic of string  (** the file doesn't start with the trace magic *)
+  | Bad_version of { found : int; expected : int }
+  | Truncated of string  (** unexpected EOF; payload names the region *)
+  | Corrupt of string  (** structurally invalid content *)
+
+exception Error of corruption
+
+(** [corruption_message c] renders [c] for diagnostics. *)
+val corruption_message : corruption -> string
 
 (** {2 Recording} *)
 
@@ -41,7 +62,8 @@ val finish : writer -> unit
 type reader
 
 (** [open_reader ic] checks the preamble and decodes the header.
-    Raises [Invalid_argument] on a foreign or incompatible file. *)
+    Raises {!Error} ([Bad_magic], [Bad_version] or [Truncated]) on a
+    foreign, incompatible or cut-short file. *)
 val open_reader : in_channel -> reader
 
 val header : reader -> header
@@ -51,5 +73,7 @@ val header : reader -> header
     the recorded run's setup) and returns the outcome with counters
     byte-identical to the recorded run.  The reference stream is never
     materialized: batches stream from disk straight into the consume
-    loop.  Raises [Invalid_argument] on a corrupt or truncated tape. *)
+    loop.  The outcome carries the same metrics/attribution sections a
+    live run would produce under the same observability context.
+    Raises {!Error} on a corrupt or truncated tape. *)
 val replay : reader -> setup:Run.setup -> Run.outcome

@@ -179,6 +179,12 @@ let run_cpu_nest t (nest : Ir.nest) ~n_cpus ~lcpu ~cpu =
     let instr_per_iter = nest.body_instr + (2 * nrefs) in
     let machine = t.machine in
     let translate = t.translate in
+    (* timeline epochs are checked once per innermost iteration, the
+       point [Machine.consume_batch] checks per reference group — but
+       only in nests that issue references: reference-free nests are
+       taped (and replayed) as one aggregate tick, so checking inside
+       them would break batch/interp/replay timeline identity *)
+    let sampling = nrefs > 0 && M.has_sampler machine in
     let rec go d =
       if d = depth then begin
         for r = 0 to nrefs - 1 do
@@ -204,7 +210,8 @@ let run_cpu_nest t (nest : Ir.nest) ~n_cpus ~lcpu ~cpu =
           | None -> ()
         done;
         M.tick machine ~cpu instr_per_iter;
-        if nest.extra_onchip_stall > 0 then M.add_onchip_stall machine ~cpu nest.extra_onchip_stall
+        if nest.extra_onchip_stall > 0 then M.add_onchip_stall machine ~cpu nest.extra_onchip_stall;
+        if sampling then M.sample_point machine ~cpu
       end
       else begin
         let lo = if d = 0 then lo0 else 0 in
@@ -237,6 +244,7 @@ let run_cpu_nest t (nest : Ir.nest) ~n_cpus ~lcpu ~cpu =
    interpreter's per-reference page memo unnecessary for identity. *)
 let consume_traced t tbl ~cpu ~nrefs ~instr_per_iter ~extra (b : Walker.batch) =
   let machine = t.machine and translate = t.translate in
+  let sampling = M.has_sampler machine in
   let data = b.data in
   let stride = 2 * nrefs in
   let k = ref 0 in
@@ -253,7 +261,8 @@ let consume_traced t tbl ~cpu ~nrefs ~instr_per_iter ~extra (b : Walker.batch) =
       k := !k + 2
     done;
     M.tick machine ~cpu instr_per_iter;
-    if extra > 0 then M.add_onchip_stall machine ~cpu extra
+    if extra > 0 then M.add_onchip_stall machine ~cpu extra;
+    if sampling then M.sample_point machine ~cpu
   done
 
 let run_cpu_nest_batch t (nest : Ir.nest) ~n_cpus ~lcpu ~cpu =
@@ -307,6 +316,13 @@ let run_cpu_nest_batch t (nest : Ir.nest) ~n_cpus ~lcpu ~cpu =
     arithmetic. *)
 let barrier_step machine ov ~first_cpu ~n (kind : Ir.loop_kind) =
   let lo = first_cpu in
+  (* sample before the clocks synchronize: aggregate ticks, touch
+     faults and switch costs land here, at each CPU's own arrival
+     time — identically under both engines and under trace replay *)
+  if M.has_sampler machine then
+    for cpu = lo to lo + n - 1 do
+      M.sample_point machine ~cpu
+    done;
   let tmax = ref 0 in
   for cpu = lo to lo + n - 1 do
     tmax := max !tmax (M.cpu_time machine ~cpu)

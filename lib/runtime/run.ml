@@ -244,6 +244,12 @@ let run ?recorder (setup : setup) =
     | None -> ()
   in
   let totals = guard_oom (fun () -> Engine.run engine ~cap:setup.cap ~after_phase ()) in
+  (* close the timeline: final partial rows make column sums equal the
+     aggregates, then the rows ride into the trace as counter events *)
+  Pcolor_memsim.Machine.sample_flush machine;
+  (match Pcolor_obs.Ctx.trace setup.obs with
+  | Some buf -> Pcolor_memsim.Machine.emit_timeline_counters machine buf
+  | None -> ());
   let pool = Pcolor_vm.Kernel.pool kernel in
   let metrics_snapshot =
     match Pcolor_obs.Ctx.metrics setup.obs with
@@ -308,6 +314,9 @@ let artifact_json ?provenance outcome =
             Audit.attribution_json ~kernel:outcome.kernel ~program:outcome.program
               ~page_size:outcome.cfg.page_size a );
         ]
+      | None -> [])
+    @ (match Pcolor_memsim.Machine.timeline_json outcome.machine with
+      | Some tl -> [ ("timeline", tl) ]
       | None -> [])
     @
     match outcome.hints_info with

@@ -154,6 +154,10 @@ let run ~cfg ?(sched = Sched.default) ?mem_frames ?(cap = 2) ?reclaim_batch
   M.reset_stats machine;
   Array.iter Job.begin_measured jobs;
   Sched.measured s;
+  M.sample_flush machine;
+  (match Pcolor_obs.Ctx.trace obs with
+  | Some buf -> M.emit_timeline_counters machine buf
+  | None -> ());
   let reports = Array.map (fun j -> Job.report ~cfg j) jobs in
   let mix_name =
     "mix("
@@ -217,11 +221,12 @@ let run ~cfg ?(sched = Sched.default) ?mem_frames ?(cap = 2) ?reclaim_batch
   }
 
 (** [artifact_json ?provenance outcome] is the machine-readable mix
-    artifact (schema v3): scheduler configuration and accounting under
+    artifact (schema v4): scheduler configuration and accounting under
     ["mix"], the merged measured window under ["aggregate"], one entry
     per job under ["per_job"] (NOT ["jobs"] — that key is
-    provenance-skipped by [pcolor diff]), plus the usual ["metrics"]
-    and cross-address-space ["attribution"] sections when collected.
+    provenance-skipped by [pcolor diff]), the cycle-epoch ["timeline"]
+    when sampling is on, plus the usual ["metrics"] and
+    cross-address-space ["attribution"] sections when collected.
     [pcolor explain] and [pcolor diff] consume it as they do a run
     artifact. *)
 let artifact_json ?provenance outcome =
@@ -281,6 +286,9 @@ let artifact_json ?provenance outcome =
         ("aggregate", Report.to_json outcome.aggregate);
         ("per_job", J.Arr per_job);
       ]
+    @ (match M.timeline_json outcome.machine with
+      | Some tl -> [ ("timeline", tl) ]
+      | None -> [])
     @ (match outcome.metrics with
       | Some snap -> [ ("metrics", Pcolor_obs.Metrics.to_json snap) ]
       | None -> [])

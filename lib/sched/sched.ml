@@ -94,7 +94,22 @@ let context_switch t (job : Job.t) =
   done
 
 let switch_to t (job : Job.t) =
-  if t.cfg.policy = Gang && t.last <> job.Job.asid then context_switch t job;
+  let switched = t.cfg.policy = Gang && t.last <> job.Job.asid in
+  if switched then context_switch t job;
+  (match M.sampler t.machine with
+  | Some sm ->
+    (* keep the timeline's job column current: every dispatch asserts
+       ownership of the job's CPU range; an actual gang switch is also
+       recorded as a timeline event (after the switch cost, so the
+       event timestamp matches the first post-switch row) *)
+    for cpu = job.Job.first_cpu to job.Job.first_cpu + job.Job.width - 1 do
+      Pcolor_obs.Sampler.set_job sm ~cpu job.Job.asid
+    done;
+    if switched then
+      Pcolor_obs.Sampler.mark_switch sm
+        ~time:(M.cpu_time t.machine ~cpu:job.Job.first_cpu)
+        ~from_asid:t.last ~to_asid:job.Job.asid
+  | None -> ());
   t.last <- job.Job.asid
 
 (* One dispatch: run whole occurrences until the quantum is consumed on

@@ -69,11 +69,14 @@ let number = function J.Int i -> Some (float_of_int i) | J.Float f -> Some f | _
 
 let join path key = if path = "" then key else path ^ "." ^ key
 
-(** [diff ?threshold a b] pairs the two trees' leaves.  A numeric leaf
-    regresses when it moves in its bad direction by more than
-    [threshold] relative to the old value (default 0.0: any bad move
-    counts). *)
-let diff ?(threshold = 0.0) a b =
+(** [diff ?threshold ?ignore a b] pairs the two trees' leaves.  A
+    numeric leaf regresses when it moves in its bad direction by more
+    than [threshold] relative to the old value (default 0.0: any bad
+    move counts).  [ignore] adds object keys to the built-in skip set —
+    e.g. [["timeline"]] to compare a sampled run against an unsampled
+    baseline. *)
+let diff ?(threshold = 0.0) ?(ignore = []) a b =
+  let skip_key k = skip_key k || List.mem k ignore in
   let entries = ref [] in
   let only_a = ref [] in
   let only_b = ref [] in

@@ -27,10 +27,11 @@ type t = {
     name; unknown names are [Neutral] (reported, never a regression). *)
 val direction_of : string -> direction
 
-(** [diff ?threshold a b] pairs the two trees' leaves; [threshold]
-    (default 0) is the relative bad-direction move that counts as a
-    regression. *)
-val diff : ?threshold:float -> Pcolor_obs.Json.t -> Pcolor_obs.Json.t -> t
+(** [diff ?threshold ?ignore a b] pairs the two trees' leaves;
+    [threshold] (default 0) is the relative bad-direction move that
+    counts as a regression; [ignore] adds object keys to the built-in
+    skip set (e.g. [["timeline"]]). *)
+val diff : ?threshold:float -> ?ignore:string list -> Pcolor_obs.Json.t -> Pcolor_obs.Json.t -> t
 
 (** [regressions d] is the flagged subset of [d.entries]. *)
 val regressions : t -> entry list

@@ -45,6 +45,26 @@ let stacked_bar ~width ~max_v segments =
   Buffer.add_string buf (String.make (width - !total_used) ' ');
   Buffer.contents buf
 
+(* Eight block glyphs, one per level; each is 3 UTF-8 bytes. *)
+let spark_glyphs = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+                      "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+(** [sparkline values] renders one block-glyph cell per value, scaled to
+    the series maximum (▁..█).  Zero and negative values render the
+    lowest block; an all-zero series is a flat floor. *)
+let sparkline values =
+  let max_v = Array.fold_left max 0.0 values in
+  let buf = Buffer.create (3 * Array.length values) in
+  Array.iter
+    (fun v ->
+      let level =
+        if max_v <= 0.0 || v <= 0.0 then 0
+        else min 7 (int_of_float (v /. max_v *. 8.0))
+      in
+      Buffer.add_string buf spark_glyphs.(level))
+    values;
+  Buffer.contents buf
+
 (** Access-pattern scatter plot (Figures 3 and 5).
 
     [scatter ~title ~cols ~n_rows points] maps a set of

@@ -14,6 +14,11 @@ val bar : width:int -> max_v:float -> float -> string
     glyphs. *)
 val stacked_bar : width:int -> max_v:float -> (string * float) list -> string
 
+(** [sparkline values] renders one Unicode block glyph (▁..█) per
+    value, scaled to the series maximum; non-positive values and
+    all-zero series render the lowest block. *)
+val sparkline : float array -> string
+
 (** [scatter ~title ~cols ~n_rows ~x_max points] maps
     [(position, row)] points onto a character grid; single-processor
     cells print the processor's hex digit, contested cells ['*']. *)

@@ -1,0 +1,366 @@
+(* Cycle-epoch timeline sampling contracts:
+
+   - batch and interp engines emit the identical timeline section (the
+     epoch checks sit at matching reference-stream points);
+   - per-epoch delta rows sum exactly to the end-of-run aggregates
+     (telescoping reconciliation, incl. the final partial flush);
+   - attaching a sampler never perturbs the simulation itself;
+   - the sampler's steady-state commit path allocates nothing on the
+     minor heap;
+   - a recorded tape replays to a byte-identical artifact under full
+     observability (metrics + attribution + timeline);
+   - malformed binary traces raise the typed {!Btrace.Error}, never a
+     bare [Failure] or garbage counters (unit cases + corruption fuzz);
+   - the change-point detector finds a clean mean shift;
+   - a 2-job gang mix yields per-job rows, switch events and a
+     reconciling timeline. *)
+
+module M = Pcolor.Memsim.Machine
+module Config = Pcolor.Memsim.Config
+module Mclass = Pcolor.Memsim.Mclass
+module Run = Pcolor.Runtime.Run
+module Btrace = Pcolor.Runtime.Btrace
+module Sampler = Pcolor.Obs.Sampler
+module Phases = Pcolor.Stats.Phases
+module Json = Pcolor.Obs.Json
+module Metrics = Pcolor.Obs.Metrics
+module Report = Pcolor.Stats.Report
+
+let epoch_cycles = 5_000
+
+let obs_with_sampler ?(epoch_cycles = epoch_cycles) ?(full = false) cfg =
+  let sampler = M.sampler_for ~epoch_cycles cfg in
+  if full then
+    let metrics = Metrics.create () in
+    let attrib =
+      Pcolor.Obs.Attrib.create ~n_colors:(Config.n_colors cfg)
+        ~n_classes:(List.length Mclass.all) ()
+    in
+    Pcolor.Obs.Ctx.create ~metrics ~attrib ~sampler ()
+  else Pcolor.Obs.Ctx.create ~sampler ()
+
+let setup ?(policy = Run.Page_coloring) ?(prefetch = false) ?obs ~engine () =
+  let cfg = Helpers.tiny_cfg ~n_cpus:2 () in
+  let base =
+    {
+      (Run.default_setup ~cfg ~make_program:(fun () -> Helpers.figure4_program ()) ~policy) with
+      prefetch;
+      engine;
+    }
+  in
+  match obs with None -> base | Some obs -> { base with obs }
+
+let timeline_string (o : Run.outcome) =
+  match M.timeline_json o.Run.machine with
+  | Some j -> Json.to_string j
+  | None -> Alcotest.fail "no timeline on a sampled run"
+
+let render (o : Run.outcome) = Format.asprintf "%a" Report.pp o.Run.report
+
+(* ---------- engine identity ---------- *)
+
+let test_engines_identical_timeline () =
+  List.iter
+    (fun (policy, prefetch) ->
+      let run engine =
+        let cfg = Helpers.tiny_cfg ~n_cpus:2 () in
+        Run.run (setup ~policy ~prefetch ~obs:(obs_with_sampler cfg) ~engine ())
+      in
+      let b = run Pcolor.Runtime.Engine.Batch in
+      let i = run Pcolor.Runtime.Engine.Interp in
+      let label = Run.policy_name policy ^ if prefetch then "+pf" else "" in
+      Alcotest.(check string) (label ^ " timeline") (timeline_string i) (timeline_string b);
+      Alcotest.(check bool)
+        (label ^ " non-empty")
+        true
+        ((Option.get (M.sampler b.Run.machine) |> Sampler.n_rows) > 0))
+    [
+      (Run.Page_coloring, false);
+      (Run.Page_coloring, true);
+      (Run.Cdpc { fallback = `Page_coloring; via_touch = false }, false);
+      (Run.Bin_hopping, true);
+    ]
+
+(* ---------- reconciliation: delta rows sum to aggregates ---------- *)
+
+let column_sums (o : Run.outcome) =
+  let sm = Option.get (M.sampler o.Run.machine) in
+  let cols = Array.of_list (M.timeline_columns o.Run.machine) in
+  let sums = Array.make (Array.length cols) 0 in
+  Sampler.iter_rows sm (fun row ->
+      for c = 4 to Array.length cols - 1 do
+        sums.(c) <- sums.(c) + Sampler.cell sm ~row ~col:c
+      done);
+  (cols, sums)
+
+let col_sum (cols : string array) sums name =
+  let found = ref None in
+  Array.iteri (fun i c -> if c = name then found := Some sums.(i)) cols;
+  match !found with Some v -> v | None -> Alcotest.fail ("missing column " ^ name)
+
+let test_reconciliation () =
+  let cfg = Helpers.tiny_cfg ~n_cpus:2 () in
+  let o =
+    Run.run
+      (setup ~policy:Run.Page_coloring ~prefetch:true ~obs:(obs_with_sampler cfg)
+         ~engine:Pcolor.Runtime.Engine.Batch ())
+  in
+  let machine = o.Run.machine in
+  let cols, sums = column_sums o in
+  let agg f =
+    let t = ref 0 in
+    for cpu = 0 to 1 do
+      t := !t + f (M.stats machine ~cpu)
+    done;
+    !t
+  in
+  let checks =
+    [
+      ("instructions", agg (fun s -> s.M.instructions));
+      ("l1_hits", agg (fun s -> s.M.l1_hits));
+      ("l1_misses", agg (fun s -> s.M.l1_misses));
+      ("l2_hits", agg (fun s -> s.M.l2_hits));
+      ("tlb_misses", agg (fun s -> s.M.tlb_misses));
+      ("kernel_cycles", agg (fun s -> s.M.kernel_cycles));
+      ("prefetch.issued", agg (fun s -> s.M.pf_issued));
+      ("prefetch.useful", agg (fun s -> s.M.pf_useful));
+    ]
+    @ List.map
+        (fun cls ->
+          ( "l2_miss." ^ Mclass.to_string cls,
+            agg (fun s -> Mclass.get s.M.l2_miss_counts cls) ))
+        Mclass.all
+  in
+  List.iter
+    (fun (name, expected) ->
+      Alcotest.(check int) ("sum " ^ name) expected (col_sum cols sums name))
+    checks;
+  (* machine-wide bus categories reconcile too *)
+  let data, wb, upg = Pcolor.Memsim.Bus.categories (M.bus machine) in
+  Alcotest.(check int) "bus.data" data (col_sum cols sums "bus.data_cycles");
+  Alcotest.(check int) "bus.wb" wb (col_sum cols sums "bus.writeback_cycles");
+  Alcotest.(check int) "bus.upg" upg (col_sum cols sums "bus.upgrade_cycles")
+
+(* ---------- sampling must not perturb the simulation ---------- *)
+
+let test_sampling_is_pure () =
+  List.iter
+    (fun engine ->
+      let cfg = Helpers.tiny_cfg ~n_cpus:2 () in
+      let plain = Run.run (setup ~engine ()) in
+      let sampled = Run.run (setup ~obs:(obs_with_sampler cfg) ~engine ()) in
+      Alcotest.(check string) "report unchanged by sampling" (render plain) (render sampled))
+    [ Pcolor.Runtime.Engine.Batch; Pcolor.Runtime.Engine.Interp ]
+
+(* ---------- steady-state commit allocates nothing ---------- *)
+
+let test_sampler_zero_alloc () =
+  let sm = Sampler.create ~epoch_cycles:1_000 ~n_cpus:2 ~n_counters:24 ~n_global:7 () in
+  let scratch = Sampler.scratch sm in
+  let commit cpu time =
+    for i = 0 to Array.length scratch - 1 do
+      scratch.(i) <- scratch.(i) + i
+    done;
+    Sampler.commit sm ~cpu ~time
+  in
+  for t = 1 to 16 do
+    commit (t land 1) (t * 1_000)
+  done;
+  let before = Gc.minor_words () in
+  for t = 17 to 416 do
+    commit (t land 1) (t * 1_000)
+  done;
+  let delta = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "commit allocation-free (%.0f minor words over 400 rows)" delta)
+    true (delta <= 64.0);
+  Alcotest.(check int) "all rows kept" (16 + 400) (Sampler.n_rows sm)
+
+let test_sampler_dimension_check () =
+  let cfg = Helpers.tiny_cfg ~n_cpus:2 () in
+  let wrong = Sampler.create ~n_cpus:1 ~n_counters:3 ~n_global:1 () in
+  let obs = Pcolor.Obs.Ctx.create ~sampler:wrong () in
+  Alcotest.check_raises "mismatched sampler rejected"
+    (Invalid_argument
+       "Machine.create: sampler dimensions do not match the machine (use sampler_for)")
+    (fun () -> ignore (M.create ~obs cfg))
+
+(* ---------- record -> replay artifact identity ---------- *)
+
+let with_tape f =
+  let path = Filename.temp_file "pcolor_tl" ".btrace" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let record_tape ~path ?obs () =
+  let s = setup ?obs ~policy:Run.Page_coloring ~engine:Pcolor.Runtime.Engine.Batch () in
+  let oc = open_out_bin path in
+  let w =
+    Btrace.create_writer oc
+      {
+        Btrace.bench = "fig4";
+        machine = "tiny";
+        n_cpus = 2;
+        scale = 1;
+        policy = "pc";
+        prefetch = false;
+        seed = s.Run.seed;
+        cap = s.Run.cap;
+        provenance = "test";
+      }
+  in
+  let o = Run.run ~recorder:(Btrace.recorder w) s in
+  Btrace.finish w;
+  close_out oc;
+  (s, o)
+
+let replay_tape ~path ?obs () =
+  let s = setup ?obs ~policy:Run.Page_coloring ~engine:Pcolor.Runtime.Engine.Batch () in
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> Btrace.replay (Btrace.open_reader ic) ~setup:s)
+
+let test_replay_artifact_identity () =
+  with_tape (fun path ->
+      let cfg = Helpers.tiny_cfg ~n_cpus:2 () in
+      let _, direct = record_tape ~path ~obs:(obs_with_sampler ~full:true cfg) () in
+      let replayed = replay_tape ~path ~obs:(obs_with_sampler ~full:true cfg) () in
+      Alcotest.(check string) "artifacts byte-identical"
+        (Json.to_string (Run.artifact_json direct))
+        (Json.to_string (Run.artifact_json replayed));
+      Alcotest.(check bool) "replay carries metrics" true (replayed.Run.metrics <> None);
+      Alcotest.(check bool) "replay carries attribution" true (replayed.Run.attrib <> None))
+
+(* ---------- typed corruption errors ---------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let opens_as_error s =
+  with_tape (fun path ->
+      write_file path s;
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          match Btrace.open_reader ic with
+          | _ -> None
+          | exception Btrace.Error c -> Some c))
+
+let test_btrace_error_paths () =
+  (* a valid tape to mutate *)
+  with_tape (fun path ->
+      let _ = record_tape ~path () in
+      let tape = read_file path in
+      (match opens_as_error "" with
+      | Some (Btrace.Truncated _) -> ()
+      | _ -> Alcotest.fail "empty file must be Truncated");
+      (match opens_as_error "NOPE-this-is-not-a-trace" with
+      | Some (Btrace.Bad_magic m) -> Alcotest.(check string) "magic payload" "NOPE" m
+      | _ -> Alcotest.fail "bad magic must be Bad_magic");
+      (match opens_as_error (String.sub tape 0 3) with
+      | Some (Btrace.Truncated region) -> Alcotest.(check string) "region" "header" region
+      | _ -> Alcotest.fail "3-byte file must be Truncated header");
+      let versioned = Bytes.of_string tape in
+      Bytes.set versioned 4 '\009';
+      (match opens_as_error (Bytes.to_string versioned) with
+      | Some (Btrace.Bad_version { found = 9; expected = 1 }) -> ()
+      | _ -> Alcotest.fail "patched version byte must be Bad_version");
+      (* strip the END marker: replay must report a truncated stream *)
+      with_tape (fun cut ->
+          write_file cut (String.sub tape 0 (String.length tape - 1));
+          match replay_tape ~path:cut () with
+          | _ -> Alcotest.fail "END-stripped tape must not replay"
+          | exception Btrace.Error (Btrace.Truncated _) -> ()))
+
+let test_btrace_corruption_fuzz =
+  QCheck.Test.make ~name:"corrupted tapes raise Btrace.Error or replay" ~count:40
+    QCheck.(pair small_nat (int_bound 255))
+    (fun (pos_seed, byte) ->
+      with_tape (fun path ->
+          let _ = record_tape ~path () in
+          let tape = Bytes.of_string (read_file path) in
+          (* corrupt one byte anywhere past the magic *)
+          let pos = 4 + (pos_seed * 131) mod (Bytes.length tape - 4) in
+          Bytes.set tape pos (Char.chr byte);
+          with_tape (fun bad ->
+              write_file bad (Bytes.to_string tape);
+              match replay_tape ~path:bad () with
+              | _ -> true
+              | exception Btrace.Error _ -> true
+              | exception _ -> false)))
+
+(* ---------- change-point detection ---------- *)
+
+let test_detect_step () =
+  let s = Array.init 40 (fun i -> if i < 20 then 10.0 else 50.0) in
+  match Phases.detect ~window:4 s with
+  | [ c ] ->
+    Alcotest.(check int) "change epoch" 20 c.Phases.epoch;
+    Alcotest.(check bool) "direction" true (c.Phases.after > c.Phases.before)
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 change, got %d" (List.length l))
+
+let test_detect_flat () =
+  let s = Array.make 40 7.0 in
+  Alcotest.(check int) "no change on flat series" 0 (List.length (Phases.detect s))
+
+(* ---------- 2-job mix timeline ---------- *)
+
+let test_mix_timeline () =
+  let cfg = Helpers.tiny_cfg ~n_cpus:2 () in
+  let obs = obs_with_sampler ~epoch_cycles:2_000 cfg in
+  let sched =
+    { Pcolor.Sched.Scheduler.policy = Gang; quantum = 20_000; switch_cost = 1_000; tlb = Asid }
+  in
+  let spec name =
+    Pcolor.Sched.Job.spec ~policy:(Run.Cdpc { fallback = `Page_coloring; via_touch = false })
+      ~name (fun () -> Helpers.figure4_program ())
+  in
+  let mix = Pcolor.Sched.Mix.run ~cfg ~sched ~obs [ spec "a"; spec "b" ] in
+  let artifact = Pcolor.Sched.Mix.artifact_json mix in
+  match Phases.of_artifact artifact with
+  | Error msg -> Alcotest.fail msg
+  | Ok tl ->
+    Alcotest.(check (list int)) "both jobs appear in rows" [ 0; 1 ] (Phases.jobs tl);
+    Alcotest.(check bool)
+      "gang switches recorded" true
+      (Array.length tl.Phases.events > 0);
+    (* mix timeline reconciles against the shared machine's aggregates *)
+    let machine = mix.Pcolor.Sched.Mix.machine in
+    let instr = ref 0 in
+    for cpu = 0 to 1 do
+      instr := !instr + (M.stats machine ~cpu).M.instructions
+    done;
+    let icol =
+      match Phases.col tl "instructions" with Some i -> i | None -> Alcotest.fail "no column"
+    in
+    let sum = Array.fold_left (fun acc r -> acc + r.(icol)) 0 tl.Phases.rows in
+    Alcotest.(check int) "mix instructions reconcile" !instr sum
+
+let suite =
+  [
+    ( "timeline",
+      [
+        Alcotest.test_case "engines emit identical timelines" `Quick
+          test_engines_identical_timeline;
+        Alcotest.test_case "rows reconcile with aggregates" `Quick test_reconciliation;
+        Alcotest.test_case "sampling does not perturb the run" `Quick test_sampling_is_pure;
+        Alcotest.test_case "steady-state commit zero-alloc" `Quick test_sampler_zero_alloc;
+        Alcotest.test_case "mismatched sampler rejected" `Quick test_sampler_dimension_check;
+        Alcotest.test_case "record/replay artifact identity" `Quick
+          test_replay_artifact_identity;
+        Alcotest.test_case "typed btrace errors" `Quick test_btrace_error_paths;
+        QCheck_alcotest.to_alcotest test_btrace_corruption_fuzz;
+        Alcotest.test_case "change-point on a clean step" `Quick test_detect_step;
+        Alcotest.test_case "no change-point on flat series" `Quick test_detect_flat;
+        Alcotest.test_case "2-job mix timeline" `Quick test_mix_timeline;
+      ] );
+  ]
