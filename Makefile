@@ -9,9 +9,12 @@
 #                     the committed BENCH_throughput.json and
 #                     BENCH_mix.json baselines (warn-only: timing noise
 #                     is expected on shared machines; drop --warn-only
-#                     for a hard gate), then hard-gate the batch engine
-#                     against the interpreter with `pcolor diff --exact`
-#                     (simulated metrics must be byte-identical)
+#                     for a hard gate), then hard-gate the batch and
+#                     runs engines against the interpreter with
+#                     `pcolor diff --exact` (simulated metrics must be
+#                     byte-identical) and check the single-domain
+#                     throughput floor (warn-only; BENCH_STRICT=1 to
+#                     fail loud)
 #   make timeline-check  record/replay observability-parity gate plus
 #                     the timeline-off byte-identity gate: a taped run
 #                     must yield the same artifact (timeline included)
@@ -21,6 +24,9 @@
 
 DUNE ?= dune
 BENCH_THRESHOLD ?= 0.25
+# Throughput floor: fresh single-domain refs/s must stay above this
+# fraction of the committed baseline (warn-only unless BENCH_STRICT=1).
+BENCH_FLOOR_MARGIN ?= 0.5
 
 .PHONY: build test bench bench-smoke bench-check timeline-check clean
 
@@ -41,15 +47,34 @@ bench-check:
 	  BENCH_throughput.json --threshold $(BENCH_THRESHOLD) --warn-only
 	$(DUNE) exec bin/pcolor_cli.exe -- diff _build/bench_mix_baseline.json \
 	  BENCH_mix.json --threshold $(BENCH_THRESHOLD) --warn-only
-	@# Engine byte-identity gate: the batch walker engine must produce
-	@# exactly the interpreter's simulated metrics (hard failure, not
-	@# warn-only — this is correctness, not timing).
+	@# Engine byte-identity gates: the batch and runs walker engines
+	@# must produce exactly the interpreter's simulated metrics (hard
+	@# failure, not warn-only — this is correctness, not timing).
 	$(DUNE) exec bin/pcolor_cli.exe -- run tomcatv --policy cdpc --cpus 4 \
 	  --scale 16 --prefetch --engine=batch --metrics-out _build/engine_batch.json
+	$(DUNE) exec bin/pcolor_cli.exe -- run tomcatv --policy cdpc --cpus 4 \
+	  --scale 16 --prefetch --engine=runs --metrics-out _build/engine_runs.json
 	$(DUNE) exec bin/pcolor_cli.exe -- run tomcatv --policy cdpc --cpus 4 \
 	  --scale 16 --prefetch --engine=interp --metrics-out _build/engine_interp.json
 	$(DUNE) exec bin/pcolor_cli.exe -- diff _build/engine_batch.json \
 	  _build/engine_interp.json --exact
+	$(DUNE) exec bin/pcolor_cli.exe -- diff _build/engine_runs.json \
+	  _build/engine_interp.json --exact
+	@# Throughput floor vs the committed baseline: warn-only by default
+	@# (shared machines are noisy); set BENCH_STRICT=1 to fail loud.
+	@base=$$(awk '/"single_domain"/{f=1} f && /"refs_per_sec"/{gsub(/,/,""); print $$2; exit}' \
+	  _build/bench_baseline.json); \
+	fresh=$$(awk '/"single_domain"/{f=1} f && /"refs_per_sec"/{gsub(/,/,""); print $$2; exit}' \
+	  BENCH_throughput.json); \
+	ok=$$(awk -v b=$$base -v f=$$fresh -v m=$(BENCH_FLOOR_MARGIN) \
+	  'BEGIN { print (f >= b * m) ? 1 : 0 }'); \
+	if [ "$$ok" = "1" ]; then \
+	  echo "throughput floor ok: $$fresh refs/s >= $(BENCH_FLOOR_MARGIN) x baseline $$base"; \
+	else \
+	  echo "WARNING: single-domain throughput $$fresh refs/s fell below" \
+	       "$(BENCH_FLOOR_MARGIN) x committed baseline $$base"; \
+	  if [ -n "$(BENCH_STRICT)" ]; then exit 1; fi; \
+	fi
 
 timeline-check:
 	@# Replay observability-parity gate: replaying a taped run with the

@@ -83,12 +83,15 @@ let policy_arg =
 let engine_arg =
   Arg.(
     value
-    & opt (enum [ ("batch", Engine.Batch); ("interp", Engine.Interp) ]) Engine.Batch
+    & opt
+        (enum [ ("runs", Engine.Runs); ("batch", Engine.Batch); ("interp", Engine.Interp) ])
+        Engine.Runs
     & info [ "engine" ]
         ~doc:
-          "Reference-stream engine: $(b,batch) (precompiled affine walkers feeding a fused \
-           consume loop; the default) or $(b,interp) (the per-depth interpreter — slower, kept \
-           as the byte-identity oracle).")
+          "Reference-stream engine: $(b,runs) (run-length-coalesced walker batches with bulk \
+           L1-hit retirement; the default), $(b,batch) (precompiled affine walkers feeding a \
+           fused per-reference consume loop) or $(b,interp) (the per-depth interpreter — \
+           slower, kept as the byte-identity oracle).")
 
 let trace_arg =
   let env = Cmd.Env.info "PCOLOR_TRACE" ~doc:"Trace file path (same as $(b,--trace))." in
@@ -554,8 +557,9 @@ let record_cmd =
   Cmd.v
     (Cmd.info "record"
        ~doc:
-         "Run one benchmark on the batch engine and stream every reference into a compact \
-          binary trace (delta-encoded varint batches). The trace embeds its setup, so \
+         "Run one benchmark on the runs engine and stream every reference into a compact \
+          binary trace (delta-encoded varint batches plus run-coalesced records, format v2; \
+          v1 tapes stay replayable). The trace embeds its setup, so \
           $(b,pcolor replay) needs only the file. Observability flags ($(b,--metrics-out), \
           $(b,--trace), $(b,--timeline)) apply to the recording run itself.")
     Term.(

@@ -51,6 +51,12 @@ let vaddr_of w = w asr 1
 
 let write_of w = w land 1 <> 0
 
+(* Runs longer than this are split: it bounds the bulk arithmetic any
+   consumer performs per record, so a corrupt or hostile trace cannot
+   smuggle an absurd repeat count past {!Pcolor_memsim.Machine} or the
+   {!Btrace} reader (both validate against the same bound). *)
+let max_run_count = 1 lsl 30
+
 type t = {
   nrefs : int;
   depth : int;
@@ -62,17 +68,20 @@ type t = {
   vaddr : int array; (* per-ref current byte address *)
   wbit : int array; (* per-ref write bit, pre-shifted into place *)
   step : int array; (* nrefs × depth: bytes per unit step of iv [d] *)
+  innermost : int array; (* per-ref innermost byte stride (run tails) *)
   pf_add : int array; (* per-ref prefetch byte delta; 0 = never *)
   prev_line : int array; (* per-ref last prefetched L2 line *)
-  line_bits : int;
+  line_bits : int; (* L2: prefetch dedup granularity *)
+  l1_bits : int; (* L1: run-coalescing granularity *)
   mutable finished : bool;
 }
 
-(** [create ~nest ~plan ~lo0 ~hi0 ~l2_line_bits] compiles one CPU's
-    share of [nest] (depth-0 iterations [\[lo0, hi0)]) against prefetch
-    plan [plan].  Runs once per (nest, cpu-range) per plan step; all
-    per-reference state is resolved here so {!fill} allocates nothing. *)
-let create ~(nest : Ir.nest) ~(plan : Prefetcher.nest_plan) ~lo0 ~hi0 ~l2_line_bits =
+(** [create ~nest ~plan ~lo0 ~hi0 ~l1_line_bits ~l2_line_bits] compiles
+    one CPU's share of [nest] (depth-0 iterations [\[lo0, hi0)]) against
+    prefetch plan [plan].  Runs once per (nest, cpu-range) per plan
+    step; all per-reference state is resolved here so {!fill} allocates
+    nothing. *)
+let create ~(nest : Ir.nest) ~(plan : Prefetcher.nest_plan) ~lo0 ~hi0 ~l1_line_bits ~l2_line_bits =
   let refs = Array.of_list nest.refs in
   let nrefs = Array.length refs in
   let depth = Array.length nest.bounds in
@@ -106,6 +115,7 @@ let create ~(nest : Ir.nest) ~(plan : Prefetcher.nest_plan) ~lo0 ~hi0 ~l2_line_b
     vaddr;
     wbit = Array.map (fun (r : Ir.ref_) -> if r.is_write then 1 else 0) refs;
     step;
+    innermost = Array.init nrefs (fun r -> step.((r * depth) + depth - 1));
     pf_add =
       Array.mapi
         (fun r (rf : Ir.ref_) ->
@@ -114,6 +124,7 @@ let create ~(nest : Ir.nest) ~(plan : Prefetcher.nest_plan) ~lo0 ~hi0 ~l2_line_b
         refs;
     prev_line = Array.make (max 1 nrefs) (-1);
     line_bits = l2_line_bits;
+    l1_bits = l1_line_bits;
     finished = !empty;
   }
 
@@ -124,6 +135,46 @@ let instr_per_iter t = t.instr_per_iter
 let extra_onchip_stall t = t.extra_onchip_stall
 
 let finished t = t.finished
+
+let strides t = t.innermost
+
+(* Advance the odometer by one innermost iteration, innermost depth
+   first.  The arithmetic mirrors the interpreter's incremental element
+   maintenance: one [+step] per non-carry advance, and an exact rewind
+   ([- step × travelled]) per carry. *)
+let[@inline] advance_one t =
+  let depth = t.depth in
+  let nrefs = t.nrefs in
+  let idx = t.idx in
+  let vaddr = t.vaddr in
+  let step = t.step in
+  let d = ref (depth - 1) in
+  let carrying = ref true in
+  while !carrying do
+    let dd = !d in
+    let i = Array.unsafe_get idx dd + 1 in
+    if i < Array.unsafe_get t.hi dd then begin
+      Array.unsafe_set idx dd i;
+      for r = 0 to nrefs - 1 do
+        Array.unsafe_set vaddr r
+          (Array.unsafe_get vaddr r + Array.unsafe_get step ((r * depth) + dd))
+      done;
+      carrying := false
+    end
+    else begin
+      let travelled = Array.unsafe_get idx dd - Array.unsafe_get t.lo dd in
+      for r = 0 to nrefs - 1 do
+        Array.unsafe_set vaddr r
+          (Array.unsafe_get vaddr r - (Array.unsafe_get step ((r * depth) + dd) * travelled))
+      done;
+      Array.unsafe_set idx dd (Array.unsafe_get t.lo dd);
+      if dd = 0 then begin
+        t.finished <- true;
+        carrying := false
+      end
+      else d := dd - 1
+    end
+  done
 
 (** [fill t b] appends whole innermost iterations ([nrefs] packed pairs
     each) to [b] until the batch is full or the iteration space is
@@ -137,13 +188,10 @@ let fill t (b : batch) =
     let cap = Array.length data in
     let nrefs = t.nrefs in
     let stride = 2 * nrefs in
-    let depth = t.depth in
     let vaddr = t.vaddr in
     let wbit = t.wbit in
     let pf_add = t.pf_add in
     let prev_line = t.prev_line in
-    let step = t.step in
-    let idx = t.idx in
     let line_bits = t.line_bits in
     let len = ref b.len in
     while (not t.finished) && !len + stride <= cap do
@@ -170,37 +218,123 @@ let fill t (b : batch) =
         Array.unsafe_set data (k + 1) emit
       done;
       len := base_k + stride;
-      (* advance the odometer, innermost depth first.  The arithmetic
-         mirrors the interpreter's incremental element maintenance:
-         one [+step] per non-carry advance, and an exact rewind
-         ([- step × travelled]) per carry. *)
-      let d = ref (depth - 1) in
-      let carrying = ref true in
-      while !carrying do
-        let dd = !d in
-        let i = Array.unsafe_get idx dd + 1 in
-        if i < Array.unsafe_get t.hi dd then begin
-          Array.unsafe_set idx dd i;
-          for r = 0 to nrefs - 1 do
-            Array.unsafe_set vaddr r
-              (Array.unsafe_get vaddr r + Array.unsafe_get step ((r * depth) + dd))
-          done;
-          carrying := false
-        end
-        else begin
-          let travelled = Array.unsafe_get idx dd - Array.unsafe_get t.lo dd in
-          for r = 0 to nrefs - 1 do
-            Array.unsafe_set vaddr r
-              (Array.unsafe_get vaddr r - (Array.unsafe_get step ((r * depth) + dd) * travelled))
-          done;
-          Array.unsafe_set idx dd (Array.unsafe_get t.lo dd);
-          if dd = 0 then begin
-            t.finished <- true;
-            carrying := false
+      advance_one t
+    done;
+    b.len <- !len;
+    t.finished
+  end
+
+(* Iterations (>= 1) until [va], moving by [s <> 0] bytes per
+   iteration, leaves its current [2^bits]-byte aligned block; clamped to
+   [limit].  Arithmetic shifts keep the block numbering a floor even for
+   negative addresses (synthetic tests use them), so the distance always
+   agrees with the consumer's span check. *)
+let[@inline] cross_dist ~va ~s ~bits ~limit =
+  if s > 0 then begin
+    let boundary = ((va asr bits) + 1) lsl bits in
+    let d = (boundary - va + s - 1) / s in
+    if d < limit then d else limit
+  end
+  else begin
+    let base = (va asr bits) lsl bits in
+    let d = ((va - base) / -s) + 1 in
+    if d < limit then d else limit
+  end
+
+(** [fill_runs t b] appends run-coalesced records to [b] until the batch
+    is full or the iteration space is exhausted; returns [true] when the
+    walker is done.  Resumable and allocation-free like {!fill}.
+
+    Record layout ([1 + 2 × nrefs] ints per record):
+
+    - [data.(k)] = [count >= 1]: this innermost iteration {e group}
+      repeats [count] times, each reference advancing by its innermost
+      byte stride ({!strides}) per repeat;
+    - [data.(k + 1 + 2r)] / [data.(k + 2 + 2r)] = the packed head-group
+      entry and prefetch delta of reference [r], exactly as in {!fill}.
+
+    [count] is the largest repeat such that the run provably adds no
+    observable event beyond bulk L1 hits: it never outruns the innermost
+    loop, no reference crosses its L1 line (per-depth byte strides make
+    the crossing distance a closed-form constant), and no prefetching
+    reference's target [vaddr + delta] crosses its L2 line — so the
+    per-reference one-prefetch-per-line dedup provably suppresses every
+    tail prefetch and [prev_line] needs no update.  Tail groups are
+    therefore pure per-reference L1 hits {e if} the head group leaves
+    every line resident — a dynamic property the consumer
+    ({!Pcolor_memsim.Machine.consume_runs}) revalidates, falling back to
+    per-reference consumption when it fails.  Loop-invariant references
+    (stride 0) never constrain the run. *)
+let fill_runs t (b : batch) =
+  if t.finished then true
+  else begin
+    let data = b.data in
+    let cap = Array.length data in
+    let nrefs = t.nrefs in
+    let stride = 1 + (2 * nrefs) in
+    let depth = t.depth in
+    let last = depth - 1 in
+    let vaddr = t.vaddr in
+    let wbit = t.wbit in
+    let pf_add = t.pf_add in
+    let prev_line = t.prev_line in
+    let step = t.step in
+    let idx = t.idx in
+    let l2_bits = t.line_bits in
+    let l1_bits = t.l1_bits in
+    let len = ref b.len in
+    while (not t.finished) && !len + stride <= cap do
+      let base_k = !len in
+      (* emit the head group, folding the run length as we go *)
+      let g = ref (Array.unsafe_get t.hi last - Array.unsafe_get idx last) in
+      if !g > max_run_count then g := max_run_count;
+      for r = 0 to nrefs - 1 do
+        let va = Array.unsafe_get vaddr r in
+        let k = base_k + 1 + (2 * r) in
+        Array.unsafe_set data k ((va lsl 1) lor Array.unsafe_get wbit r);
+        let pf = Array.unsafe_get pf_add r in
+        let emit =
+          if pf = 0 then 0
+          else begin
+            let pl = (va + pf) lsr l2_bits in
+            if pl <> Array.unsafe_get prev_line r then begin
+              Array.unsafe_set prev_line r pl;
+              pf
+            end
+            else 0
           end
-          else d := dd - 1
+        in
+        Array.unsafe_set data (k + 1) emit;
+        (* once the run has collapsed to a single group no further
+           reference can shrink it — skip the distance arithmetic *)
+        if !g > 1 then begin
+          let s = Array.unsafe_get step ((r * depth) + last) in
+          if s <> 0 then begin
+            let d = cross_dist ~va ~s ~bits:l1_bits ~limit:!g in
+            if d < !g then g := d;
+            if !g > 1 && pf <> 0 then begin
+              let d = cross_dist ~va:(va + pf) ~s ~bits:l2_bits ~limit:!g in
+              if d < !g then g := d
+            end
+          end
         end
-      done
+      done;
+      let count = !g in
+      Array.unsafe_set data base_k count;
+      len := base_k + stride;
+      (* advance the odometer by [count] innermost iterations: bulk-step
+         the innermost counter by count − 1, then reuse the exact
+         single-step carry advance for the last one *)
+      if count > 1 then begin
+        let extra = count - 1 in
+        Array.unsafe_set idx last (Array.unsafe_get idx last + extra);
+        for r = 0 to nrefs - 1 do
+          Array.unsafe_set vaddr r
+            (Array.unsafe_get vaddr r
+            + (Array.unsafe_get step ((r * depth) + last) * extra))
+        done
+      end;
+      advance_one t
     done;
     b.len <- !len;
     t.finished

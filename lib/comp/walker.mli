@@ -26,14 +26,29 @@ val vaddr_of : int -> int
 
 val write_of : int -> bool
 
+(** Upper bound on a single run record's repeat [count]: every
+    producer ({!fill_runs}, the {!Btrace} writer) splits longer runs and
+    every consumer ({!Pcolor_memsim.Machine.consume_runs}, the trace
+    reader) rejects larger counts, so bulk arithmetic stays bounded even
+    against a hostile tape. *)
+val max_run_count : int
+
 type t
 
-(** [create ~nest ~plan ~lo0 ~hi0 ~l2_line_bits] compiles one CPU's
-    share of [nest] (depth-0 iterations [\[lo0, hi0)]): per-reference
-    byte strides for every depth, resolved prefetch plan (ahead bytes
-    and one-per-line dedup state), initial addresses. *)
+(** [create ~nest ~plan ~lo0 ~hi0 ~l1_line_bits ~l2_line_bits] compiles
+    one CPU's share of [nest] (depth-0 iterations [\[lo0, hi0)]):
+    per-reference byte strides for every depth, resolved prefetch plan
+    (ahead bytes and one-per-line dedup state), initial addresses.
+    [l1_line_bits] bounds run lengths ({!fill_runs}); [l2_line_bits] is
+    the prefetch dedup granularity. *)
 val create :
-  nest:Ir.nest -> plan:Prefetcher.nest_plan -> lo0:int -> hi0:int -> l2_line_bits:int -> t
+  nest:Ir.nest ->
+  plan:Prefetcher.nest_plan ->
+  lo0:int ->
+  hi0:int ->
+  l1_line_bits:int ->
+  l2_line_bits:int ->
+  t
 
 (** [nrefs t] / [instr_per_iter t] / [extra_onchip_stall t] are the
     per-innermost-iteration constants the consume loop needs
@@ -48,10 +63,26 @@ val extra_onchip_stall : t -> int
 (** [finished t] is true once the iteration space is exhausted. *)
 val finished : t -> bool
 
+(** [strides t] is the per-reference innermost byte stride vector —
+    what a consumer needs to reconstruct run-tail addresses.  The array
+    is the walker's own (do not mutate). *)
+val strides : t -> int array
+
 (** [fill t b] appends whole innermost iterations to [b] until full or
     exhausted; returns [true] when the walker is done.  Resumable and
     allocation-free. *)
 val fill : t -> batch -> bool
+
+(** [fill_runs t b] appends run-coalesced records ([1 + 2 × nrefs] ints
+    each: a repeat [count] followed by one packed head group) to [b]
+    until full or exhausted; returns [true] when done.  A count of [g]
+    means the group repeats [g] times with every reference advancing by
+    its innermost stride per repeat; [g] is bounded so that no reference
+    crosses its L1 line and no prefetch target crosses its L2 line
+    inside the run (so tail groups add no event beyond L1 hits, and the
+    per-line dedup provably suppresses every tail prefetch).  Resumable
+    and allocation-free like {!fill}. *)
+val fill_runs : t -> batch -> bool
 
 (** [validate_bounds nest ~lo0 ~hi0] proves every reference in bounds
     over the whole restricted iteration space in one pre-pass (affine

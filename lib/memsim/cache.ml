@@ -75,7 +75,7 @@ let base_of_set t line = (line land t.set_mask) * t.assoc
    [t]/[base]/[line] it costs a closure allocation per reference, which
    is the one thing this module must never do. Returns the slot index,
    or -1 when the line is not resident. *)
-let rec find_way tags line base assoc i =
+let rec find_way (tags : int array) (line : int) base assoc i =
   if i >= assoc then -1
   else if Array.unsafe_get tags (base + i) = line then base + i
   else find_way tags line base assoc (i + 1)
@@ -85,56 +85,97 @@ let rec find_way tags line base assoc i =
     reports the victim so the caller can model write-back traffic.
     Writes set the dirty bit.  The result is the packed int described
     above — decode with {!res_hit}/{!res_dirty}/{!res_victim}. *)
+(* Shared hit/fill steps, parameterized on the chosen slot.  [fill]
+   reports the previous occupant exactly like the generic scan did:
+   victim + 1 in bits 2+ (0 = the way was empty), its dirty bit in
+   bit 1. *)
+let[@inline] hit_slot t slot write =
+  t.hits <- t.hits + 1;
+  Array.unsafe_set t.stamp slot t.tick;
+  let was_dirty = Array.unsafe_get t.dirty slot in
+  if write then Array.unsafe_set t.dirty slot true;
+  1 lor (if was_dirty then 2 else 0)
+
+let[@inline] fill_slot t slot line write =
+  t.misses <- t.misses + 1;
+  let evicted = Array.unsafe_get t.tags slot in
+  let evicted_dirty = evicted <> -1 && Array.unsafe_get t.dirty slot in
+  Array.unsafe_set t.tags slot line;
+  Array.unsafe_set t.dirty slot write;
+  Array.unsafe_set t.stamp slot t.tick;
+  ((evicted + 1) lsl 2) lor (if evicted_dirty then 2 else 0)
+
 let access t ~addr ~write =
   let line = line_of t addr in
-  let base = base_of_set t line in
   t.tick <- t.tick + 1;
-  let slot = find_way t.tags line base t.assoc 0 in
-  if slot >= 0 then begin
-    t.hits <- t.hits + 1;
-    Array.unsafe_set t.stamp slot t.tick;
-    let was_dirty = Array.unsafe_get t.dirty slot in
-    if write then Array.unsafe_set t.dirty slot true;
-    1 lor (if was_dirty then 2 else 0)
-  end
-  else begin
-    t.misses <- t.misses + 1;
-    (* victim = first empty way if any, else LRU way (earliest index on
-       stamp ties — stamps are unique in practice, but keep the old
-       tie-break anyway) *)
-    let victim = ref base in
-    let best = ref max_int in
-    let i = ref 0 in
-    let scanning = ref true in
-    while !scanning && !i < t.assoc do
-      let s = base + !i in
-      if Array.unsafe_get t.tags s = -1 then begin
-        victim := s;
-        scanning := false
-      end
-      else begin
-        let st = Array.unsafe_get t.stamp s in
-        if st < !best then begin
-          best := st;
-          victim := s
-        end;
-        incr i
-      end
-    done;
-    let v = !victim in
-    let evicted = Array.unsafe_get t.tags v in
-    let evicted_dirty = evicted <> -1 && Array.unsafe_get t.dirty v in
-    Array.unsafe_set t.tags v line;
-    Array.unsafe_set t.dirty v write;
-    Array.unsafe_set t.stamp v t.tick;
-    ((evicted + 1) lsl 2) lor (if evicted_dirty then 2 else 0)
-  end
+  match t.assoc with
+  | 1 ->
+    (* direct-mapped (the external caches): one compare, the set index
+       is the slot, no LRU state consulted *)
+    let slot = line land t.set_mask in
+    if Array.unsafe_get t.tags slot = line then hit_slot t slot write
+    else fill_slot t slot line write
+  | 2 ->
+    (* 2-way (the on-chip caches): both ways unrolled; victim = first
+       empty way, else the older stamp (way 0 on ties, matching the
+       generic scan's earliest-index tie-break) *)
+    let base = (line land t.set_mask) * 2 in
+    let k0 = Array.unsafe_get t.tags base in
+    if k0 = line then hit_slot t base write
+    else begin
+      let k1 = Array.unsafe_get t.tags (base + 1) in
+      if k1 = line then hit_slot t (base + 1) write
+      else if k0 = -1 then fill_slot t base line write
+      else if k1 = -1 then fill_slot t (base + 1) line write
+      else if Array.unsafe_get t.stamp (base + 1) < Array.unsafe_get t.stamp base then
+        fill_slot t (base + 1) line write
+      else fill_slot t base line write
+    end
+  | assoc ->
+    let base = base_of_set t line in
+    let slot = find_way t.tags line base assoc 0 in
+    if slot >= 0 then hit_slot t slot write
+    else begin
+      (* victim = first empty way if any, else LRU way (earliest index
+         on stamp ties — stamps are unique in practice, but keep the
+         old tie-break anyway) *)
+      let victim = ref base in
+      let best = ref max_int in
+      let i = ref 0 in
+      let scanning = ref true in
+      while !scanning && !i < assoc do
+        let s = base + !i in
+        if Array.unsafe_get t.tags s = -1 then begin
+          victim := s;
+          scanning := false
+        end
+        else begin
+          let st = Array.unsafe_get t.stamp s in
+          if st < !best then begin
+            best := st;
+            victim := s
+          end;
+          incr i
+        end
+      done;
+      fill_slot t !victim line write
+    end
 
 (** [contains t addr] is a non-intrusive residency probe (no LRU
     update, no statistics). *)
 let contains t addr =
   let line = line_of t addr in
   find_way t.tags line (base_of_set t line) t.assoc 0 >= 0
+
+(** [probe t addr] is a non-intrusive residency + dirty probe (no LRU
+    update, no statistics): bit 0 resident, bit 1 dirty — the predicate
+    {!Machine.consume_runs} needs to prove a run's tail accesses are
+    side-effect-free L1 hits.  Decode with {!res_hit}/{!res_dirty}. *)
+let probe t ~addr =
+  let line = line_of t addr in
+  let slot = find_way t.tags line (base_of_set t line) t.assoc 0 in
+  if slot < 0 then 0
+  else 1 lor (if Array.unsafe_get t.dirty slot then 2 else 0)
 
 (** [invalidate t addr] drops the line if present, returning whether it
     was dirty (the coherence layer uses this for remote-dirty fetches). *)

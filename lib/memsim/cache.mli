@@ -42,6 +42,11 @@ val res_victim : int -> int
 (** [contains t addr] is a non-intrusive residency probe. *)
 val contains : t -> int -> bool
 
+(** [probe t addr] is a non-intrusive residency + dirty probe: bit 0
+    resident, bit 1 dirty (decode with {!res_hit}/{!res_dirty}).  No
+    LRU update, no statistics — safe on the hot path between accesses. *)
+val probe : t -> addr:int -> int
+
 (** [invalidate t addr] drops the line if present, returning whether it
     was dirty. *)
 val invalidate : t -> int -> bool option

@@ -68,6 +68,13 @@ let mcpi s =
   if s.instructions = 0 then 0.0
   else float_of_int (total_mem_stall s) /. float_of_int s.instructions
 
+(* Translation-memo geometry: 64 direct-mapped entries indexed by the
+   vpage's low bits — enough that the handful of pages a nest cycles
+   through between TLB content changes rarely collide. *)
+let memo_slots = 64
+
+let memo_mask = memo_slots - 1
+
 type cpu = {
   id : int;
   l1 : Cache.t;
@@ -79,13 +86,17 @@ type cpu = {
   pf_inflight : int array; (* completion times of outstanding prefetches *)
   mutable pf_count : int; (* live entries in [pf_inflight] *)
   mutable time : int; (* local cycle counter *)
-  (* last-translation memo: valid while the TLB generation is unchanged,
-     i.e. across recency refreshes but not across any insert/invalidate/
-     flush — so taking the fast path leaves TLB miss counts, recency
-     order and eviction victims bit-identical to always looking up *)
-  mutable memo_vpage : int; (* -1 = invalid *)
-  mutable memo_frame : int;
-  mutable memo_gen : int;
+  (* translation memo: a small direct-mapped vpage->frame cache, each
+     entry valid while the TLB generation it was filled under is
+     unchanged — i.e. across recency refreshes but not across any
+     insert/invalidate/flush — so taking the fast path leaves TLB miss
+     counts, recency order and eviction victims bit-identical to always
+     looking up.  Multiple entries matter because a nest cycling
+     through several arrays alternates pages on consecutive references,
+     which defeated the old single-entry memo. *)
+  memo_vpage : int array; (* -1 = invalid *)
+  memo_frame : int array;
+  memo_gen : int array;
   stats : cpu_stats;
 }
 
@@ -96,6 +107,7 @@ type t = {
   bus : Bus.t;
   page_bits : int;
   page_mask : int;
+  l1_line_bits : int;
   l2_line_bits : int;
   line_bus : int; (* bus cycles per L2 line transfer *)
   conflict_by_frame : Pcolor_util.Itab.t;
@@ -167,9 +179,9 @@ let create ?(obs = Pcolor_obs.Ctx.disabled) (cfg : Config.t) =
       pf_inflight = Array.make (max 1 cfg.max_outstanding_prefetches) 0;
       pf_count = 0;
       time = 0;
-      memo_vpage = -1;
-      memo_frame = 0;
-      memo_gen = 0;
+      memo_vpage = Array.make memo_slots (-1);
+      memo_frame = Array.make memo_slots 0;
+      memo_gen = Array.make memo_slots 0;
       stats = make_stats ();
     }
   in
@@ -180,6 +192,7 @@ let create ?(obs = Pcolor_obs.Ctx.disabled) (cfg : Config.t) =
     bus = Bus.create ();
     page_bits = Pcolor_util.Bits.log2 cfg.page_size;
     page_mask = cfg.page_size - 1;
+    l1_line_bits = Pcolor_util.Bits.log2 cfg.l1.line;
     l2_line_bits = Pcolor_util.Bits.log2 cfg.l2.line;
     line_bus = Config.line_bus_cycles cfg;
     conflict_by_frame = Pcolor_util.Itab.create ~capacity:1024 ();
@@ -267,10 +280,14 @@ let paddr_of t ~frame ~vaddr = (frame lsl t.page_bits) lor (vaddr land t.page_ma
    that hit's counter and recency effects. *)
 let translate_addr t c ~translate vaddr =
   let vpage = vpage_of t vaddr in
+  let slot = vpage land memo_mask in
   let frame =
-    if c.memo_vpage = vpage && c.memo_gen = Tlb.generation c.tlb then begin
+    if
+      Array.unsafe_get c.memo_vpage slot = vpage
+      && Array.unsafe_get c.memo_gen slot = Tlb.generation c.tlb
+    then begin
       Tlb.touch c.tlb vpage;
-      c.memo_frame
+      Array.unsafe_get c.memo_frame slot
     end
     else begin
       let frame =
@@ -294,9 +311,9 @@ let translate_addr t c ~translate vaddr =
           frame
         end
       in
-      c.memo_vpage <- vpage;
-      c.memo_frame <- frame;
-      c.memo_gen <- Tlb.generation c.tlb;
+      Array.unsafe_set c.memo_vpage slot vpage;
+      Array.unsafe_set c.memo_frame slot frame;
+      Array.unsafe_set c.memo_gen slot (Tlb.generation c.tlb);
       frame
     end
   in
@@ -474,7 +491,11 @@ let prefetch_cpu t c ~vaddr =
   let frame =
     (* the memo proves residency while the generation is unchanged, and a
        probe has no counter or recency effects to replay *)
-    if c.memo_vpage = vpage && c.memo_gen = Tlb.generation c.tlb then c.memo_frame
+    let slot = vpage land memo_mask in
+    if
+      Array.unsafe_get c.memo_vpage slot = vpage
+      && Array.unsafe_get c.memo_gen slot = Tlb.generation c.tlb
+    then Array.unsafe_get c.memo_frame slot
     else Tlb.probe_frame c.tlb vpage
   in
   if frame < 0 then s.pf_dropped_tlb <- s.pf_dropped_tlb + 1
@@ -696,6 +717,147 @@ let consume_batch t ~cpu ~translate ~data ~len ~nrefs ~instr_per_iter ~extra_onc
       end;
       if Pcolor_obs.Sampler.due sm ~cpu ~time:c.time then commit_sample t sm c
     done
+
+(* Bound on a run record's repeat count; matches
+   [Pcolor_comp.Walker.max_run_count] (stated as a literal so memsim
+   stays independent of the compiler layer). *)
+let max_run_count = 1 lsl 30
+
+(** [consume_runs t ~cpu ~translate ~data ~len ~nrefs ~strides
+    ~instr_per_iter ~extra_onchip_stall] consumes a run-coalesced batch
+    ({!Pcolor_comp.Walker.fill_runs} layout: a repeat [count] then one
+    packed head iteration group, [1 + 2 × nrefs] ints per record).  The
+    head group takes the full per-reference access path; the remaining
+    [count − 1] tail groups are retired with O(1) bulk counter/cycle
+    arithmetic when they are provably pure L1 hits.
+
+    The proof obligation, revalidated here with the machine's own
+    geometry so a disagreeing producer (or hostile tape) degrades to
+    correctness rather than corruption: for every reference, the span
+    [vaddr .. vaddr + stride × (count − 1)] stays inside one L1 line
+    {e and} after the head group that line is resident — dirty, for
+    writes — in L1.  Then each tail access is an L1 hit whose only
+    observable effect is one [l1_hits] increment: hits never evict (so
+    residency is inductive over the run), writes to an already-dirty
+    line skip translation and coherence, and skipping the tail LRU
+    stamp refreshes preserves every future victim choice because the
+    head group already made the run's lines the most recent in their
+    sets, in the same relative order the tails would re-establish.
+    Failing the check falls back to per-reference tail consumption
+    (reconstructing addresses as [vaddr + stride × g]) — byte-identical
+    either way.  Tail groups issue no prefetches: the producer only
+    coalesces iterations whose prefetch targets the dedup provably
+    suppresses.
+
+    With a sampler attached, epoch boundaries are honored per tail
+    group exactly like {!consume_batch}; a whole run that provably ends
+    before the next boundary ({!Pcolor_obs.Sampler.next_due}) is still
+    retired in bulk. *)
+let consume_runs t ~cpu ~translate ~data ~len ~nrefs ~strides ~instr_per_iter
+    ~extra_onchip_stall =
+  if nrefs < 1 then invalid_arg "Machine.consume_runs: nrefs < 1";
+  let stride = 1 + (2 * nrefs) in
+  if len mod stride <> 0 then invalid_arg "Machine.consume_runs: partial run record";
+  if Array.length strides < nrefs then
+    invalid_arg "Machine.consume_runs: strides shorter than nrefs";
+  let c = t.cpus.(cpu) in
+  let s = c.stats in
+  let sampler = t.sampler in
+  let l1b = t.l1_line_bits in
+  let per_group = instr_per_iter + extra_onchip_stall in
+  let k = ref 0 in
+  while !k < len do
+    let base = !k in
+    let count = Array.unsafe_get data base in
+    if count < 1 || count > max_run_count then
+      invalid_arg "Machine.consume_runs: run count out of bounds";
+    (* head group: the full per-reference path, as in [consume_batch] *)
+    let stop = base + stride in
+    let j = ref (base + 1) in
+    while !j < stop do
+      let w0 = Array.unsafe_get data !j in
+      let pf = Array.unsafe_get data (!j + 1) in
+      let vaddr = w0 asr 1 in
+      if pf <> 0 then prefetch_cpu t c ~vaddr:(vaddr + pf);
+      access_cpu t c ~vaddr ~write:(w0 land 1 <> 0) ~translate;
+      j := !j + 2
+    done;
+    c.time <- c.time + instr_per_iter;
+    s.instructions <- s.instructions + instr_per_iter;
+    if extra_onchip_stall > 0 then begin
+      c.time <- c.time + extra_onchip_stall;
+      s.stall_onchip <- s.stall_onchip + extra_onchip_stall
+    end;
+    (match sampler with
+    | Some sm -> if Pcolor_obs.Sampler.due sm ~cpu ~time:c.time then commit_sample t sm c
+    | None -> ());
+    if count > 1 then begin
+      let tails = count - 1 in
+      let ok = ref true in
+      let r = ref 0 in
+      while !ok && !r < nrefs do
+        let w0 = Array.unsafe_get data (base + 1 + (2 * !r)) in
+        let va = w0 asr 1 in
+        let st = Array.unsafe_get strides !r in
+        if va asr l1b <> (va + (st * tails)) asr l1b then ok := false
+        else begin
+          let p = Cache.probe c.l1 ~addr:va in
+          if not (Cache.res_hit p) || (w0 land 1 <> 0 && not (Cache.res_dirty p)) then
+            ok := false
+        end;
+        incr r
+      done;
+      if !ok then begin
+        let bulk () =
+          s.l1_hits <- s.l1_hits + (nrefs * tails);
+          s.instructions <- s.instructions + (instr_per_iter * tails);
+          if extra_onchip_stall > 0 then
+            s.stall_onchip <- s.stall_onchip + (extra_onchip_stall * tails);
+          c.time <- c.time + (per_group * tails)
+        in
+        match sampler with
+        | None -> bulk ()
+        | Some sm ->
+          if c.time + (per_group * tails) < Pcolor_obs.Sampler.next_due sm ~cpu then
+            bulk ()
+          else
+            for _g = 1 to tails do
+              s.l1_hits <- s.l1_hits + nrefs;
+              s.instructions <- s.instructions + instr_per_iter;
+              if extra_onchip_stall > 0 then
+                s.stall_onchip <- s.stall_onchip + extra_onchip_stall;
+              c.time <- c.time + per_group;
+              if Pcolor_obs.Sampler.due sm ~cpu ~time:c.time then commit_sample t sm c
+            done
+      end
+      else begin
+        (* fallback: tails through the full path, addresses recomputed
+           from the head group and the innermost strides *)
+        for g = 1 to tails do
+          let j = ref (base + 1) in
+          let r = ref 0 in
+          while !j < stop do
+            let w0 = Array.unsafe_get data !j in
+            let va = (w0 asr 1) + (Array.unsafe_get strides !r * g) in
+            access_cpu t c ~vaddr:va ~write:(w0 land 1 <> 0) ~translate;
+            j := !j + 2;
+            incr r
+          done;
+          c.time <- c.time + instr_per_iter;
+          s.instructions <- s.instructions + instr_per_iter;
+          if extra_onchip_stall > 0 then begin
+            c.time <- c.time + extra_onchip_stall;
+            s.stall_onchip <- s.stall_onchip + extra_onchip_stall
+          end;
+          match sampler with
+          | Some sm ->
+            if Pcolor_obs.Sampler.due sm ~cpu ~time:c.time then commit_sample t sm c
+          | None -> ()
+        done
+      end
+    end;
+    k := !k + stride
+  done
 
 (** [harvest_conflicts t ~min_count] returns frames that took at least
     [min_count] conflict misses since the last harvest, hottest first,

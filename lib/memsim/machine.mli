@@ -111,6 +111,35 @@ val consume_batch :
   extra_onchip_stall:int ->
   unit
 
+(** [consume_runs t ~cpu ~translate ~data ~len ~nrefs ~strides
+    ~instr_per_iter ~extra_onchip_stall] consumes a run-coalesced batch
+    ({!Pcolor_comp.Walker.fill_runs} layout: a repeat [count] then one
+    packed head iteration group per record).  The head group takes the
+    full access path; the [count − 1] tail groups are retired with O(1)
+    bulk counter/cycle arithmetic when every reference's run span stays
+    in one L1 line that the head group left resident (dirty, for
+    writes) — each tail access is then provably an L1 hit with no other
+    observable effect.  Otherwise the tails fall back to per-reference
+    consumption at [vaddr + strides.(r) × g]: byte-identical to the
+    interpreter either way, against any producer.  Epoch boundaries are
+    honored per tail group when a sampler is attached ({!consume_batch}
+    placement); runs that provably end before the next boundary still
+    retire in bulk.  Raises [Invalid_argument] on a malformed batch
+    ([len] not a multiple of [1 + 2 × nrefs], a repeat count outside
+    [1 .. 2{^30}], or [strides] shorter than [nrefs]). *)
+
+val consume_runs :
+  t ->
+  cpu:int ->
+  translate:(cpu:int -> vpage:int -> int * int) ->
+  data:int array ->
+  len:int ->
+  nrefs:int ->
+  strides:int array ->
+  instr_per_iter:int ->
+  extra_onchip_stall:int ->
+  unit
+
 (** {2 Cycle-epoch timeline sampling}
 
     A {!Pcolor_obs.Sampler.t} attached through the observability

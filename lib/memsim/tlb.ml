@@ -13,22 +13,47 @@ type t = {
   mutable gen : int; (* bumped on every content change (insert/invalidate/flush) *)
   mutable hits : int;
   mutable misses : int;
-  (* Deferred recency write: [touch] runs once per memoized translation
-     — i.e. on almost every simulated reference — so instead of a hash
-     probe per call the latest (vpage, stamp) is parked here and spilled
-     into [order] only when a different vpage is touched or any other
-     operation needs [order] to be exact.  Observable state after a
-     flush is identical to writing eagerly: only the newest stamp of a
-     run of same-vpage touches survives either way. *)
-  mutable pend_vpage : int; (* -1 = none pending *)
-  mutable pend_stamp : int;
+  (* Deferred recency writes: recency refreshes run once per translated
+     reference, so instead of a hash probe per call the latest
+     (vpage, stamp) pairs are parked in a small direct-mapped slot
+     array (indexed by the vpage's low bits) and spilled into [order]
+     only on slot conflicts or when an operation needs [order] to be
+     exact (insert's eviction scan, invalidate, flush).  A nest cycling
+     through a handful of arrays alternates pages on consecutive
+     references, which made a single pending slot spill on nearly every
+     call.  Observable state is identical to writing eagerly: [order]
+     is keyed by vpage and stamps are unique and monotonic, so only the
+     newest stamp per vpage survives either way and relative recency
+     order is preserved. *)
+  pend_vpage : int array; (* -1 = slot empty *)
+  pend_stamp : int array;
 }
 
-let[@inline] flush_pending t =
-  if t.pend_vpage >= 0 then begin
-    Pcolor_util.Itab.set t.order t.pend_vpage t.pend_stamp;
-    t.pend_vpage <- -1
-  end
+let pend_slots = 64
+
+let pend_mask = pend_slots - 1
+
+let flush_pending t =
+  let pv = t.pend_vpage in
+  for i = 0 to pend_slots - 1 do
+    let vp = Array.unsafe_get pv i in
+    if vp >= 0 then begin
+      Pcolor_util.Itab.set t.order vp (Array.unsafe_get t.pend_stamp i);
+      Array.unsafe_set pv i (-1)
+    end
+  done
+
+(* Park a recency refresh in the pending slots, spilling a conflicting
+   occupant.  One array compare on the fast path, no hash probe. *)
+let[@inline] park_recency t vpage stamp =
+  let slot = vpage land pend_mask in
+  let occupant = Array.unsafe_get t.pend_vpage slot in
+  if occupant <> vpage then begin
+    if occupant >= 0 then
+      Pcolor_util.Itab.set t.order occupant (Array.unsafe_get t.pend_stamp slot);
+    Array.unsafe_set t.pend_vpage slot vpage
+  end;
+  Array.unsafe_set t.pend_stamp slot stamp
 
 (** [create ~entries] builds an empty TLB with [entries] slots. *)
 let create ~entries =
@@ -41,8 +66,8 @@ let create ~entries =
     gen = 0;
     hits = 0;
     misses = 0;
-    pend_vpage = -1;
-    pend_stamp = 0;
+    pend_vpage = Array.make pend_slots (-1);
+    pend_stamp = Array.make pend_slots 0;
   }
 
 (** [lookup_frame t vpage] is the cached frame for [vpage] (recency
@@ -52,12 +77,11 @@ let create ~entries =
     the caller's single-entry memo, and an option-returning lookup
     would then allocate a [Some] per simulated reference. *)
 let lookup_frame t vpage =
-  flush_pending t;
   t.tick <- t.tick + 1;
   let frame = Pcolor_util.Itab.find t.table vpage ~default:(-1) in
   if frame >= 0 then begin
     t.hits <- t.hits + 1;
-    Pcolor_util.Itab.set t.order vpage t.tick
+    park_recency t vpage t.tick
   end
   else t.misses <- t.misses + 1;
   frame
@@ -86,11 +110,7 @@ let probe_frame t vpage = Pcolor_util.Itab.find t.table vpage ~default:(-1)
 let touch t vpage =
   t.tick <- t.tick + 1;
   t.hits <- t.hits + 1;
-  if t.pend_vpage <> vpage then begin
-    flush_pending t;
-    t.pend_vpage <- vpage
-  end;
-  t.pend_stamp <- t.tick
+  park_recency t vpage t.tick
 
 (** [generation t] changes whenever the TLB's {e contents} change —
     insert, invalidate or flush (recency refreshes do not count).  A
@@ -135,7 +155,7 @@ let invalidate t vpage =
 
 (** [flush t] empties the TLB (context switch / recoloring shootdown). *)
 let flush t =
-  t.pend_vpage <- -1;
+  Array.fill t.pend_vpage 0 pend_slots (-1);
   t.gen <- t.gen + 1;
   Pcolor_util.Itab.reset t.table;
   Pcolor_util.Itab.reset t.order

@@ -90,6 +90,12 @@ let scratch t = t.scratch
 
 let due t ~cpu ~time = time >= Array.unsafe_get t.next_due cpu
 
+(** [next_due t ~cpu] is the local cycle at which [cpu]'s next epoch
+    boundary falls — the bulk-retire fast path of
+    {!Pcolor_memsim.Machine.consume_runs} uses it to prove a whole run
+    of tail groups commits no row, without a per-group {!due} check. *)
+let next_due t ~cpu = Array.unsafe_get t.next_due cpu
+
 let ensure_row t =
   let need = (t.n_rows + 1) * t.row_width in
   if need > Array.length t.store then begin

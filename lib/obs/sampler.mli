@@ -36,6 +36,11 @@ val n_events : t -> int
     epoch boundary — the only check on the simulation hot path. *)
 val due : t -> cpu:int -> time:int -> bool
 
+(** [next_due t ~cpu] is the local cycle of [cpu]'s next epoch
+    boundary: a consumer that can bound a whole bulk retirement below
+    it may skip the per-group {!due} checks without changing a row. *)
+val next_due : t -> cpu:int -> int
+
 (** [scratch t] is the reusable cumulative-value buffer
     ([n_counters + n_global] wide) the producer fills before
     {!commit}. *)

@@ -5,12 +5,22 @@
     The format is a flat event tape mirroring exactly what the engine
     does: SECTION opens one CPU's share of a nest, BATCH carries the
     packed reference entries ({!Pcolor_comp.Walker} encoding) as
-    zigzag-delta varints keyed per reference slot, TICK/ONCHIP carry
-    aggregate cycle charges, BARRIER/PHASE_BEGIN/PHASE_END/RESET mark
-    the synchronization structure, and TOUCH records the §5.3 page-touch
+    zigzag-delta varints keyed per reference slot, RUN_SECTION /
+    RUNS (format v2) carry the run-coalesced form — per-reference
+    innermost strides in the section, then records of a repeat count
+    plus one delta-encoded head group — TICK/ONCHIP carry aggregate
+    cycle charges, BARRIER/PHASE_BEGIN/PHASE_END/RESET mark the
+    synchronization structure, and TOUCH records the §5.3 page-touch
     order.  Batches are bounded (the engine's reusable batch), so both
     recording and replay stream in O(batch) memory — a scale-1024 trace
     never exists as a list.
+
+    Version negotiation: the writer emits format v2; the reader accepts
+    v1 and v2.  A v1 tape carries only per-reference batch records, so
+    replaying one through today's runs-first engine transparently
+    degrades to per-reference consumption ({!M.consume_batch}) — same
+    counters, no error.  Run records inside a tape whose header says v1
+    are rejected as {!Corrupt}.
 
     Replay rebuilds the kernel and machine from the embedded header via
     {!Run.prepare} (fault order is deterministic, so bin-hopping jitter,
@@ -43,7 +53,12 @@ type header = {
 
 let magic = "PCBT"
 
-let version = 1
+(* Format v2 added the run-coalesced record pair (RUN_SECTION/RUNS).
+   The writer always emits the current version; the reader accepts
+   anything in [min_version, version]. *)
+let version = 2
+
+let min_version = 1
 
 (* ------------------------------------------------------------------ *)
 (* Typed errors *)
@@ -59,7 +74,7 @@ exception Error of corruption
 let corruption_message = function
   | Bad_magic m -> Printf.sprintf "not a pcolor binary trace (magic %S)" m
   | Bad_version { found; expected } ->
-    Printf.sprintf "trace format version %d, expected %d" found expected
+    Printf.sprintf "trace format version %d, expected <= %d" found expected
   | Truncated region -> Printf.sprintf "truncated trace: %s" region
   | Corrupt what -> Printf.sprintf "corrupt trace: %s" what
 
@@ -122,6 +137,11 @@ let tag_section = 8
 
 let tag_batch = 9
 
+(* v2 tags: run-coalesced sections. *)
+let tag_run_section = 10
+
+let tag_runs = 11
+
 let kind_code = function Ir.Parallel _ -> 0 | Ir.Sequential -> 1 | Ir.Suppressed -> 2
 
 (* Only the constructor class matters to barrier accounting; the
@@ -182,6 +202,37 @@ let recorder w : Engine.recorder =
           Array.unsafe_set prev r w0;
           write_varint oc (Array.unsafe_get data ((2 * k) + 1))
         done);
+    rec_run_section =
+      (fun ~cpu ~nrefs ~instr_per_iter ~extra_onchip_stall ~strides ->
+        output_byte oc tag_run_section;
+        write_varint oc cpu;
+        write_varint oc nrefs;
+        write_varint oc instr_per_iter;
+        write_varint oc extra_onchip_stall;
+        for r = 0 to nrefs - 1 do
+          write_varint oc (zigzag strides.(r))
+        done;
+        w.nrefs <- nrefs;
+        if Array.length w.prev < nrefs then w.prev <- Array.make nrefs 0
+        else Array.fill w.prev 0 nrefs 0);
+    rec_runs =
+      (fun (b : Walker.batch) ->
+        let nrefs = w.nrefs in
+        let stride = 1 + (2 * nrefs) in
+        let m = b.len / stride in
+        output_byte oc tag_runs;
+        write_varint oc m;
+        let data = b.data and prev = w.prev in
+        for rec_ = 0 to m - 1 do
+          let base = rec_ * stride in
+          write_varint oc (Array.unsafe_get data base);
+          for r = 0 to nrefs - 1 do
+            let w0 = Array.unsafe_get data (base + 1 + (2 * r)) in
+            write_varint oc (zigzag (w0 - Array.unsafe_get prev r));
+            Array.unsafe_set prev r w0;
+            write_varint oc (Array.unsafe_get data (base + 2 + (2 * r)))
+          done
+        done);
     rec_tick =
       (fun ~cpu n ->
         output_byte oc tag_tick;
@@ -216,14 +267,14 @@ let finish w =
 (* ------------------------------------------------------------------ *)
 (* Reader *)
 
-type reader = { ic : in_channel; hdr : header }
+type reader = { ic : in_channel; hdr : header; format_version : int }
 
 let open_reader ic =
   try
     let m = really_input_string ic (String.length magic) in
     if m <> magic then fail (Bad_magic m);
     let v = input_byte ic in
-    if v <> version then fail (Bad_version { found = v; expected = version });
+    if v < min_version || v > version then fail (Bad_version { found = v; expected = version });
     let bench = read_string ic in
     let machine = read_string ic in
     let n_cpus = read_varint ic in
@@ -233,10 +284,16 @@ let open_reader ic =
     let seed = read_varint ic in
     let cap = read_varint ic in
     let provenance = read_string ic in
-    { ic; hdr = { bench; machine; n_cpus; scale; policy; prefetch; seed; cap; provenance } }
+    {
+      ic;
+      hdr = { bench; machine; n_cpus; scale; policy; prefetch; seed; cap; provenance };
+      format_version = v;
+    }
   with End_of_file -> fail (Truncated "header")
 
 let header r = r.hdr
+
+let format_version r = r.format_version
 
 (* ------------------------------------------------------------------ *)
 (* Replay *)
@@ -246,6 +303,8 @@ let header r = r.hdr
 let max_nrefs = 1 lsl 16
 
 let max_batch_pairs = 1 lsl 22
+
+let max_run_records = 1 lsl 20
 
 (** Replay drives the recorded tape against a fresh kernel/machine.  The
     measured window's occurrence weights are not on the tape: they are
@@ -328,9 +387,11 @@ let replay r ~(setup : Run.setup) =
   let wall0 = ref 0 in
   let last_contention = ref 1.0 in
   let start = ref None in
-  (* current SECTION state *)
+  (* current SECTION state; [strides] is non-empty only after a
+     RUN_SECTION, so a RUNS record under a plain SECTION is caught *)
   let cpu = ref 0 and nrefs = ref 0 and ipi = ref 0 and extra = ref 0 in
   let prev = ref [||] in
+  let strides = ref [||] in
   let data = ref (Array.make (2 * 4096) 0) in
   let ic = r.ic in
   let check_cpu c = if c < 0 || c >= n then fail (Corrupt (Printf.sprintf "cpu %d out of range" c)) in
@@ -365,6 +426,50 @@ let replay r ~(setup : Run.setup) =
            fail (Corrupt (Printf.sprintf "section with %d references" !nrefs));
          ipi := read_varint ic;
          extra := read_varint ic;
+         strides := [||];
+         if Array.length !prev < !nrefs then prev := Array.make !nrefs 0
+         else Array.fill !prev 0 !nrefs 0
+       end
+       else if tag = tag_runs then begin
+         if r.format_version < 2 then fail (Corrupt "run record in a v1 trace");
+         let m = read_varint ic in
+         let nr = !nrefs in
+         if Array.length !strides < nr then fail (Corrupt "RUNS before any RUN_SECTION");
+         if m > max_run_records then fail (Corrupt "oversized run batch");
+         let stride = 1 + (2 * nr) in
+         if m * stride > Array.length !data then data := Array.make (m * stride) 0;
+         let d = !data and p = !prev in
+         for rec_ = 0 to m - 1 do
+           let base = rec_ * stride in
+           let count = read_varint ic in
+           if count < 1 || count > Walker.max_run_count then
+             fail (Corrupt (Printf.sprintf "run count %d out of bounds" count));
+           Array.unsafe_set d base count;
+           for slot = 0 to nr - 1 do
+             let w0 = Array.unsafe_get p slot + unzigzag (read_varint ic) in
+             if w0 < 0 then fail (Corrupt "negative reference address");
+             Array.unsafe_set p slot w0;
+             Array.unsafe_set d (base + 1 + (2 * slot)) w0;
+             Array.unsafe_set d (base + 2 + (2 * slot)) (read_varint ic)
+           done
+         done;
+         M.consume_runs machine ~cpu:!cpu ~translate ~data:d ~len:(m * stride) ~nrefs:nr
+           ~strides:!strides ~instr_per_iter:!ipi ~extra_onchip_stall:!extra
+       end
+       else if tag = tag_run_section then begin
+         if r.format_version < 2 then fail (Corrupt "run section in a v1 trace");
+         cpu := read_varint ic;
+         check_cpu !cpu;
+         nrefs := read_varint ic;
+         if !nrefs <= 0 || !nrefs > max_nrefs then
+           fail (Corrupt (Printf.sprintf "run section with %d references" !nrefs));
+         ipi := read_varint ic;
+         extra := read_varint ic;
+         let st = Array.make !nrefs 0 in
+         for slot = 0 to !nrefs - 1 do
+           st.(slot) <- unzigzag (read_varint ic)
+         done;
+         strides := st;
          if Array.length !prev < !nrefs then prev := Array.make !nrefs 0
          else Array.fill !prev 0 !nrefs 0
        end

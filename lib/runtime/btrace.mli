@@ -1,9 +1,14 @@
-(** Binary reference traces: record a batch-engine run as a stream of
-    simulation events (delta-encoded varint batches in the
-    {!Pcolor_comp.Walker} packed encoding), replay it later through
-    {!Pcolor_memsim.Machine.consume_batch} and the engine's own barrier
+(** Binary reference traces: record a batch- or runs-engine run as a
+    stream of simulation events (delta-encoded varint batches and
+    run-coalesced records in the {!Pcolor_comp.Walker} encodings),
+    replay it later through {!Pcolor_memsim.Machine.consume_batch} /
+    {!Pcolor_memsim.Machine.consume_runs} and the engine's own barrier
     and contention arithmetic — byte-identical counters, O(batch)
     memory in both directions.
+
+    The writer emits format v2 (run records); the reader accepts v1 and
+    v2, so a v1 tape replays by transparently degrading every batch to
+    per-reference consumption — old traces stay readable.
 
     Replay honors the observability context in the setup: metrics,
     phase spans, attribution and the cycle-epoch timeline all
@@ -33,6 +38,8 @@ type header = {
 type corruption =
   | Bad_magic of string  (** the file doesn't start with the trace magic *)
   | Bad_version of { found : int; expected : int }
+      (** [found] outside the supported range; [expected] is the newest
+          supported version *)
   | Truncated of string  (** unexpected EOF; payload names the region *)
   | Corrupt of string  (** structurally invalid content *)
 
@@ -50,7 +57,7 @@ type writer
 val create_writer : out_channel -> header -> writer
 
 (** [recorder w] is the hook set to pass to {!Run.run} (or
-    {!Engine.create}); requires the batch engine. *)
+    {!Engine.create}); requires the batch or runs engine. *)
 val recorder : writer -> Engine.recorder
 
 (** [finish w] terminates the tape (END marker) and flushes.
@@ -67,6 +74,11 @@ type reader
 val open_reader : in_channel -> reader
 
 val header : reader -> header
+
+(** [format_version r] is the tape's on-disk format version (1 or 2):
+    v1 tapes contain only per-reference batches, v2 may also contain
+    run-coalesced records. *)
+val format_version : reader -> int
 
 (** [replay r ~setup] consumes the event tape against a fresh
     kernel/machine built from [setup] (construct it from {!header} —

@@ -19,13 +19,17 @@ module M = Pcolor_memsim.Machine
 module Ir = Pcolor_comp.Ir
 module Walker = Pcolor_comp.Walker
 
-(** Reference-stream generation strategy.  [Batch] (the default)
+(** Reference-stream generation strategy.  [Runs] (the default)
     compiles each (nest, cpu-range) into a {!Pcolor_comp.Walker} that
-    streams packed references into a reusable flat batch consumed by
-    {!Pcolor_memsim.Machine.consume_batch}; [Interp] is the original
-    recursive per-depth interpreter, retained as the byte-identity
-    oracle. *)
-type kind = Interp | Batch
+    emits run-length-coalesced records ({!Pcolor_comp.Walker.fill_runs})
+    consumed by {!Pcolor_memsim.Machine.consume_runs} — the head of
+    each run takes the full access path, the tails retire as O(1) bulk
+    L1-hit arithmetic.  [Batch] streams every reference as a packed
+    pair through {!Pcolor_memsim.Machine.consume_batch}; [Interp] is
+    the original recursive per-depth interpreter, retained as the
+    byte-identity oracle.  All three produce byte-identical
+    artifacts. *)
+type kind = Interp | Batch | Runs
 
 (** A trace recorder: closures the engine invokes at every simulation
     event so a binary trace ({!Btrace}) can be written as a tee on the
@@ -36,6 +40,11 @@ type recorder = {
   rec_section : cpu:int -> nrefs:int -> instr_per_iter:int -> extra_onchip_stall:int -> unit;
       (** a CPU begins its share of a nest; batches follow *)
   rec_batch : Walker.batch -> unit;
+  rec_run_section :
+    cpu:int -> nrefs:int -> instr_per_iter:int -> extra_onchip_stall:int -> strides:int array -> unit;
+      (** a CPU begins its share of a nest in run-coalesced form; run
+          batches follow (strides reconstruct tail addresses) *)
+  rec_runs : Walker.batch -> unit;  (** a batch of run records *)
   rec_tick : cpu:int -> int -> unit;
       (** aggregate instruction cycles: the master-only startup section
           and reference-free nests (tick accounting is additive) *)
@@ -73,7 +82,8 @@ type t = {
   first_cpu : int; (* first physical CPU this engine schedules onto *)
   n_sched : int; (* how many physical CPUs it owns (space sharing) *)
   engine_kind : kind;
-  batch : Walker.batch; (* reused across every nest (batch engine) *)
+  l1_line_bits : int;
+  batch : Walker.batch; (* reused across every nest (batch/runs engines) *)
   recorder : recorder option;
   mutable last_contention : float;
   obs_trace : Pcolor_obs.Trace.buffer option; (* phase spans + instant events *)
@@ -91,9 +101,9 @@ type t = {
     job's engine schedules its nests over its own CPUs only, with the
     job-local master at [first]. *)
 let create ?(check_bounds = false) ?(collect_trace = false) ?(obs = Pcolor_obs.Ctx.disabled) ?cpus
-    ?(engine = Batch) ?recorder ~machine ~kernel ~program ~plans () =
-  if Option.is_some recorder && engine <> Batch then
-    invalid_arg "Engine.create: trace recording requires the batch engine";
+    ?(engine = Runs) ?recorder ~machine ~kernel ~program ~plans () =
+  if Option.is_some recorder && engine = Interp then
+    invalid_arg "Engine.create: trace recording requires the batch or runs engine";
   Ir.check_program program;
   let cfg = M.config machine in
   let first_cpu, n_sched =
@@ -139,6 +149,7 @@ let create ?(check_bounds = false) ?(collect_trace = false) ?(obs = Pcolor_obs.C
     plans;
     ov = Pcolor_stats.Overheads.create ~n_cpus:cfg.n_cpus;
     translate = (fun ~cpu ~vpage -> Pcolor_vm.Kernel.translate kernel ~cpu ~vpage);
+    l1_line_bits = Pcolor_util.Bits.log2 cfg.l1.line;
     l2_line_bits = Pcolor_util.Bits.log2 cfg.l2.line;
     page_bits = Pcolor_util.Bits.log2 cfg.page_size;
     check_bounds;
@@ -270,7 +281,7 @@ let run_cpu_nest_batch t (nest : Ir.nest) ~n_cpus ~lcpu ~cpu =
   if hi0 > lo0 then begin
     if t.check_bounds then Walker.validate_bounds nest ~lo0 ~hi0;
     let plan = Pcolor_comp.Prefetcher.find t.plans nest in
-    let w = Walker.create ~nest ~plan ~lo0 ~hi0 ~l2_line_bits:t.l2_line_bits in
+    let w = Walker.create ~nest ~plan ~lo0 ~hi0 ~l1_line_bits:t.l1_line_bits ~l2_line_bits:t.l2_line_bits in
     let nrefs = Walker.nrefs w in
     if nrefs = 0 then begin
       (* a reference-free nest is pure tick accounting; the interpreter
@@ -304,6 +315,81 @@ let run_cpu_nest_batch t (nest : Ir.nest) ~n_cpus ~lcpu ~cpu =
           M.consume_batch t.machine ~cpu ~translate:t.translate ~data:b.data ~len:b.len ~nrefs
             ~instr_per_iter ~extra_onchip_stall:extra
         | Some tbl -> consume_traced t tbl ~cpu ~nrefs ~instr_per_iter ~extra b
+      done
+    end
+  end
+
+(* The traced variant of the runs path expands every run record to its
+   full per-reference stream (heads and tails alike): trace collection
+   is a Figure-3 analysis mode, and expansion keeps the page-set
+   semantics trivially identical to the interpreter without teaching
+   the machine's bulk-retire proof about trace inserts. *)
+let consume_traced_runs t tbl ~cpu ~nrefs ~strides ~instr_per_iter ~extra (b : Walker.batch) =
+  let machine = t.machine and translate = t.translate in
+  let sampling = M.has_sampler machine in
+  let data = b.data in
+  let stride = 1 + (2 * nrefs) in
+  let k = ref 0 in
+  while !k < b.len do
+    let base = !k in
+    let count = Array.unsafe_get data base in
+    if count < 1 then invalid_arg "Engine.consume_traced_runs: bad run count";
+    for g = 0 to count - 1 do
+      for r = 0 to nrefs - 1 do
+        let w0 = Array.unsafe_get data (base + 1 + (2 * r)) in
+        let pf = if g = 0 then Array.unsafe_get data (base + 2 + (2 * r)) else 0 in
+        let vaddr = (w0 asr 1) + (Array.unsafe_get strides r * g) in
+        if pf <> 0 then M.prefetch machine ~cpu ~vaddr:(vaddr + pf);
+        M.access machine ~cpu ~vaddr ~write:(w0 land 1 <> 0) ~translate;
+        let vpage = vaddr lsr t.page_bits in
+        Pcolor_util.Itab.Set.add tbl ((vpage lsl t.trace_cpu_bits) lor cpu)
+      done;
+      M.tick machine ~cpu instr_per_iter;
+      if extra > 0 then M.add_onchip_stall machine ~cpu extra;
+      if sampling then M.sample_point machine ~cpu
+    done;
+    k := base + stride
+  done
+
+let run_cpu_nest_runs t (nest : Ir.nest) ~n_cpus ~lcpu ~cpu =
+  let lo0, hi0 = Pcolor_comp.Schedule.range nest ~n_cpus ~cpu:lcpu in
+  if hi0 > lo0 then begin
+    if t.check_bounds then Walker.validate_bounds nest ~lo0 ~hi0;
+    let plan = Pcolor_comp.Prefetcher.find t.plans nest in
+    let w = Walker.create ~nest ~plan ~lo0 ~hi0 ~l1_line_bits:t.l1_line_bits ~l2_line_bits:t.l2_line_bits in
+    let nrefs = Walker.nrefs w in
+    if nrefs = 0 then begin
+      (* identical to the batch engine: reference-free nests are pure
+         tick accounting through the interpreter, taped as aggregates *)
+      (match t.recorder with
+      | Some r ->
+        let iters = ref (hi0 - lo0) in
+        Array.iteri (fun d b -> if d > 0 then iters := !iters * b) nest.bounds;
+        if !iters > 0 then begin
+          if nest.body_instr > 0 then r.rec_tick ~cpu (!iters * nest.body_instr);
+          if nest.extra_onchip_stall > 0 then r.rec_onchip ~cpu (!iters * nest.extra_onchip_stall)
+        end
+      | None -> ());
+      run_cpu_nest t nest ~n_cpus ~lcpu ~cpu
+    end
+    else begin
+      let instr_per_iter = Walker.instr_per_iter w in
+      let extra = Walker.extra_onchip_stall w in
+      let strides = Walker.strides w in
+      (match t.recorder with
+      | Some r -> r.rec_run_section ~cpu ~nrefs ~instr_per_iter ~extra_onchip_stall:extra ~strides
+      | None -> ());
+      let b = t.batch in
+      let exhausted = ref (Walker.finished w) in
+      while not !exhausted do
+        Walker.reset_batch b;
+        exhausted := Walker.fill_runs w b;
+        (match t.recorder with Some r -> r.rec_runs b | None -> ());
+        match t.trace with
+        | None ->
+          M.consume_runs t.machine ~cpu ~translate:t.translate ~data:b.data ~len:b.len ~nrefs
+            ~strides ~instr_per_iter ~extra_onchip_stall:extra
+        | Some tbl -> consume_traced_runs t tbl ~cpu ~nrefs ~strides ~instr_per_iter ~extra b
       done
     end
   end
@@ -345,7 +431,10 @@ let barrier t (kind : Ir.loop_kind) =
 let run_nest t nest =
   let n = t.n_sched in
   let per_cpu =
-    match t.engine_kind with Batch -> run_cpu_nest_batch t | Interp -> run_cpu_nest t
+    match t.engine_kind with
+    | Runs -> run_cpu_nest_runs t
+    | Batch -> run_cpu_nest_batch t
+    | Interp -> run_cpu_nest t
   in
   for lcpu = 0 to n - 1 do
     per_cpu nest ~n_cpus:n ~lcpu ~cpu:(t.first_cpu + lcpu)

@@ -75,7 +75,7 @@ let default_setup ~cfg ~make_program ~policy =
     check_bounds = false;
     cdpc_ablation = Pcolor_cdpc.Colorer.full_algorithm;
     obs = Pcolor_obs.Ctx.disabled;
-    engine = Engine.Batch;
+    engine = Engine.Runs;
   }
 
 type outcome = {
@@ -189,7 +189,7 @@ let prepare ?(relocate = 0) (setup : setup) =
   { program; summary; hints_info; policy; layout_end = layout_end + relocate }
 
 (** [run ?recorder setup] executes one experiment end to end.
-    [recorder] (requires the batch engine) tees every simulation event
+    [recorder] (requires the runs or batch engine) tees every simulation event
     to a binary-trace writer ({!Btrace}). *)
 let run ?recorder (setup : setup) =
   let cfg = setup.cfg in

@@ -93,7 +93,7 @@ type prepared = {
 val prepare : ?relocate:int -> setup -> prepared
 
 (** [run ?recorder setup] executes one experiment end to end.
-    [recorder] (requires the batch engine) tees every simulation event
+    [recorder] (requires the runs or batch engine) tees every simulation event
     to a binary-trace writer ({!Btrace}).  Pool exhaustion
     ({!Pcolor_vm.Kernel.Out_of_frames}) is logged on the [PCOLOR_LOG]
     channel (faulting CPU/page, pool occupancy) before propagating. *)

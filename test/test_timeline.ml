@@ -191,8 +191,8 @@ let with_tape f =
   let path = Filename.temp_file "pcolor_tl" ".btrace" in
   Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
 
-let record_tape ~path ?obs () =
-  let s = setup ?obs ~policy:Run.Page_coloring ~engine:Pcolor.Runtime.Engine.Batch () in
+let record_tape ~path ?obs ?(engine = Pcolor.Runtime.Engine.Batch) () =
+  let s = setup ?obs ~policy:Run.Page_coloring ~engine () in
   let oc = open_out_bin path in
   let w =
     Btrace.create_writer oc
@@ -272,7 +272,7 @@ let test_btrace_error_paths () =
       let versioned = Bytes.of_string tape in
       Bytes.set versioned 4 '\009';
       (match opens_as_error (Bytes.to_string versioned) with
-      | Some (Btrace.Bad_version { found = 9; expected = 1 }) -> ()
+      | Some (Btrace.Bad_version { found = 9; expected = 2 }) -> ()
       | _ -> Alcotest.fail "patched version byte must be Bad_version");
       (* strip the END marker: replay must report a truncated stream *)
       with_tape (fun cut ->
@@ -280,6 +280,46 @@ let test_btrace_error_paths () =
           match replay_tape ~path:cut () with
           | _ -> Alcotest.fail "END-stripped tape must not replay"
           | exception Btrace.Error (Btrace.Truncated _) -> ()))
+
+(* ---------- version negotiation ---------- *)
+
+(* A batch-engine tape contains only v1 events, so rewriting its
+   version byte to 1 yields a genuine v1 tape.  The runs-first reader
+   must accept it and transparently degrade to per-reference
+   consumption — same counters, no error. *)
+let test_btrace_v1_degrade () =
+  with_tape (fun path ->
+      let _, direct = record_tape ~path () in
+      let tape = Bytes.of_string (read_file path) in
+      Bytes.set tape 4 '\001';
+      with_tape (fun v1 ->
+          write_file v1 (Bytes.to_string tape);
+          let ic = open_in_bin v1 in
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () ->
+              let r = Btrace.open_reader ic in
+              Alcotest.(check int) "format_version" 1 (Btrace.format_version r);
+              let s = setup ~policy:Run.Page_coloring ~engine:Pcolor.Runtime.Engine.Runs () in
+              let replayed = Btrace.replay r ~setup:s in
+              Alcotest.(check string) "v1 tape replays to the identical artifact"
+                (Json.to_string (Run.artifact_json direct))
+                (Json.to_string (Run.artifact_json replayed)))))
+
+(* The converse must stay an error: run-coalesced records inside a tape
+   whose header claims v1 are structurally invalid, and the reader
+   reports them as typed corruption rather than consuming them. *)
+let test_btrace_v1_run_records_corrupt () =
+  with_tape (fun path ->
+      let _ = record_tape ~path ~engine:Pcolor.Runtime.Engine.Runs () in
+      let tape = Bytes.of_string (read_file path) in
+      Bytes.set tape 4 '\001';
+      with_tape (fun bad ->
+          write_file bad (Bytes.to_string tape);
+          match replay_tape ~path:bad () with
+          | _ -> Alcotest.fail "run records in a v1 tape must be Corrupt"
+          | exception Btrace.Error (Btrace.Corrupt msg) ->
+            Alcotest.(check string) "corruption message" "run section in a v1 trace" msg))
 
 let test_btrace_corruption_fuzz =
   QCheck.Test.make ~name:"corrupted tapes raise Btrace.Error or replay" ~count:40
@@ -358,6 +398,9 @@ let suite =
         Alcotest.test_case "record/replay artifact identity" `Quick
           test_replay_artifact_identity;
         Alcotest.test_case "typed btrace errors" `Quick test_btrace_error_paths;
+        Alcotest.test_case "v1 tape degrades transparently" `Quick test_btrace_v1_degrade;
+        Alcotest.test_case "run records in v1 tape are corrupt" `Quick
+          test_btrace_v1_run_records_corrupt;
         QCheck_alcotest.to_alcotest test_btrace_corruption_fuzz;
         Alcotest.test_case "change-point on a clean step" `Quick test_detect_step;
         Alcotest.test_case "no change-point on flat series" `Quick test_detect_flat;

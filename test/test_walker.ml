@@ -72,7 +72,7 @@ let interpreter_events (nest : Ir.nest) ~(plan : Prefetcher.nest_plan) ~lo0 ~hi0
 (* Drain a walker through a deliberately small batch (forcing several
    fill/resume cycles) and decode the packed entries back to events. *)
 let walker_events (nest : Ir.nest) ~plan ~lo0 ~hi0 ~l2_line_bits =
-  let w = Walker.create ~nest ~plan ~lo0 ~hi0 ~l2_line_bits in
+  let w = Walker.create ~nest ~plan ~lo0 ~hi0 ~l1_line_bits:5 ~l2_line_bits in
   let nrefs = Walker.nrefs w in
   let b = Walker.create_batch ~capacity_refs:(max nrefs 5) () in
   let out = ref [] in
@@ -88,6 +88,41 @@ let walker_events (nest : Ir.nest) ~plan ~lo0 ~hi0 ~l2_line_bits =
       if pf <> 0 then out := Pf (vaddr + pf) :: !out;
       out := Acc (vaddr, w0 land 1 <> 0) :: !out;
       k := !k + 2
+    done
+  done;
+  List.rev !out
+
+(* Drain a walker through {!Walker.fill_runs} and expand every record
+   back to per-reference events: tail groups advance each reference by
+   its innermost byte stride and (by the producer's invariant) issue no
+   prefetches.  The batch holds exactly one record, so every record
+   boundary is also a fill/resume split. *)
+let runs_events (nest : Ir.nest) ~plan ~lo0 ~hi0 ~l2_line_bits =
+  let w = Walker.create ~nest ~plan ~lo0 ~hi0 ~l1_line_bits:5 ~l2_line_bits in
+  let nrefs = Walker.nrefs w in
+  let strides = Walker.strides w in
+  let b = Walker.create_batch ~capacity_refs:(nrefs + 1) () in
+  let stride = 1 + (2 * nrefs) in
+  let out = ref [] in
+  let exhausted = ref (Walker.finished w) in
+  while not !exhausted do
+    Walker.reset_batch b;
+    exhausted := Walker.fill_runs w b;
+    let k = ref 0 in
+    while !k < b.Walker.len do
+      let count = b.Walker.data.(!k) in
+      if count < 1 || count > Walker.max_run_count then
+        Alcotest.failf "run record count %d out of bounds" count;
+      for g = 0 to count - 1 do
+        for r = 0 to nrefs - 1 do
+          let w0 = b.Walker.data.(!k + 1 + (2 * r)) in
+          let pf = b.Walker.data.(!k + 2 + (2 * r)) in
+          let vaddr = (w0 asr 1) + (strides.(r) * g) in
+          if g = 0 && pf <> 0 then out := Pf (vaddr + pf) :: !out;
+          out := Acc (vaddr, w0 land 1 <> 0) :: !out
+        done
+      done;
+      k := !k + stride
     done
   done;
   List.rev !out
@@ -137,11 +172,35 @@ let test_walker_matches_interpreter () =
         (List.length expect)
   done
 
+(* The run-coalescing oracle: expanding [fill_runs] records must yield
+   the interpreter's exact event stream — coalescing may only merge
+   iterations whose tails are invisible (no line crossing, every tail
+   prefetch dedup-suppressed).  Randomized over nest shapes, with and
+   without the real prefetch planner, through a one-record batch so
+   every record is produced across a resume split. *)
+let test_runs_match_interpreter =
+  let cfg = Helpers.tiny_cfg () in
+  QCheck.Test.make ~name:"run coalescing expands to the interpreter stream" ~count:300
+    QCheck.(pair int bool)
+    (fun (seed, use_planner) ->
+      let rng = Random.State.make [| 0xC0A1; seed |] in
+      let nest, lo0, hi0 = random_nest_case rng in
+      let plan =
+        if use_planner then Prefetcher.plan_nest cfg nest else Prefetcher.find Prefetcher.none nest
+      in
+      let l2_line_bits = 7 in
+      let expect = interpreter_events nest ~plan ~lo0 ~hi0 ~l2_line_bits in
+      let got = runs_events nest ~plan ~lo0 ~hi0 ~l2_line_bits in
+      if expect <> got then
+        QCheck.Test.fail_reportf "run expansion diverged (%s, lo0=%d hi0=%d): %d vs %d events"
+          nest.Ir.label lo0 hi0 (List.length expect) (List.length got);
+      true)
+
 let test_walker_iter_constants () =
   let rng = Random.State.make [| 0x5EED |] in
   let nest, lo0, hi0 = random_nest_case rng in
   let plan = Prefetcher.find Prefetcher.none nest in
-  let w = Walker.create ~nest ~plan ~lo0 ~hi0 ~l2_line_bits:7 in
+  let w = Walker.create ~nest ~plan ~lo0 ~hi0 ~l1_line_bits:5 ~l2_line_bits:7 in
   Alcotest.(check int) "nrefs" (List.length nest.Ir.refs) (Walker.nrefs w);
   Alcotest.(check int) "instr_per_iter"
     (nest.Ir.body_instr + (2 * List.length nest.Ir.refs))
@@ -195,7 +254,7 @@ let test_walker_fill_no_alloc () =
       ()
   in
   let plan = Prefetcher.find Prefetcher.none nest in
-  let w = Walker.create ~nest ~plan ~lo0:0 ~hi0:64 ~l2_line_bits:7 in
+  let w = Walker.create ~nest ~plan ~lo0:0 ~hi0:64 ~l1_line_bits:5 ~l2_line_bits:7 in
   let b = Walker.create_batch ~capacity_refs:256 () in
   Walker.reset_batch b;
   ignore (Walker.fill w b);
@@ -207,6 +266,66 @@ let test_walker_fill_no_alloc () =
   let delta = Gc.minor_words () -. before in
   Alcotest.(check bool)
     (Printf.sprintf "walker fill allocation-free (%.0f minor words)" delta)
+    true (delta <= 64.0)
+
+let test_walker_fill_runs_no_alloc () =
+  let a = Ir.make_array ~id:0 ~name:"A" ~elem_size:8 ~dims:[| 64; 64 |] in
+  a.Ir.base <- 0;
+  let nest =
+    Ir.make_nest ~label:"fillruns" ~kind:(Ir.Parallel { policy = Even; direction = Forward })
+      ~bounds:[| 64; 64 |]
+      ~refs:[ Ir.ref_to a ~coeffs:[| 64; 1 |] ~offset:0 ~write:false ]
+      ()
+  in
+  let plan = Prefetcher.find Prefetcher.none nest in
+  let w = Walker.create ~nest ~plan ~lo0:0 ~hi0:64 ~l1_line_bits:5 ~l2_line_bits:7 in
+  let b = Walker.create_batch ~capacity_refs:256 () in
+  Walker.reset_batch b;
+  ignore (Walker.fill_runs w b);
+  let before = Gc.minor_words () in
+  Walker.reset_batch b;
+  ignore (Walker.fill_runs w b);
+  Walker.reset_batch b;
+  ignore (Walker.fill_runs w b);
+  let delta = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "walker fill_runs allocation-free (%.0f minor words)" delta)
+    true (delta <= 64.0)
+
+let test_consume_runs_no_alloc () =
+  let cfg = Helpers.tiny_cfg ~n_cpus:1 () in
+  let m = M.create cfg in
+  let translate ~cpu:_ ~vpage = (vpage, 0) in
+  let nrefs = 2 in
+  let stride = 1 + (2 * nrefs) in
+  let nrec = 128 in
+  let data = Array.make (nrec * stride) 0 in
+  for i = 0 to nrec - 1 do
+    let k = i * stride in
+    (* even records have line-aligned spans (count 4 × stride 8 = one
+       32 B line) and bulk-retire once warm; odd records start at line
+       offset 16, so the span check fails and every tail takes the
+       per-reference fallback — both paths must be allocation-free *)
+    let off = if i land 1 = 0 then 0 else 16 in
+    let va = ((i mod 8) * 64) + off in
+    data.(k) <- 4;
+    data.(k + 1) <- Walker.pack ~vaddr:va ~write:false;
+    data.(k + 2) <- 0;
+    data.(k + 3) <- Walker.pack ~vaddr:(va + 32) ~write:true;
+    data.(k + 4) <- 0
+  done;
+  let strides = [| 8; 8 |] in
+  let consume () =
+    M.consume_runs m ~cpu:0 ~translate ~data ~len:(nrec * stride) ~nrefs ~strides
+      ~instr_per_iter:8 ~extra_onchip_stall:1
+  in
+  consume ();
+  consume ();
+  let before = Gc.minor_words () in
+  consume ();
+  let delta = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "consume_runs allocation-free (%.0f minor words)" delta)
     true (delta <= 64.0)
 
 (* ---------- run-level engine identity ---------- *)
@@ -228,12 +347,15 @@ let test_engines_identical () =
       List.iter
         (fun prefetch ->
           let b = Run.run (setup ~policy ~prefetch ~engine:Pcolor.Runtime.Engine.Batch ()) in
+          let r = Run.run (setup ~policy ~prefetch ~engine:Pcolor.Runtime.Engine.Runs ()) in
           let i = Run.run (setup ~policy ~prefetch ~engine:Pcolor.Runtime.Engine.Interp ()) in
           let label =
             Printf.sprintf "%s%s" (Run.policy_name policy) (if prefetch then "+pf" else "")
           in
           Alcotest.(check string) (label ^ " report") (render i) (render b);
-          Alcotest.(check (list (pair int int))) (label ^ " trace") i.Run.trace b.Run.trace)
+          Alcotest.(check string) (label ^ " report (runs)") (render i) (render r);
+          Alcotest.(check (list (pair int int))) (label ^ " trace") i.Run.trace b.Run.trace;
+          Alcotest.(check (list (pair int int))) (label ^ " trace (runs)") i.Run.trace r.Run.trace)
         [ false; true ])
     [
       Run.Page_coloring;
@@ -295,10 +417,13 @@ let suite =
     ( "walker",
       [
         Alcotest.test_case "emission matches interpreter" `Quick test_walker_matches_interpreter;
+        QCheck_alcotest.to_alcotest test_runs_match_interpreter;
         Alcotest.test_case "per-iteration constants" `Quick test_walker_iter_constants;
         Alcotest.test_case "consume loop zero-alloc" `Quick test_consume_batch_no_alloc;
         Alcotest.test_case "walker fill zero-alloc" `Quick test_walker_fill_no_alloc;
-        Alcotest.test_case "batch == interp across policies" `Quick test_engines_identical;
+        Alcotest.test_case "walker fill_runs zero-alloc" `Quick test_walker_fill_runs_no_alloc;
+        Alcotest.test_case "consume_runs zero-alloc" `Quick test_consume_runs_no_alloc;
+        Alcotest.test_case "batch/runs == interp across policies" `Quick test_engines_identical;
         Alcotest.test_case "btrace round trip" `Quick test_btrace_roundtrip;
         Alcotest.test_case "trace points sorted" `Quick test_trace_points_sorted;
       ] );
