@@ -167,6 +167,128 @@ let section title =
 
 let note fmt = Printf.printf (fmt ^^ "\n")
 
+(* ---- multi-trial statistical benching (DESIGN §15) ----
+
+   A single wall-clock sample on a shared container regularly lands
+   10–40% off the process's steady state, so every timed section runs
+   PCOLOR_TRIALS back-to-back repetitions and reports median ± MAD plus
+   a sign-test confidence interval over the raw trial vector. *)
+
+module Ostat = Pcolor.Obs.Stat
+module Ledger = Pcolor.Obs.Ledger
+
+let trials =
+  match Sys.getenv_opt "PCOLOR_TRIALS" with
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some v when v >= 1 -> v
+    | _ -> failwith "PCOLOR_TRIALS must be a positive integer")
+  | None -> 5
+
+(* One untimed warm-up pair, once per process: the first experiment in
+   a fresh process pays for binary page-in and major-heap growth (~40%
+   on this workload), which would make any timed section track process
+   start-up rather than simulator throughput.  Shared by the
+   throughput, mix and micro sections. *)
+let warmup_done = ref false
+
+let warm_up_pair () =
+  if not !warmup_done then begin
+    warmup_done := true;
+    List.iter
+      (fun prefetch ->
+        let d = Spec.find "tomcatv" in
+        let cfg = machine_cfg Sgi ~n_cpus:4 in
+        let setup =
+          {
+            (Run.default_setup ~cfg ~make_program:(fun () -> d.build ~scale ())
+               ~policy:Run.Page_coloring)
+            with
+            prefetch;
+          }
+        in
+        ignore (Run.run setup))
+      [ false; true ]
+  end
+
+type timed = {
+  refs : int;
+  secs : float array; (* per-trial wall seconds *)
+  rates : float array; (* per-trial refs/sec *)
+  summary : Ostat.summary; (* over [rates] *)
+}
+
+(* [timed_trials f] runs [f] — which returns the executed reference
+   count — [trials] times back to back.  The count must be identical
+   across trials (the simulation is deterministic; a drift means the
+   section is timing different work). *)
+let timed_trials ?(n = trials) f =
+  let secs = Array.make n 0.0 in
+  let refs = ref 0 in
+  for i = 0 to n - 1 do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    secs.(i) <- Unix.gettimeofday () -. t0;
+    if i = 0 then refs := r
+    else if r <> !refs then
+      failwith
+        (Printf.sprintf
+           "timed_trials: trial %d executed %d refs where trial 0 executed %d"
+           i r !refs)
+  done;
+  let rates = Array.map (fun s -> float_of_int !refs /. s) secs in
+  { refs = !refs; secs; rates; summary = Ostat.summarize rates }
+
+(* Multi-trial rate object for BENCH_*.json: keeps the legacy scalar
+   field name (refs_per_sec = median) so old readers stay correct, and
+   adds mad / ci / the raw vectors. *)
+let rate_json (t : timed) =
+  let module J = Pcolor.Obs.Json in
+  match Ostat.to_json ~unit_name:"refs_per_sec" ~trials:t.rates t.summary with
+  | J.Obj fields ->
+    J.Obj
+      (("refs", J.Int t.refs)
+      :: ("seconds", J.Arr (Array.to_list (Array.map (fun s -> J.Float s) t.secs)))
+      :: fields)
+  | j -> j
+
+let note_timed label (t : timed) =
+  let s = t.summary in
+  note "  %s: %d refs; median %.3e ± %.1e refs/sec over %d trials (CI [%.3e, %.3e])" label t.refs
+    s.Ostat.median s.Ostat.mad s.Ostat.n s.Ostat.ci_lo s.Ostat.ci_hi
+
+(* ---- perf ledger (PCOLOR_LEDGER, default PERF_LEDGER.jsonl) ---- *)
+
+(* One provenance stamp per bench process, shared by every artifact
+   header and ledger record: collected at first use, i.e. before any
+   artifact file has been rewritten, so the git stamp reflects the
+   tree the bench actually ran on (a later section would otherwise
+   see its predecessor's freshly-written BENCH_*.json as -dirty). *)
+let ledger_provenance = lazy (Pcolor.Obs.Provenance.collect ~scale ~jobs ())
+
+let ledger_pending : Ledger.record list ref = ref []
+
+let ledger_add ~section ~unit_name ~summary ~trials:tr =
+  ledger_pending :=
+    Ledger.make ~section ~unit_name ~summary ~trials:tr
+      ~provenance:(Lazy.force ledger_provenance) ()
+    :: !ledger_pending
+
+let ledger_add_timed ~section (t : timed) =
+  ledger_add ~section ~unit_name:"refs_per_sec" ~summary:t.summary ~trials:t.rates
+
+(* [ledger_flush ()] appends every pending record (oldest first) to the
+   ledger file, unless PCOLOR_LEDGER disables it. *)
+let ledger_flush () =
+  let records = List.rev !ledger_pending in
+  ledger_pending := [];
+  if records <> [] then
+    match Ledger.default_path () with
+    | None -> ()
+    | Some path ->
+      Ledger.append ~path records;
+      note "  ledger: appended %d record(s) to %s" (List.length records) path
+
 (* ---- machine-readable section artifacts ---- *)
 
 (* [cache_keys ()] is the sorted key set currently cached. *)
@@ -174,8 +296,9 @@ let cache_keys () =
   Mutex.protect cache_mutex (fun () -> Hashtbl.fold (fun k _ acc -> k :: acc) cache [])
   |> List.sort compare
 
-(* [provenance ()] stamps scale/jobs into the artifact header. *)
-let provenance () = Pcolor.Obs.Provenance.collect ~scale ~jobs ()
+(* [provenance ()] stamps scale/jobs into the artifact header — the
+   same per-process stamp the ledger records carry. *)
+let provenance () = Lazy.force ledger_provenance
 
 (* [sanitize_section name] maps a section name to a filename fragment
    ("figure3+5" -> "figure3_5"). *)

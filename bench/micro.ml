@@ -138,6 +138,9 @@ let all_tests =
 
 let run () =
   Harness.section "Micro-benchmarks (bechamel): per-operation costs of the core machinery";
+  (* shared untimed warm-up: in a fresh process the first timed group
+     would otherwise also measure binary page-in + heap growth *)
+  Harness.warm_up_pair ();
   let instance = Instance.monotonic_clock in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) () in
   let ols =

@@ -37,19 +37,27 @@ let run_mix ~benches ~policy =
 let mix_cost (_, benches) = List.fold_left (fun a b -> a +. (Spec.find b).Spec.table1_mb) 0.0 benches
 
 let run () =
-  section "Mix throughput: CDPC under multiprogramming (gang, 8 CPUs, shared pool)";
+  section
+    (Printf.sprintf
+       "Mix throughput: CDPC under multiprogramming (gang, 8 CPUs, shared pool), %d trials/cell"
+       trials);
+  warm_up_pair ();
   let grid = List.concat_map (fun m -> List.map (fun p -> (m, p)) policies) mixes in
   let n = List.length grid in
   let outcomes = Array.make n None in
-  let seconds = Array.make n 0.0 in
+  (* per-cell trial vector of wall seconds; the simulated outcome is
+     deterministic, so only the last one is kept *)
+  let seconds = Array.init n (fun _ -> Array.make trials 0.0) in
   let tasks =
     List.mapi
       (fun i ((_, benches), policy) ->
         ( mix_cost ("", benches),
           fun () ->
-            let t0 = Unix.gettimeofday () in
-            outcomes.(i) <- Some (run_mix ~benches ~policy);
-            seconds.(i) <- Unix.gettimeofday () -. t0 ))
+            for tr = 0 to trials - 1 do
+              let t0 = Unix.gettimeofday () in
+              outcomes.(i) <- Some (run_mix ~benches ~policy);
+              seconds.(i).(tr) <- Unix.gettimeofday () -. t0
+            done ))
       grid
   in
   Pcolor.Util.Pool.run_all ~jobs
@@ -77,7 +85,7 @@ let run () =
             Printf.sprintf "%.0f" (conflict r);
             Printf.sprintf "%.0f" honored_pct;
             string_of_int o.Mix.sched_stats.Scheduler.switches;
-            Printf.sprintf "%.1f" seconds.(i);
+            Printf.sprintf "%.1f" (Ostat.median seconds.(i));
           ];
         (label, benches, policy, o, seconds.(i)))
       grid
@@ -108,7 +116,8 @@ let run () =
     mixes;
   (* ---- BENCH_mix.json ---- *)
   let module J = Pcolor.Obs.Json in
-  let mix_json (label, benches, policy, (o : Mix.outcome), secs) =
+  let mix_json (label, benches, policy, (o : Mix.outcome), tsecs) =
+    let ssum = Ostat.summarize tsecs in
     let r = o.Mix.aggregate in
     let st = o.Mix.sched_stats in
     let invocations, _, second_chances, evictions = Pcolor.Sched.Reclaim.stats o.Mix.reclaim in
@@ -141,9 +150,18 @@ let run () =
               ("second_chances", J.Int second_chances);
               ("evictions", J.Int evictions);
             ] );
-        ("seconds", J.Float secs);
+        ("seconds", J.Float ssum.Ostat.median);
+        ("seconds_mad", J.Float ssum.Ostat.mad);
+        ("seconds_trials", J.Arr (Array.to_list (Array.map (fun s -> J.Float s) tsecs)));
       ]
   in
+  (* per-trial whole-grid totals: trial k sums cell k's wall seconds,
+     so the aggregate inherits a real trial vector *)
+  let totals =
+    Array.init trials (fun tr ->
+        List.fold_left (fun acc (_, _, _, _, tsecs) -> acc +. tsecs.(tr)) 0.0 results)
+  in
+  let total_summary = Ostat.summarize totals in
   let json =
     J.Obj
       [
@@ -152,6 +170,8 @@ let run () =
         ("scale", J.Int scale);
         ("sched", J.Str (Scheduler.policy_name Scheduler.default.Scheduler.policy));
         ("quantum", J.Int Scheduler.default.Scheduler.quantum);
+        ("trials", J.Int trials);
+        ("total_seconds", Ostat.to_json ~unit_name:"seconds" ~trials:totals total_summary);
         ("mixes", J.Arr (List.map mix_json results));
       ]
   in
@@ -159,4 +179,6 @@ let run () =
   output_string oc (J.pretty json);
   output_char oc '\n';
   close_out oc;
-  note "  wrote BENCH_mix.json"
+  note "  wrote BENCH_mix.json";
+  ledger_add ~section:"mix" ~unit_name:"seconds" ~summary:total_summary ~trials:totals;
+  ledger_flush ()

@@ -21,6 +21,12 @@
    byte-identity check of the rendered reports (the Layer-1
    parallel-speedup number).
 
+   Every section runs PCOLOR_TRIALS back-to-back repetitions
+   (Harness.timed_trials) and reports median ± MAD plus a sign-test CI
+   over the raw trial vector — single samples on a shared container
+   are 10–40% noise (DESIGN.md §15).  Each section also appends one
+   provenance-stamped record to the perf ledger.
+
    Reference counts are the *executed* measured-pass references read
    from the post-run machine (unweighted), not the window-weighted
    totals, so refs/sec reflects real simulator work. *)
@@ -71,54 +77,36 @@ let run_once ?(prefetch = false) ?(engine = Engine.Runs) ?(scale_div = scale) ~b
 (* demand path and prefetch path, one workload each *)
 let pair_cases = [ ("tomcatv demand", false); ("tomcatv +prefetch", true) ]
 
-(* One untimed pair first: the first experiment in a fresh process pays
-   for binary page-in and major-heap growth (~40% on this workload),
-   which would make the headline track process start-up rather than
-   simulator throughput.  Each timed pair still runs the full pipeline
-   (program build, layout, CDPC, kernel construction, both passes). *)
-let warmed = ref false
+(* One full pipeline pass over the pair (program build, layout, CDPC,
+   kernel construction, both passes); returns executed references. *)
+let pair_refs ?(engine = Engine.Runs) ?(scale_div = scale) ?(machine = Sgi) () =
+  List.fold_left
+    (fun acc (_, prefetch) ->
+      let o =
+        run_once ~prefetch ~engine ~scale_div ~bench:"tomcatv" ~machine ~n_cpus:4
+          ~policy:Run.Page_coloring ()
+      in
+      acc + refs_executed o.Run.machine)
+    0 pair_cases
 
-let warm_up () =
-  if not !warmed then begin
-    warmed := true;
-    List.iter
-      (fun (_, prefetch) ->
-        ignore
-          (run_once ~prefetch ~engine:Engine.Runs ~bench:"tomcatv" ~machine:Sgi ~n_cpus:4
-             ~policy:Run.Page_coloring ()))
-      pair_cases
-  end
-
-let single_domain_with ~engine ?(scale_div = scale) () =
-  warm_up ();
-  let t0 = Unix.gettimeofday () in
-  let refs =
-    List.fold_left
-      (fun acc (_, prefetch) ->
-        let o =
-          run_once ~prefetch ~engine ~scale_div ~bench:"tomcatv" ~machine:Sgi ~n_cpus:4
-            ~policy:Run.Page_coloring ()
-        in
-        acc + refs_executed o.Run.machine)
-      0 pair_cases
-  in
-  let secs = Unix.gettimeofday () -. t0 in
-  let rate = float_of_int refs /. secs in
-  (refs, secs, rate)
+let single_domain_with ~engine () =
+  warm_up_pair ();
+  timed_trials (fun () -> pair_refs ~engine ())
 
 let single_domain () =
-  let ((refs, secs, rate) as r) = single_domain_with ~engine:Engine.Runs () in
-  note "  single-domain (runs): %d references in %.2fs = %.3e refs/sec" refs secs rate;
-  r
+  let t = single_domain_with ~engine:Engine.Runs () in
+  note_timed "single-domain (runs)" t;
+  t
 
 (* every engine on the identical workload pair — interp-vs-batch is the
    generation-vs-consumption split, batch-vs-runs the coalescing delta *)
-let engines ~runs:(_, _, runs_rate) () =
-  let _, _, interp_rate = single_domain_with ~engine:Engine.Interp () in
-  let _, _, batch_rate = single_domain_with ~engine:Engine.Batch () in
-  note "  engines: interp %.3e, batch %.3e, runs %.3e refs/sec (runs %.2fx interp)" interp_rate
-    batch_rate runs_rate (runs_rate /. interp_rate);
-  (interp_rate, batch_rate, runs_rate)
+let engines ~runs () =
+  let interp = single_domain_with ~engine:Engine.Interp () in
+  let batch = single_domain_with ~engine:Engine.Batch () in
+  note "  engines: interp %.3e, batch %.3e, runs %.3e median refs/sec (runs %.2fx interp)"
+    interp.summary.Ostat.median batch.summary.Ostat.median runs.summary.Ostat.median
+    (runs.summary.Ostat.median /. interp.summary.Ostat.median);
+  (interp, batch, runs)
 
 (* ---------- 2. replay off a binary tape ---------- *)
 
@@ -152,44 +140,31 @@ let replay_mode () =
         (file, setup))
       pair_cases
   in
-  let t0 = Unix.gettimeofday () in
-  let refs =
-    List.fold_left
-      (fun acc (file, setup) ->
-        let ic = open_in_bin file in
-        let r = Btrace.open_reader ic in
-        let o = Btrace.replay r ~setup in
-        close_in ic;
-        acc + refs_executed o.Run.machine)
-      0 tapes
+  let t =
+    timed_trials (fun () ->
+        List.fold_left
+          (fun acc (file, setup) ->
+            let ic = open_in_bin file in
+            let r = Btrace.open_reader ic in
+            let o = Btrace.replay r ~setup in
+            close_in ic;
+            acc + refs_executed o.Run.machine)
+          0 tapes)
   in
-  let secs = Unix.gettimeofday () -. t0 in
   List.iter (fun (file, _) -> Sys.remove file) tapes;
-  let rate = float_of_int refs /. secs in
-  note "  replay (v2 tape): %d references in %.2fs = %.3e refs/sec" refs secs rate;
-  (refs, secs, rate)
+  note_timed "replay (v2 tape)" t;
+  t
 
 (* ---------- 3. smoke scale, where bulk retirement fires ---------- *)
 
 let scale_256 () =
   (* the base SGI's L2 shrinks below 2 colors at /256; the 4MB-L2
      variant keeps 4 colors and the same line geometry *)
-  let t0 = Unix.gettimeofday () in
-  let refs =
-    List.fold_left
-      (fun acc (_, prefetch) ->
-        let o =
-          run_once ~prefetch ~engine:Engine.Runs ~scale_div:256 ~bench:"tomcatv"
-            ~machine:Sgi_4mb ~n_cpus:4 ~policy:Run.Page_coloring ()
-        in
-        acc + refs_executed o.Run.machine)
-      0 pair_cases
+  let t =
+    timed_trials (fun () -> pair_refs ~engine:Engine.Runs ~scale_div:256 ~machine:Sgi_4mb ())
   in
-  let secs = Unix.gettimeofday () -. t0 in
-  let rate = float_of_int refs /. secs in
-  let r = (refs, secs, rate) in
-  note "  scale-256 (runs): %d references in %.2fs = %.3e refs/sec" refs secs rate;
-  r
+  note_timed "scale-256 (runs)" t;
+  t
 
 (* ---------- 4. domain-parallel sweep ---------- *)
 
@@ -214,7 +189,6 @@ let run_sweep ~jobs =
   let n = List.length sweep_grid in
   let reports = Array.make n "" in
   let refs = Array.make n 0 in
-  let t0 = Unix.gettimeofday () in
   let tasks =
     List.mapi
       (fun i (bench, n_cpus, policy) ->
@@ -227,31 +201,34 @@ let run_sweep ~jobs =
   in
   Pool.run_all ~jobs
     (List.map snd (List.stable_sort (fun (ca, _) (cb, _) -> compare cb ca) tasks));
-  let secs = Unix.gettimeofday () -. t0 in
-  (reports, Array.fold_left ( + ) 0 refs, secs)
+  (reports, Array.fold_left ( + ) 0 refs)
 
 let sweep () =
-  let seq_reports, seq_refs, seq_secs = run_sweep ~jobs:1 in
-  let par_reports, _, par_secs = run_sweep ~jobs in
-  let identical = seq_reports = par_reports in
-  let speedup = seq_secs /. par_secs in
-  note "  sweep (%d experiments): sequential %.2fs, %d-domain %.2fs = %.2fx speedup"
-    (List.length sweep_grid) seq_secs jobs par_secs speedup;
-  note "  parallel reports byte-identical to sequential: %b" identical;
-  if not identical then failwith "throughput sweep: parallel run diverged from sequential";
-  (seq_refs, seq_secs, par_secs, speedup, identical)
+  (* every trial — sequential and parallel alike — must render the
+     byte-identical report set *)
+  let reference = ref None in
+  let checked_run ~jobs () =
+    let reports, refs = run_sweep ~jobs in
+    (match !reference with
+    | None -> reference := Some reports
+    | Some r0 ->
+      if reports <> r0 then failwith "throughput sweep: run diverged from first sequential run");
+    refs
+  in
+  let seq = timed_trials (checked_run ~jobs:1) in
+  let par = timed_trials (checked_run ~jobs) in
+  let speedup = par.summary.Ostat.median /. seq.summary.Ostat.median in
+  note "  sweep (%d experiments): sequential %.3e, %d-domain %.3e median refs/sec = %.2fx speedup"
+    (List.length sweep_grid) seq.summary.Ostat.median jobs par.summary.Ostat.median speedup;
+  note "  parallel reports byte-identical to sequential: %b" true;
+  (seq, par, speedup)
 
 (* ---------- JSON emission ---------- *)
 
-let rate_obj (refs, secs, rate) =
+let write_json ~file ~single ~engines:(interp, batch, runs) ~replay ~smoke
+    ~sweep:(seq, par, speedup) =
   let module J = Pcolor.Obs.Json in
-  J.Obj
-    [ ("refs", J.Int refs); ("seconds", J.Float secs); ("refs_per_sec", J.Float rate) ]
-
-let write_json ~file ~single:((_, _, runs_rate) as single)
-    ~engines:(interp_rate, batch_rate, _) ~replay ~smoke
-    ~sweep:(w_refs, w_seq, w_par, w_speedup, ident) =
-  let module J = Pcolor.Obs.Json in
+  let median (t : timed) = t.summary.Ostat.median in
   let json =
     J.Obj
       [
@@ -259,29 +236,28 @@ let write_json ~file ~single:((_, _, runs_rate) as single)
         ("provenance", Pcolor.Obs.Provenance.to_json (provenance ()));
         ("scale", J.Int scale);
         ("jobs", J.Int jobs);
-        ("single_domain", rate_obj single);
+        ("trials", J.Int trials);
+        ("single_domain", rate_json single);
         ( "engines",
           J.Obj
             [
-              ("interp_refs_per_sec", J.Float interp_rate);
-              ("batch_refs_per_sec", J.Float batch_rate);
-              ("runs_refs_per_sec", J.Float runs_rate);
-              ("batch_speedup", J.Float (batch_rate /. interp_rate));
-              ("runs_speedup", J.Float (runs_rate /. interp_rate));
+              ("interp", rate_json interp);
+              ("batch", rate_json batch);
+              ("runs", rate_json runs);
+              ("batch_speedup", J.Float (median batch /. median interp));
+              ("runs_speedup", J.Float (median runs /. median interp));
             ] );
-        ("replay", rate_obj replay);
-        ("scale_256", rate_obj smoke);
+        ("replay", rate_json replay);
+        ("scale_256", rate_json smoke);
         ( "sweep",
           J.Obj
             [
               ("experiments", J.Int (List.length sweep_grid));
-              ("refs", J.Int w_refs);
-              ("seq_seconds", J.Float w_seq);
-              ("seq_refs_per_sec", J.Float (float_of_int w_refs /. w_seq));
-              ("par_seconds", J.Float w_par);
-              ("par_refs_per_sec", J.Float (float_of_int w_refs /. w_par));
-              ("speedup", J.Float w_speedup);
-              ("identical", J.Bool ident);
+              ("refs", J.Int seq.refs);
+              ("seq", rate_json seq);
+              ("par", rate_json par);
+              ("speedup", J.Float speedup);
+              ("identical", J.Bool true);
             ] );
       ]
   in
@@ -293,10 +269,21 @@ let write_json ~file ~single:((_, _, runs_rate) as single)
 
 let run () =
   section
-    (Printf.sprintf "Throughput: simulated refs/sec, single- and %d-domain (PCOLOR_JOBS)" jobs);
+    (Printf.sprintf
+       "Throughput: simulated refs/sec, single- and %d-domain (PCOLOR_JOBS), %d trials/section"
+       jobs trials);
   let single = single_domain () in
-  let eng = engines ~runs:single () in
+  let ((interp, batch, runs) as eng) = engines ~runs:single () in
   let replay = replay_mode () in
   let smoke = scale_256 () in
-  let sw = sweep () in
-  write_json ~file:"BENCH_throughput.json" ~single ~engines:eng ~replay ~smoke ~sweep:sw
+  let ((seq, par, _) as sw) = sweep () in
+  write_json ~file:"BENCH_throughput.json" ~single ~engines:eng ~replay ~smoke ~sweep:sw;
+  ledger_add_timed ~section:"single_domain" single;
+  ledger_add_timed ~section:"engines/interp" interp;
+  ledger_add_timed ~section:"engines/batch" batch;
+  ledger_add_timed ~section:"engines/runs" runs;
+  ledger_add_timed ~section:"replay" replay;
+  ledger_add_timed ~section:"scale_256" smoke;
+  ledger_add_timed ~section:"sweep/seq" seq;
+  ledger_add_timed ~section:"sweep/par" par;
+  ledger_flush ()

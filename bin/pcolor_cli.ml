@@ -120,6 +120,16 @@ let timeline_arg =
            given without a value) into the artifact's \"timeline\" section and, with \
            $(b,--trace), Perfetto counter tracks. Render with $(b,pcolor timeline).")
 
+let prof_arg =
+  Arg.(
+    value & flag
+    & info [ "prof" ]
+        ~doc:
+          "Self-profile the host process: bracket walker fill, consume/retire, reclaim and \
+           artifact serialization with wall-clock and GC deltas, printed as a separate table \
+           after the run. Off by default; when off the run is byte-identical and the hot path \
+           allocation-free.")
+
 (* Observability plumbing shared by run/compare: a sink (when tracing)
    and a constructor for per-run contexts.  Each run gets its own
    registry, attribution engine and trace buffer so parallel policy
@@ -131,7 +141,7 @@ type obs_io = {
   fresh_ctx : unit -> Pcolor.Obs.Ctx.t * Pcolor.Obs.Metrics.t option;
 }
 
-let obs_io_of ~trace_path ~metrics_out ?timeline cfg =
+let obs_io_of ~trace_path ~metrics_out ?timeline ?prof cfg =
   let sink = Option.map (fun path -> Pcolor.Obs.Trace.open_sink ~path) trace_path in
   let fresh_ctx () =
     let metrics = if metrics_out <> None then Some (Pcolor.Obs.Metrics.create ()) else None in
@@ -148,11 +158,25 @@ let obs_io_of ~trace_path ~metrics_out ?timeline cfg =
         timeline
     in
     let trace = Option.map Pcolor.Obs.Trace.buffer sink in
-    (Pcolor.Obs.Ctx.create ?metrics ?trace ?attrib ?sampler (), metrics)
+    (Pcolor.Obs.Ctx.create ?metrics ?trace ?attrib ?sampler ?prof (), metrics)
   in
   { sink; fresh_ctx }
 
 let close_obs io = Option.iter Pcolor.Obs.Trace.close io.sink
+
+let prof_of flag = if flag then Some (Pcolor.Obs.Prof.create ()) else None
+
+let prof_bracket prof phase f =
+  match prof with
+  | None -> f ()
+  | Some p ->
+    Pcolor.Obs.Prof.start p phase;
+    let r = f () in
+    Pcolor.Obs.Prof.stop p phase;
+    r
+
+let prof_print prof =
+  Option.iter (fun p -> print_string (Pcolor.Obs.Prof.render p)) prof
 
 let write_json_file path json =
   let oc = open_out path in
@@ -208,9 +232,10 @@ let list_cmd =
 
 let run_cmd =
   let action bench machine n_cpus scale policy prefetch seed cap engine trace_path metrics_out
-      timeline =
+      timeline prof_flag =
     let cfg = config_of machine n_cpus scale in
-    let io = obs_io_of ~trace_path ~metrics_out ?timeline cfg in
+    let prof = prof_of prof_flag in
+    let io = obs_io_of ~trace_path ~metrics_out ?timeline ?prof cfg in
     let obs, _metrics = io.fresh_ctx () in
     let setup =
       {
@@ -228,16 +253,18 @@ let run_cmd =
             ~config_hash:(Pcolor.Obs.Provenance.hash_value setup.cfg)
             ()
         in
-        write_json_file path (Run.artifact_json ~provenance o);
+        prof_bracket prof Pcolor.Obs.Prof.Serialize (fun () ->
+            write_json_file path (Run.artifact_json ~provenance o));
         Printf.eprintf "wrote run artifact to %s\n%!" path)
       metrics_out;
+    prof_print prof;
     close_obs io;
     Option.iter (fun path -> Printf.eprintf "wrote trace to %s\n%!" path) trace_path
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one benchmark under one policy and print the report.")
     Term.(
       const action $ bench_arg $ machine_arg $ cpus_arg $ scale_arg $ policy_arg $ prefetch_arg
-      $ seed_arg $ cap_arg $ engine_arg $ trace_arg $ metrics_out_arg $ timeline_arg)
+      $ seed_arg $ cap_arg $ engine_arg $ trace_arg $ metrics_out_arg $ timeline_arg $ prof_arg)
 
 (* ---- compare ---- *)
 
@@ -384,7 +411,7 @@ let mix_cmd =
              value is broadcast to every job. Default: $(b,cdpc).")
   in
   let action benches machine n_cpus scale sched_policy quantum switch_cost tlb mem_frames
-      policy_str prefetch seed cap engine trace_path metrics_out timeline =
+      policy_str prefetch seed cap engine trace_path metrics_out timeline prof_flag =
     let k = List.length benches in
     let policies =
       let names =
@@ -408,7 +435,8 @@ let mix_cmd =
         exit 2
     in
     let cfg = config_of machine n_cpus scale in
-    let io = obs_io_of ~trace_path ~metrics_out ?timeline cfg in
+    let prof = prof_of prof_flag in
+    let io = obs_io_of ~trace_path ~metrics_out ?timeline ?prof cfg in
     let obs, _ = io.fresh_ctx () in
     let specs =
       List.map2
@@ -481,9 +509,11 @@ let mix_cmd =
               ~config_hash:(Pcolor.Obs.Provenance.hash_value cfg)
               ()
           in
-          write_json_file path (Pcolor.Sched.Mix.artifact_json ~provenance outcome);
+          prof_bracket prof Pcolor.Obs.Prof.Serialize (fun () ->
+              write_json_file path (Pcolor.Sched.Mix.artifact_json ~provenance outcome));
           Printf.eprintf "wrote mix artifact to %s\n%!" path)
         metrics_out;
+      prof_print prof;
       close_obs io;
       Option.iter (fun path -> Printf.eprintf "wrote trace to %s\n%!" path) trace_path
   in
@@ -496,7 +526,7 @@ let mix_cmd =
     Term.(
       const action $ benches_arg $ machine_arg $ cpus_arg $ scale_arg $ sched_arg $ quantum_arg
       $ switch_cost_arg $ tlb_arg $ mem_frames_arg $ mix_policy_arg $ prefetch_arg $ seed_arg
-      $ cap_arg $ engine_arg $ trace_arg $ metrics_out_arg $ timeline_arg)
+      $ cap_arg $ engine_arg $ trace_arg $ metrics_out_arg $ timeline_arg $ prof_arg)
 
 (* ---- record / replay: binary reference traces ---- *)
 
@@ -1006,6 +1036,166 @@ let diff_cmd =
       $ artifact_pos_arg ~at:1 ~docv:"NEW" ~doc:"Candidate artifact (JSON)."
       $ threshold_arg $ warn_only_arg $ exact_arg $ ignore_arg)
 
+(* ---- perf: the host-side performance observatory ---- *)
+
+let ledger_path_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ledger" ] ~docv:"FILE"
+        ~doc:
+          "Perf ledger path (default: $(b,PCOLOR_LEDGER), or PERF_LEDGER.jsonl; \
+           $(b,PCOLOR_LEDGER=off) disables it).")
+
+let resolve_ledger = function
+  | Some p -> Some p
+  | None -> Pcolor.Obs.Ledger.default_path ()
+
+let perf_history_cmd =
+  let section_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "section" ] ~docv:"S" ~doc:"Show only section $(docv) (e.g. single_domain).")
+  in
+  let action ledger section =
+    match resolve_ledger ledger with
+    | None ->
+      Printf.eprintf "perf history: ledger disabled (PCOLOR_LEDGER=off)\n";
+      exit 2
+    | Some path ->
+      let records, skipped = Pcolor.Obs.Ledger.load ~path in
+      print_string (Pcolor.Stats.Perf.render_history ?section records ~skipped)
+  in
+  Cmd.v
+    (Cmd.info "history"
+       ~doc:
+         "Render per-section performance trends (sparkline over ledger records, latest median \
+          ± MAD) from the append-only perf ledger.")
+    Term.(const action $ ledger_path_arg $ section_arg)
+
+let perf_check_cmd =
+  let margin_arg =
+    let env = Cmd.Env.info "BENCH_FLOOR_MARGIN" in
+    Arg.(
+      value & opt float 0.5
+      & info [ "margin" ] ~env ~docv:"M"
+          ~doc:
+            "Tolerated fraction of the baseline interval: a rate section fails when the fresh \
+             median drops below baseline ci_lo × $(docv) (seconds sections: above ci_hi / \
+             $(docv)).")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Exit 1 on any failing section (default: advisory — report and exit 0).")
+  in
+  let action base_path fresh_path margin strict =
+    let strict =
+      strict
+      || (match Sys.getenv_opt "BENCH_STRICT" with
+         | None | Some "" | Some "0" -> false
+         | Some _ -> true)
+    in
+    let base = read_artifact base_path and fresh = read_artifact fresh_path in
+    let verdicts, missing = Pcolor.Stats.Perf.check ~margin ~base ~fresh in
+    print_string (Pcolor.Stats.Perf.render_check ~margin verdicts ~missing);
+    if verdicts = [] then begin
+      Printf.eprintf "perf check: no comparable sections between %s and %s\n" base_path
+        fresh_path;
+      exit 2
+    end;
+    if Pcolor.Stats.Perf.all_ok verdicts then print_endline "perf check: OK"
+    else if strict then begin
+      print_endline "perf check: FAILED (strict mode)";
+      exit 1
+    end
+    else
+      print_endline
+        "perf check: regression suspected (advisory; BENCH_STRICT=1 or --strict to fail loud)"
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Noise-aware regression verdict: compare a fresh bench artifact against a baseline, \
+          failing only when the fresh median falls outside the baseline's sign-test confidence \
+          interval by more than the margin.")
+    Term.(
+      const action
+      $ artifact_pos_arg ~at:0 ~docv:"BASELINE" ~doc:"Baseline bench artifact (JSON)."
+      $ artifact_pos_arg ~at:1 ~docv:"FRESH" ~doc:"Fresh bench artifact (JSON)."
+      $ margin_arg $ strict_arg)
+
+let perf_backfill_cmd =
+  let files_arg =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"ARTIFACT" ~doc:"Bench artifacts (JSON).")
+  in
+  let action ledger files =
+    match resolve_ledger ledger with
+    | None ->
+      Printf.eprintf "perf backfill: ledger disabled (PCOLOR_LEDGER=off)\n";
+      exit 2
+    | Some path ->
+      let existing, _ = Pcolor.Obs.Ledger.load ~path in
+      let existing_keys = List.map Pcolor.Obs.Ledger.key existing in
+      let records =
+        List.filter_map
+          (fun file ->
+            match Pcolor.Stats.Perf.backfill_record (read_artifact file) with
+            | Error e ->
+              Printf.eprintf "perf backfill: %s: %s\n" file e;
+              exit 2
+            | Ok r ->
+              if List.mem (Pcolor.Obs.Ledger.key r) existing_keys then begin
+                Printf.eprintf "  %s: %s already in ledger, skipped\n" file
+                  (Pcolor.Obs.Ledger.key r);
+                None
+              end
+              else Some r)
+          files
+      in
+      Pcolor.Obs.Ledger.append ~path records;
+      Printf.printf "appended %d backfill record(s) to %s\n" (List.length records) path
+  in
+  Cmd.v
+    (Cmd.info "backfill"
+       ~doc:
+         "Append one synthetic ledger record per committed bench artifact (provenance from its \
+          embedded stamp), so trends start before the first live multi-trial run. Idempotent: \
+          records whose git/section key is already present are skipped.")
+    Term.(const action $ ledger_path_arg $ files_arg)
+
+let perf_prof_cmd =
+  let action bench machine n_cpus scale policy prefetch seed cap engine =
+    let prof = Pcolor.Obs.Prof.create () in
+    let setup =
+      {
+        (setup_of bench machine n_cpus scale policy prefetch seed cap ~trace:false) with
+        obs = Pcolor.Obs.Ctx.create ~prof ();
+        engine;
+      }
+    in
+    ignore (Run.run setup);
+    print_string (Pcolor.Obs.Prof.render prof)
+  in
+  Cmd.v
+    (Cmd.info "prof"
+       ~doc:
+         "Self-profile one run: wall-clock and GC deltas per engine phase (walker fill, \
+          consume/retire, reclaim, artifact serialization) of the host process.")
+    Term.(
+      const action $ bench_arg $ machine_arg $ cpus_arg $ scale_arg $ policy_arg $ prefetch_arg
+      $ seed_arg $ cap_arg $ engine_arg)
+
+let perf_cmd =
+  Cmd.group
+    (Cmd.info "perf"
+       ~doc:
+         "Host-side performance observatory: ledger trends, noise-aware regression checks, \
+          ledger backfill and self-profiles.")
+    [ perf_history_cmd; perf_check_cmd; perf_backfill_cmd; perf_prof_cmd ]
+
 (* ---- version ---- *)
 
 let version_string () =
@@ -1030,5 +1220,5 @@ let () =
           [
             list_cmd; run_cmd; compare_cmd; mix_cmd; record_cmd; replay_cmd; pattern_cmd;
             hints_cmd; summary_cmd; run_file_cmd; dump_cmd; explain_cmd; timeline_cmd; diff_cmd;
-            version_cmd;
+            perf_cmd; version_cmd;
           ]))

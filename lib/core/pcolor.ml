@@ -115,6 +115,7 @@ module Stats = struct
   module Delta = Pcolor_stats.Delta
   module Explain = Pcolor_stats.Explain
   module Phases = Pcolor_stats.Phases
+  module Perf = Pcolor_stats.Perf
 end
 
 module Obs = struct
@@ -126,6 +127,9 @@ module Obs = struct
   module Attrib = Pcolor_obs.Attrib
   module Log = Pcolor_obs.Log
   module Sampler = Pcolor_obs.Sampler
+  module Stat = Pcolor_obs.Stat
+  module Ledger = Pcolor_obs.Ledger
+  module Prof = Pcolor_obs.Prof
 end
 
 (** One-call experiment helpers. *)

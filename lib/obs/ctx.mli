@@ -9,6 +9,7 @@ type t = {
   trace : Trace.buffer option;  (** private event buffer (own trace pid) *)
   attrib : Attrib.t option;  (** conflict-attribution engine (miss path only) *)
   sampler : Sampler.t option;  (** cycle-epoch counter timeline ([--timeline]) *)
+  prof : Prof.t option;  (** host-side self-profiler ([--prof]) *)
   sample : bool;  (** enable per-event histograms on the simulator hot path *)
 }
 
@@ -16,13 +17,14 @@ type t = {
     sampling. *)
 val disabled : t
 
-(** [create ?metrics ?trace ?attrib ?sampler ?sample ()] builds a
+(** [create ?metrics ?trace ?attrib ?sampler ?prof ?sample ()] builds a
     context; [sample] defaults to {!sample_from_env}. *)
 val create :
   ?metrics:Metrics.t ->
   ?trace:Trace.buffer ->
   ?attrib:Attrib.t ->
   ?sampler:Sampler.t ->
+  ?prof:Prof.t ->
   ?sample:bool ->
   unit ->
   t
@@ -42,6 +44,8 @@ val trace : t -> Trace.buffer option
 val attrib : t -> Attrib.t option
 
 val sampler : t -> Sampler.t option
+
+val prof : t -> Prof.t option
 
 (** [flush t] drains the trace buffer to its sink, if any. *)
 val flush : t -> unit

@@ -1,0 +1,64 @@
+(** Append-only JSONL performance ledger.
+
+    Every bench run appends one provenance-stamped record per measured
+    section, so the repository accumulates a cross-PR perf trajectory
+    instead of overwriting a single spot sample.  A record is keyed by
+    [(git, section)]; the file is one compact JSON object per line,
+    append-only by construction (writers never rewrite earlier lines).
+
+    The parser is tolerant: a corrupt or half-written line (a crashed
+    writer, a merge artifact) is skipped and counted, never fatal —
+    losing one point of a trajectory beats refusing to read it. *)
+
+type record = {
+  section : string;  (** e.g. ["single_domain"], ["engines/runs"], ["mix"] *)
+  unit_name : string;  (** what [median] measures, e.g. ["refs_per_sec"] *)
+  median : float;
+  mad : float;
+  ci_lo : float;
+  ci_hi : float;
+  trials : float array;  (** the raw trial vector (may be empty for backfills) *)
+  git : string;  (** [git describe] at measurement time; ["unknown"] if absent *)
+  timestamp : string;  (** ISO-8601 UTC *)
+  hostname : string;
+  scale : int;
+  jobs : int;
+  note : string;  (** free-form, e.g. ["backfill"]; [""] for live records *)
+}
+
+(** [key r] is the identity of a record: ["<git>/<section>"]. *)
+val key : record -> string
+
+(** [make ~section ~unit_name ~summary ~trials ~provenance ?note ()]
+    builds a record from a trial {!Stat.summary} and a provenance
+    stamp. *)
+val make :
+  section:string ->
+  unit_name:string ->
+  summary:Stat.summary ->
+  trials:float array ->
+  provenance:Provenance.t ->
+  ?note:string ->
+  unit ->
+  record
+
+val to_json : record -> Json.t
+
+(** [of_json v] decodes one record; [Error] on a non-object or a
+    missing/mistyped [section]/[median] (other fields default). *)
+val of_json : Json.t -> (record, string) result
+
+(** [append ~path records] appends one compact JSON line per record,
+    creating the file if needed.  Existing content is never touched. *)
+val append : path:string -> record list -> unit
+
+(** [load ~path] reads the ledger in file order, skipping lines that
+    fail to parse or decode; returns [(records, skipped_lines)].
+    A missing file is an empty ledger, not an error. *)
+val load : path:string -> record list * int
+
+(** [default_path ()] resolves the ledger location: [PCOLOR_LEDGER]
+    when set (the values [off]/[none]/[0] disable the ledger entirely,
+    giving [None]), otherwise ["PERF_LEDGER.jsonl"] in the current
+    directory. *)
+val default_path : unit -> string option

@@ -88,7 +88,17 @@ type t = {
   mutable last_contention : float;
   obs_trace : Pcolor_obs.Trace.buffer option; (* phase spans + instant events *)
   obs_metrics : obs_handles option;
+  prof : Pcolor_obs.Prof.t option; (* host-side self-profiler (--prof) *)
 }
+
+(* Self-profiler brackets: one option branch when off, so the prof-off
+   hot path stays allocation-free and byte-identical (DESIGN §9
+   contract, pinned by tests). *)
+let[@inline] prof_start t ph =
+  match t.prof with None -> () | Some p -> Pcolor_obs.Prof.start p ph
+
+let[@inline] prof_stop t ph =
+  match t.prof with None -> () | Some p -> Pcolor_obs.Prof.stop p ph
 
 (** [create ~machine ~kernel ~program ~plans] wires an engine.
     [check_bounds] (default false) validates every reference against its
@@ -163,6 +173,7 @@ let create ?(check_bounds = false) ?(collect_trace = false) ?(obs = Pcolor_obs.C
     last_contention = 1.0;
     obs_trace;
     obs_metrics;
+    prof = Pcolor_obs.Ctx.prof obs;
   }
 
 (* One CPU's share of one nest: walk the iteration space with
@@ -244,7 +255,9 @@ let run_cpu_nest t (nest : Ir.nest) ~n_cpus ~lcpu ~cpu =
     for r = 0 to nrefs - 1 do
       elem.(r) <- refs.(r).offset
     done;
-    go 0
+    prof_start t Pcolor_obs.Prof.Consume;
+    go 0;
+    prof_stop t Pcolor_obs.Prof.Consume
   end
 
 (* The batch path: compile the (nest, cpu-range) pair into a walker
@@ -308,13 +321,17 @@ let run_cpu_nest_batch t (nest : Ir.nest) ~n_cpus ~lcpu ~cpu =
       let exhausted = ref (Walker.finished w) in
       while not !exhausted do
         Walker.reset_batch b;
+        prof_start t Pcolor_obs.Prof.Fill;
         exhausted := Walker.fill w b;
+        prof_stop t Pcolor_obs.Prof.Fill;
         (match t.recorder with Some r -> r.rec_batch b | None -> ());
-        match t.trace with
+        prof_start t Pcolor_obs.Prof.Consume;
+        (match t.trace with
         | None ->
           M.consume_batch t.machine ~cpu ~translate:t.translate ~data:b.data ~len:b.len ~nrefs
             ~instr_per_iter ~extra_onchip_stall:extra
-        | Some tbl -> consume_traced t tbl ~cpu ~nrefs ~instr_per_iter ~extra b
+        | Some tbl -> consume_traced t tbl ~cpu ~nrefs ~instr_per_iter ~extra b);
+        prof_stop t Pcolor_obs.Prof.Consume
       done
     end
   end
@@ -383,13 +400,17 @@ let run_cpu_nest_runs t (nest : Ir.nest) ~n_cpus ~lcpu ~cpu =
       let exhausted = ref (Walker.finished w) in
       while not !exhausted do
         Walker.reset_batch b;
+        prof_start t Pcolor_obs.Prof.Fill;
         exhausted := Walker.fill_runs w b;
+        prof_stop t Pcolor_obs.Prof.Fill;
         (match t.recorder with Some r -> r.rec_runs b | None -> ());
-        match t.trace with
+        prof_start t Pcolor_obs.Prof.Consume;
+        (match t.trace with
         | None ->
           M.consume_runs t.machine ~cpu ~translate:t.translate ~data:b.data ~len:b.len ~nrefs
             ~strides ~instr_per_iter ~extra_onchip_stall:extra
-        | Some tbl -> consume_traced_runs t tbl ~cpu ~nrefs ~strides ~instr_per_iter ~extra b
+        | Some tbl -> consume_traced_runs t tbl ~cpu ~nrefs ~strides ~instr_per_iter ~extra b);
+        prof_stop t Pcolor_obs.Prof.Consume
       done
     end
   end

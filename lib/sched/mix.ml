@@ -145,7 +145,20 @@ let run ~cfg ?(sched = Sched.default) ?mem_frames ?(cap = 2) ?reclaim_batch
   in
   let kernels = Array.map (fun (j : Job.t) -> j.Job.kernel) jobs in
   let reclaimer = Reclaim.create ?batch:reclaim_batch ~machine ~pool ~kernels () in
-  Array.iter (fun kn -> Kernel.set_reclaim kn (fun ~cpu -> Reclaim.reclaim reclaimer ~cpu)) kernels;
+  (* the reclaim closure is the one place memory pressure costs land;
+     bracket it for the self-profiler (nested inside consume — Prof
+     keeps per-phase stamps, so cross-kind nesting is fine) *)
+  let reclaim_one =
+    match Pcolor_obs.Ctx.prof obs with
+    | None -> fun ~cpu -> Reclaim.reclaim reclaimer ~cpu
+    | Some p ->
+      fun ~cpu ->
+        Pcolor_obs.Prof.start p Pcolor_obs.Prof.Reclaim;
+        let freed = Reclaim.reclaim reclaimer ~cpu in
+        Pcolor_obs.Prof.stop p Pcolor_obs.Prof.Reclaim;
+        freed
+  in
+  Array.iter (fun kn -> Kernel.set_reclaim kn reclaim_one) kernels;
   let s = Sched.create ~cfg:sched ~machine jobs in
   Sched.startup_all s;
   Sched.warmup s;

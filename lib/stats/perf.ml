@@ -1,0 +1,258 @@
+(* Perf-artifact analysis.  See perf.mli for the contract. *)
+
+module J = Pcolor_obs.Json
+module Ledger = Pcolor_obs.Ledger
+
+type rate = {
+  median : float;
+  mad : float;
+  ci_lo : float;
+  ci_hi : float;
+  trials : float array;
+}
+
+let point v = { median = v; mad = 0.0; ci_lo = v; ci_hi = v; trials = [| v |] }
+
+let fnum k v = Option.bind (J.member k v) J.to_float_opt
+
+let rate_of_json ~unit_name v =
+  match v with
+  | J.Float x -> Some (point x)
+  | J.Int x -> Some (point (float_of_int x))
+  | J.Obj _ -> (
+      match fnum unit_name v with
+      | None -> None
+      | Some median ->
+          let d k def = Option.value ~default:def (fnum k v) in
+          let trials =
+            match J.member "trials" v with
+            | Some (J.Arr xs) ->
+                xs |> List.filter_map J.to_float_opt |> Array.of_list
+            | _ -> [| median |]
+          in
+          Some
+            {
+              median;
+              mad = d "mad" 0.0;
+              ci_lo = d "ci_lo" median;
+              ci_hi = d "ci_hi" median;
+              trials;
+            })
+  | _ -> None
+
+(* A sub-rate of a section object: the new shape nests an object under
+   [new_key]; the legacy shape flattens it to a float under
+   [legacy_key] (e.g. engines.interp vs engines.interp_refs_per_sec). *)
+let sub_rate ~unit_name ~new_key ~legacy_key v =
+  match J.member new_key v with
+  | Some sub -> rate_of_json ~unit_name sub
+  | None -> Option.map point (fnum legacy_key v)
+
+let mix_total_rate v =
+  match J.member "total_seconds" v with
+  | Some sub -> rate_of_json ~unit_name:"seconds" sub
+  | None -> (
+      (* legacy mix artifact: one spot sample per grid cell; the sum is
+         the only whole-artifact scalar available *)
+      match J.member "mixes" v with
+      | Some (J.Arr cells) ->
+          let total =
+            List.fold_left
+              (fun acc c ->
+                acc +. Option.value ~default:0.0 (fnum "seconds" c))
+              0.0 cells
+          in
+          if total > 0.0 then Some (point total) else None
+      | _ -> None)
+
+let sections_of_artifact v =
+  let out = ref [] in
+  let add section unit_name rate_opt =
+    match rate_opt with
+    | Some r -> out := (section, unit_name, r) :: !out
+    | None -> ()
+  in
+  (match J.member "single_domain" v with
+  | Some _ ->
+      (* throughput artifact *)
+      let sect k = Option.bind (J.member k v) (rate_of_json ~unit_name:"refs_per_sec") in
+      add "single_domain" "refs_per_sec" (sect "single_domain");
+      (match J.member "engines" v with
+      | Some e ->
+          add "engines/interp" "refs_per_sec"
+            (sub_rate ~unit_name:"refs_per_sec" ~new_key:"interp"
+               ~legacy_key:"interp_refs_per_sec" e);
+          add "engines/batch" "refs_per_sec"
+            (sub_rate ~unit_name:"refs_per_sec" ~new_key:"batch"
+               ~legacy_key:"batch_refs_per_sec" e);
+          add "engines/runs" "refs_per_sec"
+            (sub_rate ~unit_name:"refs_per_sec" ~new_key:"runs"
+               ~legacy_key:"runs_refs_per_sec" e)
+      | None -> ());
+      add "replay" "refs_per_sec" (sect "replay");
+      add "scale_256" "refs_per_sec" (sect "scale_256");
+      (match J.member "sweep" v with
+      | Some s ->
+          add "sweep/seq" "refs_per_sec"
+            (sub_rate ~unit_name:"refs_per_sec" ~new_key:"seq"
+               ~legacy_key:"seq_refs_per_sec" s);
+          add "sweep/par" "refs_per_sec"
+            (sub_rate ~unit_name:"refs_per_sec" ~new_key:"par"
+               ~legacy_key:"par_refs_per_sec" s)
+      | None -> ())
+  | None -> (
+      match J.member "mixes" v with
+      | Some _ -> add "mix" "seconds" (mix_total_rate v)
+      | None -> (
+          match Option.bind (J.member "section" v) J.to_string_opt with
+          | Some name ->
+              add name "seconds"
+                (Option.map point (fnum "seconds" v))
+          | None -> ())));
+  List.rev !out
+
+type verdict = {
+  section : string;
+  unit_name : string;
+  base : rate;
+  fresh : rate;
+  ratio : float;
+  ok : bool;
+}
+
+let higher_better unit_name = unit_name <> "seconds"
+
+let check ~margin ~base ~fresh =
+  let bs = sections_of_artifact base in
+  let fs = sections_of_artifact fresh in
+  let verdicts =
+    List.filter_map
+      (fun (section, unit_name, b) ->
+        match
+          List.find_opt (fun (s, u, _) -> s = section && u = unit_name) fs
+        with
+        | None -> None
+        | Some (_, _, f) ->
+            let ok =
+              if higher_better unit_name then
+                f.median >= b.ci_lo *. margin
+              else f.median <= b.ci_hi /. margin
+            in
+            let ratio = if b.median = 0.0 then nan else f.median /. b.median in
+            Some { section; unit_name; base = b; fresh = f; ratio; ok })
+      bs
+  in
+  let matched = List.map (fun v -> v.section) verdicts in
+  let missing =
+    List.filter_map
+      (fun (s, _, _) -> if List.mem s matched then None else Some s)
+      (bs @ fs)
+    |> List.sort_uniq compare
+  in
+  (verdicts, missing)
+
+let all_ok = List.for_all (fun v -> v.ok)
+
+let fmt_rate r =
+  if r.median >= 1e4 then
+    Printf.sprintf "%.3e [%.3e, %.3e]" r.median r.ci_lo r.ci_hi
+  else Printf.sprintf "%.4f [%.4f, %.4f]" r.median r.ci_lo r.ci_hi
+
+let render_check ~margin verdicts ~missing =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "perf check: fresh median vs baseline interval (margin %.2f)\n" margin);
+  List.iter
+    (fun v ->
+      let dir = if higher_better v.unit_name then "floor" else "ceiling" in
+      let bound =
+        if higher_better v.unit_name then v.base.ci_lo *. margin
+        else v.base.ci_hi /. margin
+      in
+      Buffer.add_string b
+        (Printf.sprintf "  %-16s %-14s base %s  fresh %s  ratio %.3f  %s %.3e  %s\n"
+           v.section v.unit_name (fmt_rate v.base) (fmt_rate v.fresh) v.ratio
+           dir bound
+           (if v.ok then "PASS" else "FAIL")))
+    verdicts;
+  if missing <> [] then
+    Buffer.add_string b
+      (Printf.sprintf "  (sections in only one artifact, skipped: %s)\n"
+         (String.concat ", " missing));
+  if verdicts = [] then
+    Buffer.add_string b "  no comparable sections found\n";
+  Buffer.contents b
+
+let render_history ?section records ~skipped =
+  let records =
+    match section with
+    | None -> records
+    | Some s -> List.filter (fun (r : Ledger.record) -> r.Ledger.section = s) records
+  in
+  (* group by section, preserving first-seen order; within a section
+     the ledger's file order is time order *)
+  let order = ref [] in
+  let by_sect = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Ledger.record) ->
+      let s = r.Ledger.section in
+      if not (Hashtbl.mem by_sect s) then begin
+        Hashtbl.add by_sect s (ref []);
+        order := s :: !order
+      end;
+      let cell = Hashtbl.find by_sect s in
+      cell := r :: !cell)
+    records;
+  let b = Buffer.create 1024 in
+  if records = [] then Buffer.add_string b "perf history: ledger is empty\n"
+  else begin
+    Buffer.add_string b "perf history (ledger order = time order)\n";
+    List.iter
+      (fun s ->
+        let rs = List.rev !(Hashtbl.find by_sect s) in
+        let medians = Array.of_list (List.map (fun (r : Ledger.record) -> r.Ledger.median) rs) in
+        let last = List.nth rs (List.length rs - 1) in
+        Buffer.add_string b
+          (Printf.sprintf "  %-16s %s  n=%d  last %.4g ± %.2g %s (git %s%s)\n" s
+             (Pcolor_util.Chart.sparkline medians)
+             (Array.length medians) last.Ledger.median last.Ledger.mad
+             last.Ledger.unit_name last.Ledger.git
+             (if last.Ledger.note = "" then "" else ", " ^ last.Ledger.note)))
+      (List.rev !order)
+  end;
+  if skipped > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "  (%d corrupt ledger line%s skipped)\n" skipped
+         (if skipped = 1 then "" else "s"));
+  Buffer.contents b
+
+let prov_fields v =
+  let str k d sub = Option.value ~default:d (Option.bind (J.member k sub) J.to_string_opt) in
+  let int k d sub = Option.value ~default:d (Option.bind (J.member k sub) J.to_int_opt) in
+  match J.member "provenance" v with
+  | Some p -> (str "git" "unknown" p, str "timestamp" "" p, str "hostname" "" p, int "scale" 0 p, int "jobs" 0 p)
+  | None -> ("unknown", "", "", 0, 0)
+
+let backfill_record v =
+  match sections_of_artifact v with
+  | [] -> Error "backfill: artifact has no comparable sections"
+  | (section, unit_name, r) :: _ ->
+      (* one synthetic record per artifact: its headline section *)
+      let git, timestamp, hostname, scale, jobs = prov_fields v in
+      Ok
+        {
+          Ledger.section;
+          unit_name;
+          median = r.median;
+          mad = r.mad;
+          ci_lo = r.ci_lo;
+          ci_hi = r.ci_hi;
+          trials = r.trials;
+          git;
+          timestamp;
+          hostname;
+          scale;
+          jobs;
+          note = "backfill";
+        }

@@ -1,0 +1,79 @@
+(** Perf-artifact analysis: noise-aware regression checking, ledger
+    trend rendering, and legacy-snapshot backfill.
+
+    This is the logic behind [pcolor perf check] / [perf history] /
+    [perf backfill].  It reads bench artifacts in both shapes: the
+    multi-trial form (each timed section carries median / MAD / CI /
+    the raw trial vector, {!Pcolor_obs.Stat.to_json}) and the legacy
+    single-sample form (a bare float), which degrades to a point
+    interval so old committed baselines stay comparable. *)
+
+(** A measured quantity: robust location plus its uncertainty.  A
+    legacy single sample becomes [{median = v; mad = 0; ci_lo = v;
+    ci_hi = v; trials = [|v|]}]. *)
+type rate = {
+  median : float;
+  mad : float;
+  ci_lo : float;
+  ci_hi : float;
+  trials : float array;
+}
+
+(** [rate_of_json ~unit_name v] decodes a rate from either shape;
+    [unit_name] names the median field (e.g. ["refs_per_sec"]). *)
+val rate_of_json : unit_name:string -> Pcolor_obs.Json.t -> rate option
+
+(** [sections_of_artifact v] lists the comparable measurements of a
+    bench artifact as [(section, unit, rate)], e.g.
+    [("engines/runs", "refs_per_sec", r)].  Dispatches on shape:
+    throughput ([single_domain]/[engines]/[replay]/[scale_256]/[sweep]),
+    mix ([mixes] → one aggregate ["mix"] row in seconds), and
+    single-section artifacts ([section] + [seconds]). *)
+val sections_of_artifact :
+  Pcolor_obs.Json.t -> (string * string * rate) list
+
+type verdict = {
+  section : string;
+  unit_name : string;
+  base : rate;
+  fresh : rate;
+  ratio : float;  (** fresh median / base median *)
+  ok : bool;
+}
+
+(** [check ~margin ~base ~fresh] compares every section present in
+    both artifacts.  For higher-is-better units (rates) a section
+    fails when the fresh median falls below [base.ci_lo * margin] —
+    i.e. below the baseline's own noise interval by more than the
+    margin; for ["seconds"] the test is mirrored against
+    [base.ci_hi / margin].  Returns the verdicts plus the section
+    names present in only one artifact (reported, never fatal). *)
+val check :
+  margin:float ->
+  base:Pcolor_obs.Json.t ->
+  fresh:Pcolor_obs.Json.t ->
+  verdict list * string list
+
+(** [render_check ~margin verdicts ~missing] is the human report:
+    one PASS/FAIL line per section with both intervals. *)
+val render_check :
+  margin:float -> verdict list -> missing:string list -> string
+
+(** [all_ok verdicts] is true when no section failed. *)
+val all_ok : verdict list -> bool
+
+(** [render_history ?section records ~skipped] renders per-section
+    trend sparklines from ledger records (file order = time order):
+    one strip per section, latest median ± MAD and its git stamp.
+    [section] filters to one section; [skipped] is the corrupt-line
+    count from {!Pcolor_obs.Ledger.load}. *)
+val render_history :
+  ?section:string -> Pcolor_obs.Ledger.record list -> skipped:int -> string
+
+(** [backfill_record v] builds one synthetic ledger record from a
+    committed legacy artifact (provenance from its embedded stamp,
+    note ["backfill"]): throughput → ["single_domain"] in refs/s,
+    mix → ["mix"] in summed seconds, section artifacts → their own
+    name in seconds. *)
+val backfill_record :
+  Pcolor_obs.Json.t -> (Pcolor_obs.Ledger.record, string) result

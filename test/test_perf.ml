@@ -1,0 +1,239 @@
+(* Perf-observatory tests:
+
+   1. ledger round-trip through JSONL, plus the corrupt-line tolerance
+      contract (skip and count, never fail);
+   2. the profiler's zero-overhead-off contract: attaching a profiler
+      leaves the run artifact byte-identical, and the prof-off hot path
+      allocates nothing beyond the run's own deterministic footprint;
+   3. prof-on sanity: the engine phases actually get bracketed;
+   4. perf-check verdict pins, including the legacy single-sample
+      baseline shape degrading to a point interval;
+   5. history rendering smoke over a mixed backfill + live ledger. *)
+
+module Json = Pcolor.Obs.Json
+module Stat = Pcolor.Obs.Stat
+module Ledger = Pcolor.Obs.Ledger
+module Prof = Pcolor.Obs.Prof
+module Ctx = Pcolor.Obs.Ctx
+module Provenance = Pcolor.Obs.Provenance
+module Perf = Pcolor.Stats.Perf
+module Run = Pcolor.Runtime.Run
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let provenance =
+  {
+    Provenance.timestamp = "2026-08-08T00:00:00Z";
+    hostname = "testhost";
+    git = Some "deadbee";
+    scale = Some 64;
+    jobs = Some 2;
+    seed = None;
+    config_hash = None;
+  }
+
+let mk_record ?(section = "single_domain") ?(note = "") trials =
+  Ledger.make ~section ~unit_name:"refs_per_sec" ~summary:(Stat.summarize trials) ~trials
+    ~provenance ~note ()
+
+(* ---- 1. ledger ---- *)
+
+let test_ledger_roundtrip () =
+  let path = Filename.temp_file "pcolor_ledger" ".jsonl" in
+  let r1 = mk_record [| 10.0; 12.0; 11.0 |] in
+  let r2 = mk_record ~section:"mix" ~note:"backfill" [| 0.5 |] in
+  Ledger.append ~path [ r1 ];
+  Ledger.append ~path [ r2 ];
+  let loaded, skipped = Ledger.load ~path in
+  Sys.remove path;
+  Alcotest.(check int) "no skips" 0 skipped;
+  Alcotest.(check int) "two records" 2 (List.length loaded);
+  let l1 = List.nth loaded 0 and l2 = List.nth loaded 1 in
+  Alcotest.(check string) "key" "deadbee/single_domain" (Ledger.key l1);
+  Alcotest.(check (float 1e-9)) "median survives" 11.0 l1.Ledger.median;
+  Alcotest.(check (array (float 1e-9))) "trials survive" [| 10.0; 12.0; 11.0 |] l1.Ledger.trials;
+  Alcotest.(check string) "git" "deadbee" l1.Ledger.git;
+  Alcotest.(check string) "hostname" "testhost" l1.Ledger.hostname;
+  Alcotest.(check int) "scale" 64 l1.Ledger.scale;
+  Alcotest.(check string) "note survives" "backfill" l2.Ledger.note;
+  Alcotest.(check string) "section" "mix" l2.Ledger.section
+
+let test_ledger_corrupt_lines () =
+  let path = Filename.temp_file "pcolor_ledger" ".jsonl" in
+  Ledger.append ~path [ mk_record [| 1.0; 2.0; 3.0 |] ];
+  (* a half-written line, plain garbage, JSON of the wrong shape, and a
+     blank line — all skipped, all counted except the blank *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{\"section\":\"truncated\",\"med\n";
+  output_string oc "not json at all\n";
+  output_string oc "{\"no_section\":true}\n";
+  output_string oc "\n";
+  close_out oc;
+  Ledger.append ~path [ mk_record ~section:"after" [| 4.0 |] ];
+  let loaded, skipped = Ledger.load ~path in
+  Sys.remove path;
+  Alcotest.(check int) "good records survive corruption" 2 (List.length loaded);
+  Alcotest.(check bool) "later record still read" true
+    (List.exists (fun r -> r.Ledger.section = "after") loaded);
+  Alcotest.(check int) "corrupt lines counted" 3 skipped
+
+let test_ledger_missing_file () =
+  let loaded, skipped = Ledger.load ~path:"/nonexistent/pcolor_ledger.jsonl" in
+  Alcotest.(check int) "empty" 0 (List.length loaded);
+  Alcotest.(check int) "no skips" 0 skipped
+
+(* ---- 2 + 3. profiler contracts ---- *)
+
+let tiny_setup () =
+  let cfg = Helpers.tiny_cfg ~n_cpus:2 () in
+  Run.default_setup ~cfg ~make_program:(fun () -> Helpers.figure4_program ()) ~policy:Run.Page_coloring
+
+let artifact setup =
+  Json.to_string (Run.artifact_json ~provenance (Run.run setup))
+
+let test_prof_off_byte_identity () =
+  (* the profiler must not move a single simulated counter: a run with
+     the profiler attached yields a byte-identical artifact *)
+  let plain = artifact (tiny_setup ()) in
+  let prof = Prof.create () in
+  let profiled = artifact { (tiny_setup ()) with obs = Ctx.create ~prof () } in
+  Alcotest.(check string) "artifact identical with profiler attached" plain profiled
+
+let test_prof_off_no_allocation () =
+  (* prof-off hot path pins: the option branch allocates nothing, so
+     two identical prof-off runs have the exact same minor-heap
+     footprint (OCaml allocation is deterministic for deterministic
+     code — any drift means the off path allocates) *)
+  let measure () =
+    let s = tiny_setup () in
+    let w0 = Gc.minor_words () in
+    ignore (Run.run s);
+    Gc.minor_words () -. w0
+  in
+  let d1 = measure () in
+  let d2 = measure () in
+  Alcotest.(check (float 0.0)) "prof-off allocation footprint stable" d1 d2
+
+let test_prof_on_records_phases () =
+  let prof = Prof.create () in
+  ignore (Run.run { (tiny_setup ()) with obs = Ctx.create ~prof () });
+  let rows = Prof.rows prof in
+  let find name = List.find_opt (fun (r : Prof.row) -> r.Prof.name = name) rows in
+  (match find "walker fill" with
+  | Some r -> Alcotest.(check bool) "fill bracketed" true (r.Prof.calls > 0)
+  | None -> Alcotest.fail "no walker-fill row (runs engine should fill batches)");
+  (match find "consume/retire" with
+  | Some r ->
+    Alcotest.(check bool) "consume bracketed" true (r.Prof.calls > 0);
+    Alcotest.(check bool) "wall time non-negative" true (r.Prof.wall_s >= 0.0)
+  | None -> Alcotest.fail "no consume row");
+  let rendered = Prof.render prof in
+  Alcotest.(check bool) "render mentions fill" true
+    (contains ~needle:"walker fill" rendered)
+
+let test_prof_manual_bracketing () =
+  let p = Prof.create () in
+  Prof.start p Prof.Serialize;
+  Prof.stop p Prof.Serialize;
+  Prof.start p Prof.Serialize;
+  Prof.stop p Prof.Serialize;
+  match Prof.rows p with
+  | [ r ] ->
+    Alcotest.(check string) "phase name" "serialize" r.Prof.name;
+    Alcotest.(check int) "two calls" 2 r.Prof.calls
+  | rows -> Alcotest.fail (Printf.sprintf "expected 1 row, got %d" (List.length rows))
+
+(* ---- 4. perf check ---- *)
+
+let parse s = match Json.parse s with Ok v -> v | Error e -> Alcotest.fail e
+
+let test_check_legacy_point_baseline () =
+  (* legacy flat-float baseline degrades to a point interval: the floor
+     is v * margin, exactly the old awk semantics *)
+  let base = parse {|{"section":"figure2","seconds":1.0}|} in
+  let ok_fresh = parse {|{"section":"figure2","seconds":1.9}|} in
+  let bad_fresh = parse {|{"section":"figure2","seconds":2.5}|} in
+  let vs, missing = Perf.check ~margin:0.5 ~base ~fresh:ok_fresh in
+  Alcotest.(check int) "one section" 1 (List.length vs);
+  Alcotest.(check (list string)) "nothing missing" [] missing;
+  Alcotest.(check bool) "1.9s within 1.0/0.5 ceiling" true (Perf.all_ok vs);
+  let vs, _ = Perf.check ~margin:0.5 ~base ~fresh:bad_fresh in
+  Alcotest.(check bool) "2.5s breaches ceiling" false (Perf.all_ok vs)
+
+let test_check_interval_baseline () =
+  let base =
+    parse
+      {|{"single_domain":{"refs_per_sec":100.0,"mad":5.0,"ci_lo":90.0,"ci_hi":110.0,"trials":[90.0,100.0,110.0]}}|}
+  in
+  let fresh v =
+    parse (Printf.sprintf {|{"single_domain":{"refs_per_sec":%f,"mad":1.0,"ci_lo":%f,"ci_hi":%f}}|} v v v)
+  in
+  (* rate floor = ci_lo * margin = 45: 50 passes, 40 fails *)
+  let vs, _ = Perf.check ~margin:0.5 ~base ~fresh:(fresh 50.0) in
+  Alcotest.(check bool) "above floor" true (Perf.all_ok vs);
+  let vs, _ = Perf.check ~margin:0.5 ~base ~fresh:(fresh 40.0) in
+  (match vs with
+  | [ v ] ->
+    Alcotest.(check bool) "below floor" false v.Perf.ok;
+    Alcotest.(check (float 1e-9)) "ratio" 0.4 v.Perf.ratio;
+    Alcotest.(check bool) "render shows FAIL" true
+      (contains ~needle:"FAIL"
+         (Perf.render_check ~margin:0.5 vs ~missing:[]))
+  | _ -> Alcotest.fail "expected one verdict")
+
+let test_check_missing_sections () =
+  let base = parse {|{"single_domain":{"refs_per_sec":100.0},"replay":{"refs_per_sec":10.0}}|} in
+  let fresh = parse {|{"single_domain":{"refs_per_sec":100.0}}|} in
+  let vs, missing = Perf.check ~margin:0.5 ~base ~fresh in
+  Alcotest.(check int) "one comparable section" 1 (List.length vs);
+  Alcotest.(check (list string)) "replay reported missing" [ "replay" ] missing
+
+(* ---- 5. history rendering ---- *)
+
+let test_render_history () =
+  let records =
+    [
+      mk_record ~note:"backfill" [| 8.0 |];
+      mk_record [| 10.0; 11.0; 12.0 |];
+      mk_record ~section:"mix" [| 0.4; 0.5 |];
+    ]
+  in
+  let s = Perf.render_history records ~skipped:1 in
+  Alcotest.(check bool) "mentions single_domain" true
+    (contains ~needle:"single_domain" s);
+  Alcotest.(check bool) "mentions mix" true (contains ~needle:"mix" s);
+  Alcotest.(check bool) "reports corrupt skips" true (contains ~needle:"1" s);
+  let only_mix = Perf.render_history ~section:"mix" records ~skipped:0 in
+  Alcotest.(check bool) "filter keeps mix" true (contains ~needle:"mix" only_mix);
+  Alcotest.(check bool) "filter drops single_domain" false
+    (contains ~needle:"single_domain" only_mix)
+
+let suite =
+  [
+    ( "perf.ledger",
+      [
+        Alcotest.test_case "append/load round-trip" `Quick test_ledger_roundtrip;
+        Alcotest.test_case "corrupt lines skipped, counted" `Quick test_ledger_corrupt_lines;
+        Alcotest.test_case "missing file is empty ledger" `Quick test_ledger_missing_file;
+      ] );
+    ( "perf.prof",
+      [
+        Alcotest.test_case "prof attached: artifact byte-identical" `Quick
+          test_prof_off_byte_identity;
+        Alcotest.test_case "prof off: allocation footprint stable" `Quick
+          test_prof_off_no_allocation;
+        Alcotest.test_case "prof on: engine phases bracketed" `Quick test_prof_on_records_phases;
+        Alcotest.test_case "manual bracketing" `Quick test_prof_manual_bracketing;
+      ] );
+    ( "perf.check",
+      [
+        Alcotest.test_case "legacy point baseline" `Quick test_check_legacy_point_baseline;
+        Alcotest.test_case "interval baseline" `Quick test_check_interval_baseline;
+        Alcotest.test_case "missing sections reported" `Quick test_check_missing_sections;
+      ] );
+    ( "perf.history",
+      [ Alcotest.test_case "sparkline trend render" `Quick test_render_history ] );
+  ]

@@ -115,6 +115,54 @@ let test_report_pp_renders () =
   Alcotest.(check bool) "mentions policy" true (contains ~needle:"page-coloring" s);
   Alcotest.(check bool) "mentions conflict" true (contains ~needle:"conflict" s)
 
+(* ---- trial statistics (Obs.Stat): pinned vectors ---- *)
+
+module Stat = Pcolor.Obs.Stat
+
+let test_stat_median () =
+  Alcotest.(check (float 1e-9)) "even n" 2.5 (Stat.median [| 1.0; 2.0; 3.0; 4.0 |]);
+  Alcotest.(check (float 1e-9)) "odd n, unsorted" 2.0 (Stat.median [| 3.0; 1.0; 2.0 |]);
+  Alcotest.(check (float 1e-9)) "singleton" 7.0 (Stat.median [| 7.0 |]);
+  Alcotest.check_raises "empty rejected"
+    (Invalid_argument "Stat.median: empty trial vector") (fun () ->
+      ignore (Stat.median [||]))
+
+let test_stat_mad () =
+  (* median 3, abs deviations [2;1;0;1;97] -> mad 1: the outlier is
+     invisible, which is the whole point of using MAD for noisy trials *)
+  Alcotest.(check (float 1e-9)) "outlier-immune" 1.0
+    (Stat.mad [| 1.0; 2.0; 3.0; 4.0; 100.0 |]);
+  Alcotest.(check (float 1e-9)) "explicit center" 2.0
+    (Stat.mad ~center:0.0 [| 1.0; 2.0; 3.0 |]);
+  Alcotest.(check (float 1e-9)) "constant vector" 0.0 (Stat.mad [| 5.0; 5.0; 5.0 |])
+
+let test_stat_ci_ranks () =
+  (* sign-test table: largest k with P(Binom(n,1/2) <= k-1) <= 0.025 *)
+  List.iter
+    (fun (n, expect) ->
+      let got = Stat.ci_ranks ~n in
+      Alcotest.(check (pair int int)) (Printf.sprintf "n=%d" n) expect got)
+    [ (1, (1, 1)); (5, (1, 5)); (6, (1, 6)); (8, (1, 8)); (12, (3, 10)); (20, (6, 15)) ]
+
+let test_stat_summarize () =
+  let s = Stat.summarize [| 5.0; 1.0; 3.0; 2.0; 4.0; 6.0; 8.0; 7.0 |] in
+  Alcotest.(check int) "n" 8 s.Stat.n;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Stat.min_v;
+  Alcotest.(check (float 1e-9)) "max" 8.0 s.Stat.max_v;
+  Alcotest.(check (float 1e-9)) "median" 4.5 s.Stat.median;
+  (* deviations from 4.5: [3.5;2.5;1.5;.5;.5;1.5;2.5;3.5] -> median 2.0 *)
+  Alcotest.(check (float 1e-9)) "mad" 2.0 s.Stat.mad;
+  (* n=8 ranks (1,8): the full range *)
+  Alcotest.(check (float 1e-9)) "ci_lo" 1.0 s.Stat.ci_lo;
+  Alcotest.(check (float 1e-9)) "ci_hi" 8.0 s.Stat.ci_hi
+
+let test_stat_to_json () =
+  let trials = [| 2.0; 1.0; 3.0 |] in
+  let s = Stat.summarize trials in
+  Alcotest.(check string) "serialized summary"
+    {|{"refs_per_sec":2.0,"mad":1.0,"ci_lo":1.0,"ci_hi":3.0,"trials":[2.0,1.0,3.0]}|}
+    (Pcolor.Obs.Json.to_string (Stat.to_json ~unit_name:"refs_per_sec" ~trials s))
+
 let suite =
   [
     ( "stats",
@@ -127,5 +175,13 @@ let suite =
         Alcotest.test_case "report speedup" `Quick test_report_speedup;
         Alcotest.test_case "spec ratio" `Quick test_spec_ratio;
         Alcotest.test_case "report pp" `Quick test_report_pp_renders;
+      ] );
+    ( "stats.trials",
+      [
+        Alcotest.test_case "median pins" `Quick test_stat_median;
+        Alcotest.test_case "mad pins" `Quick test_stat_mad;
+        Alcotest.test_case "sign-test CI ranks" `Quick test_stat_ci_ranks;
+        Alcotest.test_case "summarize pins" `Quick test_stat_summarize;
+        Alcotest.test_case "summary JSON shape" `Quick test_stat_to_json;
       ] );
   ]
