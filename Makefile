@@ -25,6 +25,11 @@
 #                     must yield the same artifact (timeline included)
 #                     as a live run, and attaching the sampler must not
 #                     move a single simulated counter
+#   make hash-check   hashed-LLC gates: 1-slice/identity must be
+#                     byte-identical to the committed golden artifact
+#                     (and to a run with no slice flags at all), and
+#                     `pcolor probe` must recover each configured hash
+#                     from eviction sets exactly
 #   make bench        full reproduction harness at the default scale
 
 DUNE ?= dune
@@ -36,7 +41,7 @@ BENCH_FLOOR_MARGIN ?= 0.5
 # Trials per timed bench section (median ± MAD over the vector).
 PCOLOR_TRIALS ?= 5
 
-.PHONY: build test bench bench-smoke bench-check timeline-check clean
+.PHONY: build test bench bench-smoke bench-check timeline-check hash-check clean
 
 build:
 	$(DUNE) build
@@ -46,7 +51,7 @@ test:
 
 bench-smoke:
 	PCOLOR_SCALE=64 PCOLOR_FAST=1 PCOLOR_TRIALS=$(PCOLOR_TRIALS) \
-	  $(DUNE) exec bench/main.exe -- throughput mix
+	  $(DUNE) exec bench/main.exe -- throughput mix hash
 
 bench-check:
 	@mkdir -p _build
@@ -88,6 +93,30 @@ bench-check:
 	@# Cross-PR trend from the append-only perf ledger (the smoke bench
 	@# just appended this run's records).
 	$(DUNE) exec bin/pcolor_cli.exe -- perf history
+	@# Hashed-LLC identity + probe gates ride along (hard failures).
+	$(MAKE) hash-check
+
+hash-check:
+	@mkdir -p _build
+	@# 1-slice/identity byte-identity gate: the sliced external cache
+	@# with the trivial hash must reproduce the committed golden
+	@# artifact exactly (hard failure — DESIGN.md §16's "the default
+	@# path provably did not move" contract).
+	$(DUNE) exec bin/pcolor_cli.exe -- run tomcatv --policy cdpc --cpus 4 \
+	  --scale 64 --slices 1 --llc-hash identity --metrics-out _build/hash_identity.json
+	$(DUNE) exec bin/pcolor_cli.exe -- diff golden/hash_identity.json \
+	  _build/hash_identity.json --exact
+	@# ... and explicit 1-slice/identity flags must be a no-op against a
+	@# run with no slice flags at all.
+	$(DUNE) exec bin/pcolor_cli.exe -- run tomcatv --policy cdpc --cpus 4 \
+	  --scale 64 --metrics-out _build/hash_default.json
+	$(DUNE) exec bin/pcolor_cli.exe -- diff _build/hash_default.json \
+	  _build/hash_identity.json --exact
+	@# Probe self-tests: recover each configured hash from eviction
+	@# sets alone; `pcolor probe` exits 1 on any matrix mismatch.
+	$(DUNE) exec bin/pcolor_cli.exe -- probe --scale 64 --slices 2 --llc-hash xor-fold
+	$(DUNE) exec bin/pcolor_cli.exe -- probe --scale 64 --slices 2 --llc-hash sandybridge
+	$(DUNE) exec bin/pcolor_cli.exe -- probe --scale 64 --slices 4 --llc-hash sandybridge
 
 timeline-check:
 	@# Replay observability-parity gate: replaying a taped run with the

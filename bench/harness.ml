@@ -218,6 +218,18 @@ type timed = {
   summary : Ostat.summary; (* over [rates] *)
 }
 
+(* [refs_executed machine] sums the executed measured-pass references
+   (L1 hits + misses, unweighted) — the work unit every refs/sec rate
+   is normalized by. *)
+let refs_executed (machine : Pcolor.Memsim.Machine.t) =
+  let module M = Pcolor.Memsim.Machine in
+  let total = ref 0 in
+  for cpu = 0 to M.n_cpus machine - 1 do
+    let s = M.stats machine ~cpu in
+    total := !total + s.M.l1_hits + s.M.l1_misses
+  done;
+  !total
+
 (* [timed_trials f] runs [f] — which returns the executed reference
    count — [trials] times back to back.  The count must be identical
    across trials (the simulation is deterministic; a drift means the
@@ -252,10 +264,17 @@ let rate_json (t : timed) =
       :: fields)
   | j -> j
 
-let note_timed label (t : timed) =
+let timed_line label (t : timed) =
   let s = t.summary in
-  note "  %s: %d refs; median %.3e ± %.1e refs/sec over %d trials (CI [%.3e, %.3e])" label t.refs
-    s.Ostat.median s.Ostat.mad s.Ostat.n s.Ostat.ci_lo s.Ostat.ci_hi
+  Printf.sprintf "  %s: %d refs; median %.3e ± %.1e refs/sec over %d trials (CI [%.3e, %.3e])"
+    label t.refs s.Ostat.median s.Ostat.mad s.Ostat.n s.Ostat.ci_lo s.Ostat.ci_hi
+
+let note_timed label t = note "%s" (timed_line label t)
+
+(* Stderr variant for simulated-results sections (figure2): their
+   stdout must stay byte-identical across PCOLOR_JOBS, so wall-clock
+   lines join the per-section timers on stderr. *)
+let note_timed_err label t = Printf.eprintf "%s\n%!" (timed_line label t)
 
 (* ---- perf ledger (PCOLOR_LEDGER, default PERF_LEDGER.jsonl) ---- *)
 
@@ -305,10 +324,25 @@ let provenance () = Lazy.force ledger_provenance
 let sanitize_section name =
   String.map (fun c -> if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') then c else '_') name
 
-(* [write_section_artifact ~section ~seconds ~keys] dumps the named
-   experiments' reports (JSON per DESIGN §9) to BENCH_<section>.json.
-   [keys] is the set of cache keys the section populated. *)
-let write_section_artifact ~section:name ~seconds ~keys =
+(* A section may record one multi-trial rate measurement for its
+   artifact (figure2's fresh re-timed sweep); the driver collects it
+   after the section ran and passes it to the artifact writer. *)
+let section_rate : timed option ref = ref None
+
+let set_section_rate t = section_rate := Some t
+
+let take_section_rate () =
+  let r = !section_rate in
+  section_rate := None;
+  r
+
+(* [write_section_artifact ~section ~seconds ?rate ~keys] dumps the
+   named experiments' reports (JSON per DESIGN §9) to
+   BENCH_<section>.json.  [keys] is the set of cache keys the section
+   populated.  [rate], when present, is the section's multi-trial
+   refs/sec measurement — perf check prefers it over the flat
+   [seconds] wall-time, which only ever yields a point interval. *)
+let write_section_artifact ~section:name ~seconds ?rate ~keys () =
   let module J = Pcolor.Obs.Json in
   let experiments =
     List.filter_map
@@ -323,13 +357,14 @@ let write_section_artifact ~section:name ~seconds ~keys =
   output_string oc
     (J.pretty
        (J.Obj
-          [
-            ("schema_version", J.Int Pcolor.Obs.Provenance.schema_version);
-            ("section", J.Str name);
-            ("seconds", J.Float seconds);
-            ("provenance", Pcolor.Obs.Provenance.to_json (provenance ()));
-            ("experiments", J.Arr experiments);
-          ]));
+          ([
+             ("schema_version", J.Int Pcolor.Obs.Provenance.schema_version);
+             ("section", J.Str name);
+             ("seconds", J.Float seconds);
+             ("provenance", Pcolor.Obs.Provenance.to_json (provenance ()));
+             ("experiments", J.Arr experiments);
+           ]
+          @ match rate with None -> [] | Some t -> [ ("rate", rate_json t) ])));
   output_char oc '\n';
   close_out oc;
   Printf.eprintf "  wrote %s (%d experiments)\n%!" file (List.length experiments)

@@ -37,14 +37,6 @@ module Engine = Pcolor.Runtime.Engine
 module Pool = Pcolor.Util.Pool
 open Harness
 
-let refs_executed (machine : M.t) =
-  let total = ref 0 in
-  for cpu = 0 to M.n_cpus machine - 1 do
-    let s = M.stats machine ~cpu in
-    total := !total + s.M.l1_hits + s.M.l1_misses
-  done;
-  !total
-
 (* [machine_cfg] bakes in the env scale; the scale-256 row needs its
    own divisor, so rebuild the config here. *)
 let cfg_at machine ~n_cpus ~scale_div =

@@ -66,6 +66,8 @@ let parse_policy = function
   | "cdpc" -> Ok (Run.Cdpc { fallback = `Page_coloring; via_touch = false })
   | "cdpc-bh" -> Ok (Run.Cdpc { fallback = `Bin_hopping; via_touch = false })
   | "cdpc-touch" -> Ok (Run.Cdpc { fallback = `Bin_hopping; via_touch = true })
+  | "cdpc-hash" -> Ok (Run.Cdpc_hash { fallback = `Page_coloring })
+  | "cdpc-hash-bh" -> Ok (Run.Cdpc_hash { fallback = `Bin_hopping })
   | "dynamic" | "dynamic(pc)" -> Ok (Run.Dynamic_recoloring { base = `Page_coloring })
   | "dynamic-bh" | "dynamic(bh)" -> Ok (Run.Dynamic_recoloring { base = `Bin_hopping })
   | s -> Error (`Msg ("unknown policy: " ^ s))
@@ -78,7 +80,8 @@ let policy_arg =
     & opt policy_conv (Run.Cdpc { fallback = `Page_coloring; via_touch = false })
     & info [ "policy" ]
         ~doc:"Mapping policy: $(b,pc), $(b,bh), $(b,bh-unaligned), $(b,random), $(b,cdpc), \
-              $(b,cdpc-bh), $(b,cdpc-touch), $(b,dynamic), $(b,dynamic-bh).")
+              $(b,cdpc-bh), $(b,cdpc-touch), $(b,cdpc-hash), $(b,cdpc-hash-bh), $(b,dynamic), \
+              $(b,dynamic-bh).")
 
 let engine_arg =
   Arg.(
@@ -184,7 +187,12 @@ let write_json_file path json =
   output_char oc '\n';
   close_out oc
 
-let config_of machine n_cpus scale =
+(* [slices]/[llc_hash] (the hashed/sliced LLC, DESIGN §16) are applied
+   AFTER scaling — the scaled geometry determines the color count the
+   hash must divide — and re-validated, so an impossible combination
+   (slices > colors, rank-deficient masks) fails with a message rather
+   than a backtrace. *)
+let config_of ?slices ?llc_hash machine n_cpus scale =
   let base =
     match machine with
     | `Sgi -> Config.sgi_base ~n_cpus ()
@@ -192,11 +200,50 @@ let config_of machine n_cpus scale =
     | `Sgi4 -> Config.sgi_4mb ~n_cpus ()
     | `Alpha -> Config.alphaserver ~n_cpus ()
   in
-  Config.scale base scale
+  let cfg = Config.scale base scale in
+  match (slices, llc_hash) with
+  | None, None -> cfg
+  | _ -> (
+    try
+      Config.validate
+        {
+          cfg with
+          Config.l2_slices = Option.value slices ~default:cfg.Config.l2_slices;
+          l2_hash = Option.value llc_hash ~default:cfg.Config.l2_hash;
+        }
+    with Invalid_argument msg ->
+      Printf.eprintf "--slices/--llc-hash: %s\n" msg;
+      exit 2)
 
-let setup_of bench machine n_cpus scale policy prefetch seed cap ~trace =
+let slices_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "slices" ] ~docv:"K"
+        ~doc:
+          "Split the external cache into $(docv) hash-routed slices (power of two dividing the \
+           color count; default 1 = the paper's monolithic cache).")
+
+let llc_hash_conv =
+  Arg.conv
+    ( (fun s ->
+        match Pcolor.Memsim.Ahash.spec_of_string s with
+        | Ok v -> Ok v
+        | Error e -> Error (`Msg e)),
+      fun fmt s -> Format.pp_print_string fmt (Pcolor.Memsim.Ahash.spec_to_string s) )
+
+let llc_hash_arg =
+  Arg.(
+    value
+    & opt (some llc_hash_conv) None
+    & info [ "llc-hash" ] ~docv:"HASH"
+        ~doc:
+          "Slice-selection hash: $(b,identity) (classic positional colors), $(b,xor-fold), \
+           $(b,sandybridge), or $(b,masks:0x..,..) (explicit GF(2) mask rows over frame bits).")
+
+let setup_of ?slices ?llc_hash bench machine n_cpus scale policy prefetch seed cap ~trace =
   let d = Spec.find bench in
-  let cfg = config_of machine n_cpus scale in
+  let cfg = config_of ?slices ?llc_hash machine n_cpus scale in
   {
     (Run.default_setup ~cfg ~make_program:(fun () -> d.build ~scale ()) ~policy) with
     prefetch;
@@ -232,14 +279,16 @@ let list_cmd =
 
 let run_cmd =
   let action bench machine n_cpus scale policy prefetch seed cap engine trace_path metrics_out
-      timeline prof_flag =
-    let cfg = config_of machine n_cpus scale in
+      timeline prof_flag slices llc_hash =
+    let cfg = config_of ?slices ?llc_hash machine n_cpus scale in
     let prof = prof_of prof_flag in
     let io = obs_io_of ~trace_path ~metrics_out ?timeline ?prof cfg in
     let obs, _metrics = io.fresh_ctx () in
     let setup =
       {
-        (setup_of bench machine n_cpus scale policy prefetch seed cap ~trace:false) with
+        (setup_of ?slices ?llc_hash bench machine n_cpus scale policy prefetch seed cap
+           ~trace:false)
+        with
         obs;
         engine;
       }
@@ -264,12 +313,15 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run one benchmark under one policy and print the report.")
     Term.(
       const action $ bench_arg $ machine_arg $ cpus_arg $ scale_arg $ policy_arg $ prefetch_arg
-      $ seed_arg $ cap_arg $ engine_arg $ trace_arg $ metrics_out_arg $ timeline_arg $ prof_arg)
+      $ seed_arg $ cap_arg $ engine_arg $ trace_arg $ metrics_out_arg $ timeline_arg $ prof_arg
+      $ slices_arg $ llc_hash_arg)
 
 (* ---- compare ---- *)
 
 let compare_cmd =
-  let action bench machine n_cpus scale prefetch seed cap engine trace_path metrics_out timeline =
+  let action bench machine n_cpus scale prefetch seed cap engine trace_path metrics_out timeline
+      slices llc_hash =
+    let hashed = match slices with Some k when k > 1 -> true | _ -> false in
     let policies =
       [
         Run.Page_coloring;
@@ -277,8 +329,12 @@ let compare_cmd =
         Run.Random_colors;
         Run.Cdpc { fallback = `Page_coloring; via_touch = false };
       ]
+      (* on a hashed machine the interesting fifth column is the
+         hash-aware variant — what coloring recovers once the OS knows
+         the hash *)
+      @ (if hashed then [ Run.Cdpc_hash { fallback = `Page_coloring } ] else [])
     in
-    let cfg = config_of machine n_cpus scale in
+    let cfg = config_of ?slices ?llc_hash machine n_cpus scale in
     let io = obs_io_of ~trace_path ~metrics_out ?timeline cfg in
     let jobs = min (Pcolor.Util.Pool.default_jobs ()) (List.length policies) in
     (* each policy is an independent simulation: fan them out across
@@ -293,7 +349,9 @@ let compare_cmd =
           let obs, _ = io.fresh_ctx () in
           Run.run
             {
-              (setup_of bench machine n_cpus scale policy prefetch seed cap ~trace:false) with
+              (setup_of ?slices ?llc_hash bench machine n_cpus scale policy prefetch seed cap
+                 ~trace:false)
+              with
               obs;
               engine;
             })
@@ -350,7 +408,8 @@ let compare_cmd =
   Cmd.v (Cmd.info "compare" ~doc:"Compare all mapping policies on one benchmark.")
     Term.(
       const action $ bench_arg $ machine_arg $ cpus_arg $ scale_arg $ prefetch_arg $ seed_arg
-      $ cap_arg $ engine_arg $ trace_arg $ metrics_out_arg $ timeline_arg)
+      $ cap_arg $ engine_arg $ trace_arg $ metrics_out_arg $ timeline_arg $ slices_arg
+      $ llc_hash_arg)
 
 (* ---- mix: multiprogrammed job mixes over one shared frame pool ---- *)
 
@@ -411,7 +470,8 @@ let mix_cmd =
              value is broadcast to every job. Default: $(b,cdpc).")
   in
   let action benches machine n_cpus scale sched_policy quantum switch_cost tlb mem_frames
-      policy_str prefetch seed cap engine trace_path metrics_out timeline prof_flag =
+      policy_str prefetch seed cap engine trace_path metrics_out timeline prof_flag slices
+      llc_hash =
     let k = List.length benches in
     let policies =
       let names =
@@ -434,7 +494,7 @@ let mix_cmd =
         Printf.eprintf "--policy: %d policies for %d jobs\n" (List.length ps) k;
         exit 2
     in
-    let cfg = config_of machine n_cpus scale in
+    let cfg = config_of ?slices ?llc_hash machine n_cpus scale in
     let prof = prof_of prof_flag in
     let io = obs_io_of ~trace_path ~metrics_out ?timeline ?prof cfg in
     let obs, _ = io.fresh_ctx () in
@@ -526,7 +586,46 @@ let mix_cmd =
     Term.(
       const action $ benches_arg $ machine_arg $ cpus_arg $ scale_arg $ sched_arg $ quantum_arg
       $ switch_cost_arg $ tlb_arg $ mem_frames_arg $ mix_policy_arg $ prefetch_arg $ seed_arg
-      $ cap_arg $ engine_arg $ trace_arg $ metrics_out_arg $ timeline_arg $ prof_arg)
+      $ cap_arg $ engine_arg $ trace_arg $ metrics_out_arg $ timeline_arg $ prof_arg $ slices_arg
+      $ llc_hash_arg)
+
+(* ---- probe: eviction-set hash recovery self-test ---- *)
+
+let probe_cmd =
+  let window_arg =
+    Arg.(
+      value
+      & opt int Pcolor.Workloads.Probe.default_window
+      & info [ "window" ] ~docv:"W"
+          ~doc:
+            "Frame bits probed above the group bits (the hash must not tap bits at or above \
+             group_bits + $(docv)).")
+  in
+  let action machine n_cpus scale slices llc_hash window =
+    let module Probe = Pcolor.Workloads.Probe in
+    let module Ahash = Pcolor.Memsim.Ahash in
+    let cfg = config_of ?slices ?llc_hash machine n_cpus scale in
+    let configured = Config.resolved_hash cfg in
+    Printf.printf "machine %s: %d colors, %d slice(s), configured hash %s\n" cfg.Config.name
+      (Config.n_colors cfg) cfg.Config.l2_slices (Ahash.name configured);
+    match Probe.self_test ~window cfg with
+    | Ok r ->
+      print_string (Probe.render r);
+      print_endline "probe self-test: recovered hash matches the configured partition"
+    | Error (r, e) ->
+      print_string (Probe.render r);
+      Printf.eprintf "probe self-test FAILED: %s\n" e;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "probe"
+       ~doc:
+         "Reverse-engineer the external cache's slice hash from eviction behaviour alone \
+          (eviction-set conflict oracle + GF(2) matrix learning), render the recovered bit \
+          matrix and check it against the configured hash. Exits 1 on mismatch — the \
+          hashed-LLC self-test gate.")
+    Term.(
+      const action $ machine_arg $ cpus_arg $ scale_arg $ slices_arg $ llc_hash_arg $ window_arg)
 
 (* ---- record / replay: binary reference traces ---- *)
 
@@ -1058,21 +1157,34 @@ let perf_history_cmd =
       & opt (some string) None
       & info [ "section" ] ~docv:"S" ~doc:"Show only section $(docv) (e.g. single_domain).")
   in
-  let action ledger section =
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:
+            "Also render sections no current bench section emits (stale/renamed ledger \
+             records); by default they are only summarized.")
+  in
+  let action ledger section all =
     match resolve_ledger ledger with
     | None ->
       Printf.eprintf "perf history: ledger disabled (PCOLOR_LEDGER=off)\n";
       exit 2
     | Some path ->
       let records, skipped = Pcolor.Obs.Ledger.load ~path in
-      print_string (Pcolor.Stats.Perf.render_history ?section records ~skipped)
+      (* an explicit --section request wins over the known-set filter:
+         asking for a stale section by name should show it *)
+      let known =
+        if all || section <> None then None else Some Pcolor.Stats.Perf.known_sections
+      in
+      print_string (Pcolor.Stats.Perf.render_history ?section ?known records ~skipped)
   in
   Cmd.v
     (Cmd.info "history"
        ~doc:
          "Render per-section performance trends (sparkline over ledger records, latest median \
           ± MAD) from the append-only perf ledger.")
-    Term.(const action $ ledger_path_arg $ section_arg)
+    Term.(const action $ ledger_path_arg $ section_arg $ all_arg)
 
 let perf_check_cmd =
   let margin_arg =
@@ -1218,7 +1330,7 @@ let () =
        (Cmd.group
           (Cmd.info "pcolor" ~doc ~version:(version_string ()))
           [
-            list_cmd; run_cmd; compare_cmd; mix_cmd; record_cmd; replay_cmd; pattern_cmd;
+            list_cmd; run_cmd; compare_cmd; mix_cmd; probe_cmd; record_cmd; replay_cmd; pattern_cmd;
             hints_cmd; summary_cmd; run_file_cmd; dump_cmd; explain_cmd; timeline_cmd; diff_cmd;
             perf_cmd; version_cmd;
           ]))

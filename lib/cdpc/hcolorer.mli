@@ -1,0 +1,28 @@
+(** Hash-aware coloring (DESIGN §16): the §5.2 colorer composed with
+    the inverted slice hash.  Hint positions are kept verbatim as *bin*
+    targets; the inversion happens at the allocator, which classifies
+    frames into true (slice, set-group) bins via
+    {!Pcolor_memsim.Ahash.bin_of}.  Under [Identity] this coincides
+    with plain CDPC bit for bit. *)
+
+(** [classify cfg] is the frame → true-bin map of [cfg]'s resolved
+    slice hash (the {!Pcolor_vm.Frame_pool.create} [classify]
+    argument).  Bins number [n_colors]. *)
+val classify : Pcolor_memsim.Config.t -> int -> int
+
+(** [inversion_name cfg] names the inversion for decision-log
+    [chosen_by] entries, e.g. ["hash-inverse(sandybridge)"]. *)
+val inversion_name : Pcolor_memsim.Config.t -> string
+
+(** [generate ?ablation ~cfg ~summary ~program ~n_cpus ()] runs the
+    §5.2 colorer (default: the full algorithm) and returns its hints
+    and placement info; pair with {!classify} when building the
+    kernel. *)
+val generate :
+  ?ablation:Colorer.ablation ->
+  cfg:Pcolor_memsim.Config.t ->
+  summary:Pcolor_comp.Summary.t ->
+  program:Pcolor_comp.Ir.program ->
+  n_cpus:int ->
+  unit ->
+  Pcolor_vm.Hints.t * Colorer.info

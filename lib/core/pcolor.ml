@@ -38,6 +38,8 @@ module Memsim = struct
   module Config = Pcolor_memsim.Config
   module Mclass = Pcolor_memsim.Mclass
   module Cache = Pcolor_memsim.Cache
+  module Ahash = Pcolor_memsim.Ahash
+  module Slice = Pcolor_memsim.Slice
   module Shadow = Pcolor_memsim.Shadow
   module Tlb = Pcolor_memsim.Tlb
   module Bus = Pcolor_memsim.Bus
@@ -71,6 +73,7 @@ module Cdpc = struct
   module Cyclic = Pcolor_cdpc.Cyclic
   module Colorer = Pcolor_cdpc.Colorer
   module Align = Pcolor_cdpc.Align
+  module Hcolorer = Pcolor_cdpc.Hcolorer
 end
 
 module Runtime = struct
@@ -105,6 +108,7 @@ module Workloads = struct
   module Apsi = Pcolor_workloads.Apsi
   module Fpppp = Pcolor_workloads.Fpppp
   module Wave5 = Pcolor_workloads.Wave5
+  module Probe = Pcolor_workloads.Probe
 end
 
 module Stats = struct

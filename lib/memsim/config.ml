@@ -32,6 +32,8 @@ type t = {
   bus_bytes_per_cycle : float; (** bus bandwidth in bytes per CPU cycle *)
   upgrade_bus_cycles : int; (** bus occupancy of a shared->exclusive upgrade *)
   max_outstanding_prefetches : int; (** paper: 4; a 5th prefetch stalls *)
+  l2_slices : int;          (** external-cache slices; power of two, ≤ n_colors *)
+  l2_hash : Ahash.spec;     (** slice-index hash over physical frame bits *)
 }
 
 let check_geom g =
@@ -48,7 +50,25 @@ let validate t =
   if not (Pcolor_util.Bits.is_pow2 t.page_size) then invalid_arg "page size not a power of two";
   if t.n_cpus <= 0 then invalid_arg "need at least one CPU";
   if t.page_size < t.l2.line then invalid_arg "page smaller than an L2 line";
+  if not (Pcolor_util.Bits.is_pow2 t.l2_slices) then
+    invalid_arg "l2_slices not a positive power of two";
+  let nc = t.l2.size / (t.page_size * t.l2.assoc) in
+  if t.l2_slices > nc then invalid_arg "more L2 slices than page colors";
+  (* materialize the hash once to surface bad specs (rank-deficient or
+     group-bit-touching masks) at configuration time *)
+  ignore
+    (Ahash.resolve t.l2_hash
+       ~slice_bits:(Pcolor_util.Bits.log2 t.l2_slices)
+       ~group_bits:(Pcolor_util.Bits.log2 (nc / t.l2_slices)));
   t
+
+(** [resolved_hash t] materializes the configured slice hash for this
+    geometry (group bits = log2 (n_colors / l2_slices)). *)
+let resolved_hash t =
+  let nc = t.l2.size / (t.page_size * t.l2.assoc) in
+  Ahash.resolve t.l2_hash
+    ~slice_bits:(Pcolor_util.Bits.log2 t.l2_slices)
+    ~group_bits:(Pcolor_util.Bits.log2 (nc / t.l2_slices))
 
 (** [n_colors t] is the number of page colors of the external cache:
     cache size / (page size × associativity) (§2.1). *)
@@ -82,6 +102,8 @@ let sgi_base ?(n_cpus = 8) () =
       bus_bytes_per_cycle = 3.0; (* 1.2 GB/s at 400 MHz *)
       upgrade_bus_cycles = 6;
       max_outstanding_prefetches = 4;
+      l2_slices = 1;
+      l2_hash = Ahash.Identity;
     }
 
 (** Figure 7 variant: 1 MB two-way set-associative external cache. *)
@@ -114,6 +136,8 @@ let alphaserver ?(n_cpus = 8) () =
       bus_bytes_per_cycle = 4.5; (* ~1.6 GB/s at 350 MHz *)
       upgrade_bus_cycles = 6;
       max_outstanding_prefetches = 4;
+      l2_slices = 1;
+      l2_hash = Ahash.Identity;
     }
 
 (** [scale t factor] shrinks both cache levels by [factor] (a power of

@@ -24,6 +24,8 @@ type t = {
   bus_bytes_per_cycle : float;  (** bus bandwidth in bytes per CPU cycle *)
   upgrade_bus_cycles : int;  (** bus occupancy of a shared→exclusive upgrade *)
   max_outstanding_prefetches : int;  (** paper: 4; a 5th prefetch stalls *)
+  l2_slices : int;  (** external-cache slices; power of two, ≤ n_colors *)
+  l2_hash : Ahash.spec;  (** slice-index hash over physical frame bits *)
 }
 
 (** [check_geom g] validates one cache geometry. *)
@@ -36,6 +38,11 @@ val validate : t -> t
 (** [n_colors t] is the page-color count:
     cache size / (page size × associativity) (§2.1). *)
 val n_colors : t -> int
+
+(** [resolved_hash t] materializes the configured slice hash for this
+    geometry (slice bits = log2 l2_slices, group bits =
+    log2 (n_colors / l2_slices)). *)
+val resolved_hash : t -> Ahash.t
 
 (** [ns_to_cycles t ns] converts nanoseconds to CPU cycles. *)
 val ns_to_cycles : t -> int -> int

@@ -78,7 +78,7 @@ let memo_mask = memo_slots - 1
 type cpu = {
   id : int;
   l1 : Cache.t;
-  l2 : Cache.t;
+  l2 : Slice.t;
   shadow : Shadow.t;
   tlb : Tlb.t;
   seen : Pcolor_util.Bitset.t; (* physical lines ever referenced by this CPU *)
@@ -167,11 +167,14 @@ let sampler_for ?epoch_cycles (cfg : Config.t) =
     trace instants, and with sampling on, per-miss stalls feed a
     histogram. *)
 let create ?(obs = Pcolor_obs.Ctx.disabled) (cfg : Config.t) =
+  (* one resolved hash shared by every CPU's (immutable-hash) slice set *)
+  let l2_hash = Config.resolved_hash cfg in
+  let l2_page_bits = Pcolor_util.Bits.log2 cfg.page_size in
   let mk id =
     {
       id;
       l1 = Cache.create cfg.l1;
-      l2 = Cache.create cfg.l2;
+      l2 = Slice.create cfg.l2 ~n_slices:cfg.l2_slices ~hash:l2_hash ~page_bits:l2_page_bits;
       shadow = Shadow.create cfg.l2;
       tlb = Tlb.create ~entries:cfg.tlb_entries;
       seen = Pcolor_util.Bitset.create (1 lsl 17);
@@ -328,7 +331,7 @@ let invalidate_others t ~writer ~vaddr ~paddr ~mask =
       if i <> writer && mask land (1 lsl i) <> 0 then begin
         let peer = t.cpus.(i) in
         ignore (Cache.invalidate peer.l1 vaddr);
-        ignore (Cache.invalidate peer.l2 paddr)
+        ignore (Slice.invalidate peer.l2 paddr)
       end
     done
 
@@ -358,7 +361,7 @@ let l2_miss t c ~vaddr ~paddr ~pline ~write ~fa_hit ~evicted ~evicted_dirty =
   (match t.attrib with
   | Some a ->
     Pcolor_obs.Attrib.record a ~cls:(Mclass.index cls) ~frame:(paddr lsr t.page_bits)
-      ~set:(Cache.set_of_line c.l2 pline)
+      ~set:(Slice.set_of_line c.l2 pline)
       ~victim_frame:(if evicted >= 0 then evicted lsr (t.page_bits - t.l2_line_bits) else -1)
       ~replacement:(Mclass.is_replacement cls)
   | None -> ());
@@ -392,7 +395,7 @@ let l2_miss t c ~vaddr ~paddr ~pline ~write ~fa_hit ~evicted ~evicted_dirty =
     Array.iter
       (fun peer ->
         if peer.id <> c.id then begin
-          Cache.clean peer.l2 paddr;
+          Slice.clean peer.l2 paddr;
           Cache.clean peer.l1 vaddr
         end)
       t.cpus;
@@ -417,7 +420,7 @@ let access_cpu t c ~vaddr ~write ~translate =
       (* Possible shared->exclusive upgrade; L2 must learn the dirty state. *)
       let paddr = translate_addr t c ~translate vaddr in
       let pline = paddr lsr t.l2_line_bits in
-      ignore (Cache.set_dirty_if_present c.l2 paddr);
+      ignore (Slice.set_dirty_if_present c.l2 paddr);
       upgrade_on_write t c ~vaddr ~paddr ~pline
     end
   end
@@ -429,7 +432,7 @@ let access_cpu t c ~vaddr ~write ~translate =
        not retain the victim's own address mapping, so we skip it; the
        original write already set the L2 dirty bit on its own path). *)
     let fa_hit = Shadow.access c.shadow pline in
-    let r2 = Cache.access c.l2 ~addr:paddr ~write in
+    let r2 = Slice.access c.l2 ~addr:paddr ~write in
     if Cache.res_hit r2 then begin
       s.l2_hits <- s.l2_hits + 1;
       s.stall_onchip <- s.stall_onchip + t.cfg.l2_hit_cycles;
@@ -502,7 +505,7 @@ let prefetch_cpu t c ~vaddr =
   else begin
     let paddr = paddr_of t ~frame ~vaddr in
     let pline = paddr lsr t.l2_line_bits in
-    if Cache.contains c.l2 paddr || Pcolor_util.Itab.mem c.pf_ready pline then
+    if Slice.contains c.l2 paddr || Pcolor_util.Itab.mem c.pf_ready pline then
       s.pf_useless <- s.pf_useless + 1
     else begin
       (* Retire completed prefetches, then enforce the slot limit. *)
@@ -527,13 +530,13 @@ let prefetch_cpu t c ~vaddr =
       Pcolor_util.Itab.set c.pf_ready pline done_at;
       Bus.add_data t.bus t.line_bus;
       ignore (Shadow.access c.shadow pline);
-      let r = Cache.access c.l2 ~addr:paddr ~write:false in
+      let r = Slice.access c.l2 ~addr:paddr ~write:false in
       if (not (Cache.res_hit r)) && Cache.res_dirty r then begin
         Bus.add_writeback t.bus t.line_bus;
         Directory.writeback t.dir ~cpu ~line:(Cache.res_victim r)
       end;
       if Directory.record_read t.dir ~cpu ~line:pline then
-        Array.iter (fun peer -> if peer.id <> cpu then Cache.clean peer.l2 paddr) t.cpus;
+        Array.iter (fun peer -> if peer.id <> cpu then Slice.clean peer.l2 paddr) t.cpus;
       Pcolor_util.Bitset.set c.seen pline
     end
   end
@@ -885,7 +888,7 @@ let invalidate_frame_everywhere t ~frame =
   Array.iter
     (fun c ->
       for l = 0 to lines - 1 do
-        ignore (Cache.invalidate c.l2 (base + (l * t.cfg.l2.line)))
+        ignore (Slice.invalidate c.l2 (base + (l * t.cfg.l2.line)))
       done)
     t.cpus
 

@@ -210,7 +210,7 @@ val publish_metrics : t -> Pcolor_obs.Metrics.t -> unit
     components for tests and probes. *)
 val l1_cache : t -> cpu:int -> Cache.t
 
-val l2_cache : t -> cpu:int -> Cache.t
+val l2_cache : t -> cpu:int -> Slice.t
 
 val tlb : t -> cpu:int -> Tlb.t
 

@@ -129,12 +129,14 @@ let attribution_json_spaces ~(spaces : (Pcolor_vm.Kernel.t * Ir.program) list) ~
 let attribution_json ~kernel ~program ~page_size attrib =
   attribution_json_spaces ~spaces:[ (kernel, program) ] ~page_size attrib
 
-(** [decisions_json info] is the artifact's ["coloring_decisions"]
-    section: which §5.2 steps ran, the step-2 access-set order, and
-    every placed segment with its step-2/step-3 ranks and step-4
-    rotation, plus the per-page color assignments ([pages_cap]-bounded)
-    with the step that produced each. *)
-let decisions_json (info : Pcolor_cdpc.Colorer.info) =
+(** [decisions_json ?hash info] is the artifact's
+    ["coloring_decisions"] section: which §5.2 steps ran, the step-2
+    access-set order, and every placed segment with its step-2/step-3
+    ranks and step-4 rotation, plus the per-page color assignments
+    ([pages_cap]-bounded) with the step that produced each.  [hash]
+    (hash-aware CDPC) names the slice-hash inversion the hints were
+    realized through; it suffixes every [chosen_by] entry. *)
+let decisions_json ?hash (info : Pcolor_cdpc.Colorer.info) =
   let module C = Pcolor_cdpc.Colorer in
   let segments =
     List.map
@@ -171,6 +173,7 @@ let decisions_json (info : Pcolor_cdpc.Colorer.info) =
           let step =
             if ps.rotation <> 0 then "step4-rotation+step5-round-robin" else "step5-round-robin"
           in
+          let step = match hash with Some h -> step ^ "+" ^ h | None -> step in
           pages :=
             J.Obj
               [

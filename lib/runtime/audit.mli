@@ -30,8 +30,10 @@ val attribution_json_spaces :
   Pcolor_obs.Attrib.t ->
   Pcolor_obs.Json.t
 
-(** [decisions_json info] is the artifact's ["coloring_decisions"]
-    section: ablation switches, step-2 set order, placed segments with
-    step-2/3 ranks and step-4 rotations, and per-page color assignments
-    with the step that produced each. *)
-val decisions_json : Pcolor_cdpc.Colorer.info -> Pcolor_obs.Json.t
+(** [decisions_json ?hash info] is the artifact's
+    ["coloring_decisions"] section: ablation switches, step-2 set
+    order, placed segments with step-2/3 ranks and step-4 rotations,
+    and per-page color assignments with the step that produced each.
+    [hash] (hash-aware CDPC) names the slice-hash inversion and
+    suffixes every [chosen_by] entry. *)
+val decisions_json : ?hash:string -> Pcolor_cdpc.Colorer.info -> Pcolor_obs.Json.t

@@ -317,7 +317,16 @@ let max_run_records = 1 lsl 20
 let replay r ~(setup : Run.setup) =
   let cfg = setup.Run.cfg in
   let { Run.program; summary; hints_info; policy; layout_end = _ } = Run.prepare setup in
-  let kernel = Pcolor_vm.Kernel.create ~cfg ~policy ?mem_frames:setup.Run.mem_frames () in
+  let classify =
+    (* mirror Run.run: a hash-aware replay must rebuild the same
+       bin-classified pool or granted frames diverge from the tape *)
+    match setup.Run.policy with
+    | Run.Cdpc_hash _ -> Some (Pcolor_cdpc.Hcolorer.classify cfg)
+    | _ -> None
+  in
+  let kernel =
+    Pcolor_vm.Kernel.create ~cfg ~policy ?mem_frames:setup.Run.mem_frames ?classify ()
+  in
   let obs = setup.Run.obs in
   let machine = M.create ~obs cfg in
   let translate ~cpu ~vpage = Pcolor_vm.Kernel.translate kernel ~cpu ~vpage in
@@ -610,6 +619,10 @@ let replay r ~(setup : Run.setup) =
     kernel;
     machine;
     recolorings = 0;
+    hash_inversion =
+      (match setup.Run.policy with
+      | Run.Cdpc_hash _ -> Some (Pcolor_cdpc.Hcolorer.inversion_name cfg)
+      | _ -> None);
     metrics = metrics_snapshot;
     attrib = Pcolor_obs.Ctx.attrib obs;
   }

@@ -20,6 +20,11 @@ type policy_choice =
   | Bin_hopping_unaligned
   | Random_colors
   | Cdpc of { fallback : [ `Page_coloring | `Bin_hopping ]; via_touch : bool }
+  | Cdpc_hash of { fallback : [ `Page_coloring | `Bin_hopping ] }
+      (** hash-aware CDPC (DESIGN §16): §5.2 hints kept verbatim as bin
+          targets, realized on a frame pool whose bins invert the
+          configured LLC slice hash; identical to [Cdpc ~via_touch:false]
+          under the identity hash *)
   | Dynamic_recoloring of { base : [ `Page_coloring | `Bin_hopping ] }
       (** extension: a §2.1-style dynamic policy — conflict-miss
           counters trigger page recoloring between phases, with the
@@ -35,6 +40,8 @@ let policy_name = function
   | Cdpc { via_touch = true; _ } -> "cdpc-touch"
   | Cdpc { via_touch = false; fallback = `Page_coloring } -> "cdpc"
   | Cdpc { via_touch = false; fallback = `Bin_hopping } -> "cdpc-bh"
+  | Cdpc_hash { fallback = `Page_coloring } -> "cdpc-hash"
+  | Cdpc_hash { fallback = `Bin_hopping } -> "cdpc-hash-bh"
   | Dynamic_recoloring { base = `Page_coloring } -> "dynamic(pc)"
   | Dynamic_recoloring { base = `Bin_hopping } -> "dynamic(bh)"
 
@@ -91,6 +98,9 @@ type outcome = {
       (* post-run machine: cumulative (unweighted) measured-pass stats,
          for throughput accounting and detailed probes *)
   recolorings : int; (* dynamic-recoloring extension: pages moved *)
+  hash_inversion : string option;
+      (* hash-aware CDPC: decision-log label of the inversion used,
+         e.g. "hash-inverse(sandybridge)"; None for every other policy *)
   metrics : Pcolor_obs.Metrics.snapshot option;
       (* snapshot of the run's registry, if one was attached *)
   attrib : Pcolor_obs.Attrib.t option;
@@ -156,7 +166,10 @@ let prepare ?(relocate = 0) (setup : setup) =
   let n_colors = Pcolor_memsim.Config.n_colors cfg in
   let hints_info =
     match setup.policy with
-    | Cdpc _ ->
+    | Cdpc _ | Cdpc_hash _ ->
+      (* hash-aware CDPC generates the same §5.2 hints — positions are
+         already the right bin schedule; the hash inversion happens in
+         the frame pool (Hcolorer.classify), not here *)
       let hints, info =
         Pcolor_cdpc.Colorer.generate_ablated ~ablation:setup.cdpc_ablation ~cfg ~summary
           ~program ~n_cpus:cfg.n_cpus
@@ -175,7 +188,7 @@ let prepare ?(relocate = 0) (setup : setup) =
       (* user-level implementation: plain bin-hopping kernel, pages
          touched in coloring order at startup (faults serialized) *)
       (Pcolor_vm.Policy.Base Bin_hopping, false)
-    | Cdpc { via_touch = false; fallback } ->
+    | Cdpc { via_touch = false; fallback } | Cdpc_hash { fallback } ->
       let fb : Pcolor_vm.Policy.base =
         match fallback with `Page_coloring -> Page_coloring | `Bin_hopping -> Bin_hopping
       in
@@ -194,7 +207,12 @@ let prepare ?(relocate = 0) (setup : setup) =
 let run ?recorder (setup : setup) =
   let cfg = setup.cfg in
   let { program; summary; hints_info; policy; layout_end = _ } = prepare setup in
-  let kernel = Pcolor_vm.Kernel.create ~cfg ~policy ?mem_frames:setup.mem_frames () in
+  let classify =
+    match setup.policy with
+    | Cdpc_hash _ -> Some (Pcolor_cdpc.Hcolorer.classify cfg)
+    | _ -> None
+  in
+  let kernel = Pcolor_vm.Kernel.create ~cfg ~policy ?mem_frames:setup.mem_frames ?classify () in
   let machine = Pcolor_memsim.Machine.create ~obs:setup.obs cfg in
   let plans =
     if setup.prefetch then Pcolor_comp.Prefetcher.plan cfg program else Pcolor_comp.Prefetcher.none
@@ -288,6 +306,10 @@ let run ?recorder (setup : setup) =
     machine;
     recolorings =
       (match recolorer with Some rc -> (fun (_, r, _) -> r) (Recolor.stats rc) | None -> 0);
+    hash_inversion =
+      (match setup.policy with
+      | Cdpc_hash _ -> Some (Pcolor_cdpc.Hcolorer.inversion_name cfg)
+      | _ -> None);
     metrics = metrics_snapshot;
     attrib = Pcolor_obs.Ctx.attrib setup.obs;
   }
@@ -320,7 +342,8 @@ let artifact_json ?provenance outcome =
       | None -> [])
     @
     match outcome.hints_info with
-    | Some info -> [ ("coloring_decisions", Audit.decisions_json info) ]
+    | Some info ->
+      [ ("coloring_decisions", Audit.decisions_json ?hash:outcome.hash_inversion info) ]
     | None -> []
   in
   J.Obj fields

@@ -17,6 +17,10 @@ type policy_choice =
   | Bin_hopping_unaligned
   | Random_colors
   | Cdpc of { fallback : [ `Page_coloring | `Bin_hopping ]; via_touch : bool }
+  | Cdpc_hash of { fallback : [ `Page_coloring | `Bin_hopping ] }
+      (** hash-aware CDPC (DESIGN §16): the same §5.2 hints realized
+          through a frame pool classified by the inverted slice hash,
+          so hints target true (slice, set-group) bins *)
   | Dynamic_recoloring of { base : [ `Page_coloring | `Bin_hopping ] }
 
 (** [policy_name c] is the report label. *)
@@ -63,6 +67,9 @@ type outcome = {
   machine : Pcolor_memsim.Machine.t;
       (** post-run machine: cumulative (unweighted) measured-pass stats *)
   recolorings : int;  (** dynamic-recoloring extension: pages moved *)
+  hash_inversion : string option;
+      (** hash-aware CDPC: name of the slice-hash inversion the hints
+          were realized through (suffixes decision-log [chosen_by]) *)
   metrics : Pcolor_obs.Metrics.snapshot option;
       (** end-of-run snapshot of the setup's registry, if one was
           attached *)

@@ -133,7 +133,16 @@ let run ~cfg ?(sched = Sched.default) ?mem_frames ?(cap = 2) ?reclaim_batch
       let l2_frames = cfg.Config.l2.Config.size / cfg.Config.page_size in
       max (4 * l2_frames * cfg.Config.n_cpus) (256 * 1024 * 1024 / cfg.Config.page_size)
   in
-  let pool = Frame_pool.create ~frames ~n_colors in
+  let pool =
+    (* One shared pool for every address space.  If any job is
+       hash-aware (Cdpc_hash), the pool is classified by the inverted
+       slice hash so that job's hints target true (slice, set-group)
+       bins; under the identity hash the classifier coincides with
+       [frame mod n_colors], so plain mixes are unaffected. *)
+    if Array.exists (fun (s : Job.spec) -> match s.Job.policy with Run.Cdpc_hash _ -> true | _ -> false) specs
+    then Frame_pool.create_classified ~classify:(Pcolor_cdpc.Hcolorer.classify cfg) ~frames ~n_colors
+    else Frame_pool.create ~frames ~n_colors
+  in
   let machine = M.create ~obs cfg in
   let ranges = cpu_ranges ~policy:sched.Sched.policy ~n_cpus:cfg.Config.n_cpus k in
   let jobs =

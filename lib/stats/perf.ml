@@ -105,11 +105,32 @@ let sections_of_artifact v =
       | Some _ -> add "mix" "seconds" (mix_total_rate v)
       | None -> (
           match Option.bind (J.member "section" v) J.to_string_opt with
-          | Some name ->
-              add name "seconds"
-                (Option.map point (fnum "seconds" v))
+          | Some name -> (
+              (* prefer the multi-trial rate object (PR 9 shape) over
+                 the legacy flat section wall-time, which only ever
+                 supports a point interval *)
+              match J.member "rate" v with
+              | Some r ->
+                  add name "refs_per_sec"
+                    (rate_of_json ~unit_name:"refs_per_sec" r)
+              | None ->
+                  add name "seconds"
+                    (Option.map point (fnum "seconds" v)))
           | None -> ())));
   List.rev !out
+
+(* Every section name the current bench harness can emit — generic
+   figure/table artifacts, the richer throughput/mix/hash artifacts
+   and their ledger records.  [perf history] filters to this set by
+   default so a ledger carrying records from renamed or removed
+   sections does not render as silent noise. *)
+let known_sections =
+  [
+    "table1"; "figure2"; "figure2/sweep"; "figure3+5"; "figure6"; "figure7";
+    "figure8"; "figure9"; "table2"; "extensions"; "single_domain";
+    "engines/interp"; "engines/batch"; "engines/runs"; "replay"; "scale_256";
+    "sweep/seq"; "sweep/par"; "mix"; "hash/grid";
+  ]
 
 type verdict = {
   section : string;
@@ -184,11 +205,24 @@ let render_check ~margin verdicts ~missing =
     Buffer.add_string b "  no comparable sections found\n";
   Buffer.contents b
 
-let render_history ?section records ~skipped =
+let sections_of records =
+  List.sort_uniq compare (List.map (fun (r : Ledger.record) -> r.Ledger.section) records)
+
+let render_history ?section ?known records ~skipped =
+  let all = records in
   let records =
     match section with
     | None -> records
     | Some s -> List.filter (fun (r : Ledger.record) -> r.Ledger.section = s) records
+  in
+  (* [known] filters display to the sections the current bench set can
+     emit; stale records (renamed/removed sections) are summarized
+     instead of rendered, never silently dropped *)
+  let records, unknown =
+    match known with
+    | None -> (records, [])
+    | Some ks ->
+        List.partition (fun (r : Ledger.record) -> List.mem r.Ledger.section ks) records
   in
   (* group by section, preserving first-seen order; within a section
      the ledger's file order is time order *)
@@ -205,7 +239,17 @@ let render_history ?section records ~skipped =
       cell := r :: !cell)
     records;
   let b = Buffer.create 1024 in
-  if records = [] then Buffer.add_string b "perf history: ledger is empty\n"
+  if all = [] then Buffer.add_string b "perf history: ledger is empty\n"
+  else if records = [] then
+    (* distinguish "nothing recorded" from "nothing left after the
+       filter": name what the ledger actually holds *)
+    Buffer.add_string b
+      (Printf.sprintf "perf history: no records for %s (ledger has %d record(s) in: %s)\n"
+         (match section with
+         | Some s -> Printf.sprintf "section %s" s
+         | None -> "any current bench section")
+         (List.length all)
+         (String.concat ", " (sections_of all)))
   else begin
     Buffer.add_string b "perf history (ledger order = time order)\n";
     List.iter
@@ -221,6 +265,12 @@ let render_history ?section records ~skipped =
              (if last.Ledger.note = "" then "" else ", " ^ last.Ledger.note)))
       (List.rev !order)
   end;
+  if unknown <> [] then
+    Buffer.add_string b
+      (Printf.sprintf
+         "  (skipped %d record(s) from section(s) not in the current bench set: %s — --all shows them)\n"
+         (List.length unknown)
+         (String.concat ", " (sections_of unknown)));
   if skipped > 0 then
     Buffer.add_string b
       (Printf.sprintf "  (%d corrupt ledger line%s skipped)\n" skipped

@@ -28,9 +28,17 @@ val rate_of_json : unit_name:string -> Pcolor_obs.Json.t -> rate option
     [("engines/runs", "refs_per_sec", r)].  Dispatches on shape:
     throughput ([single_domain]/[engines]/[replay]/[scale_256]/[sweep]),
     mix ([mixes] → one aggregate ["mix"] row in seconds), and
-    single-section artifacts ([section] + [seconds]). *)
+    single-section artifacts: a ["rate"] multi-trial object (refs/s)
+    when the section recorded one, else the legacy flat [seconds]
+    float as a point interval. *)
 val sections_of_artifact :
   Pcolor_obs.Json.t -> (string * string * rate) list
+
+(** Every section name the current bench harness emits (artifact
+    sections and ledger records).  [perf history] filters to this set
+    by default so stale ledger records from renamed or removed
+    sections are summarized rather than rendered. *)
+val known_sections : string list
 
 type verdict = {
   section : string;
@@ -62,13 +70,21 @@ val render_check :
 (** [all_ok verdicts] is true when no section failed. *)
 val all_ok : verdict list -> bool
 
-(** [render_history ?section records ~skipped] renders per-section
-    trend sparklines from ledger records (file order = time order):
-    one strip per section, latest median ± MAD and its git stamp.
-    [section] filters to one section; [skipped] is the corrupt-line
-    count from {!Pcolor_obs.Ledger.load}. *)
+(** [render_history ?section ?known records ~skipped] renders
+    per-section trend sparklines from ledger records (file order =
+    time order): one strip per section, latest median ± MAD and its
+    git stamp.  [section] filters to one section; [known] filters to a
+    section whitelist (e.g. {!known_sections}), summarizing — never
+    silently dropping — records outside it; [skipped] is the
+    corrupt-line count from {!Pcolor_obs.Ledger.load}.  When a filter
+    leaves nothing, the report says what the ledger does hold instead
+    of rendering empty. *)
 val render_history :
-  ?section:string -> Pcolor_obs.Ledger.record list -> skipped:int -> string
+  ?section:string ->
+  ?known:string list ->
+  Pcolor_obs.Ledger.record list ->
+  skipped:int ->
+  string
 
 (** [backfill_record v] builds one synthetic ledger record from a
     committed legacy artifact (provenance from its embedded stamp,

@@ -17,6 +17,9 @@ type t = {
   total : int;
   mutable fallbacks : int; (* allocations that could not honor the color *)
   mutable honored : int;
+  classify : (int -> int) option;
+      (* frame -> bin override (hashed-LLC pools, DESIGN §16); None =
+         the classic positional [frame mod n_colors] *)
 }
 
 (** [create ~frames ~n_colors] builds a pool of frames [0..frames-1].
@@ -30,7 +33,14 @@ type t = {
     256 MB pool costs a few words instead of a cons cell per frame.
     Released frames go to an explicit per-color stack consulted first,
     which again matches the eager representation (releases pushed on the
-    list head, ahead of the ascending tail). *)
+    list head, ahead of the ascending tail).
+
+    {!create_classified} (hashed-LLC pools, DESIGN §16) replaces the
+    positional [frame mod n_colors] with an arbitrary frame -> bin map.
+    Bins are no longer arithmetic sequences, so the per-bin free frames
+    are materialized as explicit lists (ascending, matching the classic
+    hand-out order) and the fresh counters start exhausted; every other
+    code path — alloc, outward fallback scan, release — is shared. *)
 let create ~frames ~n_colors =
   if frames <= 0 || n_colors <= 0 then invalid_arg "Frame_pool.create";
   let fresh = Array.init n_colors (fun c -> c) in
@@ -46,13 +56,41 @@ let create ~frames ~n_colors =
     total = frames;
     fallbacks = 0;
     honored = 0;
+    classify = None;
+  }
+
+let create_classified ~classify ~frames ~n_colors =
+  if frames <= 0 || n_colors <= 0 then invalid_arg "Frame_pool.create_classified";
+  let freed = Array.make n_colors [] in
+  let free_n = Array.make n_colors 0 in
+  for frame = frames - 1 downto 0 do
+    let b = classify frame in
+    if b < 0 || b >= n_colors then
+      invalid_arg
+        (Printf.sprintf "Frame_pool.create_classified: classify sent frame %d to bin %d (of %d)"
+           frame b n_colors);
+    freed.(b) <- frame :: freed.(b);
+    free_n.(b) <- free_n.(b) + 1
+  done;
+  {
+    n_colors;
+    freed;
+    fresh = Array.make n_colors frames (* >= total: no arithmetic tail *);
+    free_n;
+    free_count = frames;
+    total = frames;
+    fallbacks = 0;
+    honored = 0;
+    classify = Some classify;
   }
 
 (** [n_colors t] is the machine's color count. *)
 let n_colors t = t.n_colors
 
-(** [color_of t frame] is [frame mod n_colors]. *)
-let color_of t frame = frame mod t.n_colors
+(** [color_of t frame] is the frame's bin: [frame mod n_colors]
+    classically, or the classifier's verdict on a hashed pool. *)
+let color_of t frame =
+  match t.classify with None -> frame mod t.n_colors | Some f -> f frame
 
 (** [free_frames t] is the number of unallocated frames. *)
 let free_frames t = t.free_count

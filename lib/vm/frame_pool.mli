@@ -7,14 +7,23 @@
 
 type t
 
-(** [create ~frames ~n_colors] builds a pool of frames [0..frames-1].
-    Raises [Invalid_argument] on non-positive arguments. *)
+(** [create ~frames ~n_colors] builds a pool of frames [0..frames-1]
+    under the classic positional coloring [frame mod n_colors].  Raises
+    [Invalid_argument] on non-positive arguments. *)
 val create : frames:int -> n_colors:int -> t
+
+(** [create_classified ~classify ~frames ~n_colors] builds a pool whose
+    bins are [classify frame] instead of the positional color (hashed-LLC
+    pools, DESIGN §16); [classify] must land every frame in
+    [0..n_colors-1].  Raises [Invalid_argument] on non-positive
+    arguments or an out-of-range classification. *)
+val create_classified : classify:(int -> int) -> frames:int -> n_colors:int -> t
 
 (** [n_colors t] is the machine's color count. *)
 val n_colors : t -> int
 
-(** [color_of t frame] is [frame mod n_colors]. *)
+(** [color_of t frame] is the frame's bin: [frame mod n_colors]
+    classically, or the classifier's verdict on a hashed pool. *)
 val color_of : t -> int -> int
 
 (** [free_frames t] counts unallocated frames. *)

@@ -28,13 +28,16 @@ type t = {
          second-chance reclaim lives in lib/sched, not here) *)
 }
 
-(** [create ~cfg ~policy ?mem_frames ?pool ()] builds a kernel managing
-    [mem_frames] physical frames (default: 4× the aggregate L2 capacity,
-    a machine with comfortable memory).  Use a small [mem_frames] to
-    create memory pressure and exercise hint fallback.  Pass [pool] to
-    share one frame pool between several kernels — the multiprogramming
-    setup where concurrent address spaces compete for colors. *)
-let create ~cfg ~policy ?mem_frames ?pool () =
+(** [create ~cfg ~policy ?mem_frames ?pool ?classify ()] builds a kernel
+    managing [mem_frames] physical frames (default: 4× the aggregate L2
+    capacity, a machine with comfortable memory).  Use a small
+    [mem_frames] to create memory pressure and exercise hint fallback.
+    Pass [pool] to share one frame pool between several kernels — the
+    multiprogramming setup where concurrent address spaces compete for
+    colors.  [classify] (ignored when [pool] is given) builds a hashed
+    frame pool whose bins follow the given frame → bin map instead of
+    [frame mod n_colors] (hash-aware coloring, DESIGN §16). *)
+let create ~cfg ~policy ?mem_frames ?pool ?classify () =
   let n_colors = Pcolor_memsim.Config.n_colors cfg in
   let default_frames =
     (* Ample memory: enough for any SPEC95fp data set (>= 256 MB) and
@@ -50,7 +53,9 @@ let create ~cfg ~policy ?mem_frames ?pool () =
       p
     | None ->
       let frames = Option.value mem_frames ~default:default_frames in
-      Frame_pool.create ~frames ~n_colors
+      (match classify with
+      | None -> Frame_pool.create ~frames ~n_colors
+      | Some classify -> Frame_pool.create_classified ~classify ~frames ~n_colors)
   in
   {
     cfg;

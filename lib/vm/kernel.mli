@@ -9,16 +9,20 @@ type t
     carries the faulting CPU and virtual page for diagnostics. *)
 exception Out_of_frames of { cpu : int; vpage : int }
 
-(** [create ~cfg ~policy ?mem_frames ?pool ()] builds a kernel managing
-    [mem_frames] physical frames (default: ample — at least 256 MB and
-    4× the aggregate external-cache capacity).  Shrink [mem_frames] to
-    exercise hint fallback under memory pressure; pass [pool] to share
-    one frame pool between several kernels (multiprogramming). *)
+(** [create ~cfg ~policy ?mem_frames ?pool ?classify ()] builds a kernel
+    managing [mem_frames] physical frames (default: ample — at least
+    256 MB and 4× the aggregate external-cache capacity).  Shrink
+    [mem_frames] to exercise hint fallback under memory pressure; pass
+    [pool] to share one frame pool between several kernels
+    (multiprogramming).  [classify] (ignored with [pool]) builds a
+    hashed pool whose bins follow the given frame → bin map
+    (hash-aware coloring, DESIGN §16). *)
 val create :
   cfg:Pcolor_memsim.Config.t ->
   policy:Policy.t ->
   ?mem_frames:int ->
   ?pool:Frame_pool.t ->
+  ?classify:(int -> int) ->
   unit ->
   t
 

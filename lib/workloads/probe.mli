@@ -1,0 +1,52 @@
+(** Hash-probe self-test (DESIGN §16): recovers the slice hash of a
+    hashed/sliced external cache from eviction behaviour alone — the
+    {!Pcolor_memsim.Slice} is a black box exposing only
+    access/flush/miss counts.  Recovery is GF(2) matrix learning over a
+    conflict oracle built from eviction sets; the result is compared to
+    the configured hash by canonical row space. *)
+
+(** A recovery: mask rows over physical frame bits (shifted by
+    [group_bits], comparable to {!Pcolor_memsim.Ahash.masks}) plus
+    probe accounting. *)
+type recovery = {
+  masks : int array;
+  n_slices : int;  (** [2 ^ Array.length masks] *)
+  group_bits : int;
+  window : int;  (** frame bits [group_bits .. group_bits+window-1] probed *)
+  tests : int;  (** conflict-oracle invocations *)
+}
+
+val default_window : int
+
+(** [oracle slice ~assoc ~page_bits ~group_bits ~window x y] — [true]
+    iff probe frames [x lsl group_bits] and [y lsl group_bits] land in
+    the same slice (eviction-set measurement).  Raises
+    [Invalid_argument] when [x = y]. *)
+val oracle :
+  Pcolor_memsim.Slice.t ->
+  assoc:int ->
+  page_bits:int ->
+  group_bits:int ->
+  window:int ->
+  int ->
+  int ->
+  bool
+
+(** [recover ?window cfg] builds a fresh standalone slice cache from
+    [cfg] and recovers its hash from conflicts alone ([window] defaults
+    to {!default_window}; the hash must not tap frame bits at or above
+    [group_bits + window]). *)
+val recover : ?window:int -> Pcolor_memsim.Config.t -> recovery
+
+(** [check cfg r] — [Ok ()] iff the recovery names the configured
+    hash's frame partition exactly (same slice count, same canonical
+    row space); [Error] renders the disagreement. *)
+val check : Pcolor_memsim.Config.t -> recovery -> (unit, string) result
+
+(** [recover] + [check]: the CI gate.  [Error] carries the (wrong)
+    recovery for rendering. *)
+val self_test :
+  ?window:int -> Pcolor_memsim.Config.t -> (recovery, recovery * string) result
+
+(** [render r] draws the recovered matrix for the CLI. *)
+val render : recovery -> string

@@ -7,7 +7,8 @@ module Ir = Pcolor.Comp.Ir
 
 (* A miniature machine: 8 KB direct-mapped external cache, 1 KB pages,
    128 B lines -> 8 colors; 512 B 2-way on-chip cache; small TLB. *)
-let tiny_cfg ?(n_cpus = 2) ?(l2_assoc = 1) () =
+let tiny_cfg ?(n_cpus = 2) ?(l2_assoc = 1) ?(l2_slices = 1) ?(l2_hash = Pcolor.Memsim.Ahash.Identity)
+    () =
   Config.validate
     {
       Config.name = "tiny";
@@ -25,6 +26,8 @@ let tiny_cfg ?(n_cpus = 2) ?(l2_assoc = 1) () =
       bus_bytes_per_cycle = 4.0;
       upgrade_bus_cycles = 4;
       max_outstanding_prefetches = 4;
+      l2_slices;
+      l2_hash;
     }
 
 (* Figure 4's shape: two arrays partitioned across two CPUs. *)

@@ -80,6 +80,20 @@ let test_ledger_corrupt_lines () =
     (List.exists (fun r -> r.Ledger.section = "after") loaded);
   Alcotest.(check int) "corrupt lines counted" 3 skipped
 
+let test_ledger_corrupt_only () =
+  (* a ledger of nothing but corruption: zero records, every line
+     counted — the count is the only evidence the file was not empty *)
+  let path = Filename.temp_file "pcolor_ledger" ".jsonl" in
+  let oc = open_out path in
+  output_string oc "{\"section\":\n";
+  output_string oc "}{][\n";
+  output_string oc "\"just a string\"\n";
+  close_out oc;
+  let loaded, skipped = Ledger.load ~path in
+  Sys.remove path;
+  Alcotest.(check int) "no records" 0 (List.length loaded);
+  Alcotest.(check int) "every corrupt line counted" 3 skipped
+
 let test_ledger_missing_file () =
   let loaded, skipped = Ledger.load ~path:"/nonexistent/pcolor_ledger.jsonl" in
   Alcotest.(check int) "empty" 0 (List.length loaded);
@@ -146,6 +160,31 @@ let test_prof_manual_bracketing () =
     Alcotest.(check int) "two calls" 2 r.Prof.calls
   | rows -> Alcotest.fail (Printf.sprintf "expected 1 row, got %d" (List.length rows))
 
+(* ---- 3b. sign-test CI degradation at tiny trial counts ---- *)
+
+let test_stat_ci_n1 () =
+  (* one trial: every order statistic is that trial; the sign-test CI
+     honestly collapses to the point — exactly what a legacy flat
+     float decodes to *)
+  let s = Stat.summarize [| 5.0 |] in
+  Alcotest.(check int) "n" 1 s.Stat.n;
+  Alcotest.(check (float 0.0)) "median" 5.0 s.Stat.median;
+  Alcotest.(check (float 0.0)) "mad" 0.0 s.Stat.mad;
+  Alcotest.(check (float 0.0)) "ci_lo = point" 5.0 s.Stat.ci_lo;
+  Alcotest.(check (float 0.0)) "ci_hi = point" 5.0 s.Stat.ci_hi
+
+let test_stat_ci_n2 () =
+  (* two trials: 95% coverage needs six sign flips, so the interval
+     degrades to the full range [min, max], never an interior rank *)
+  let s = Stat.summarize [| 9.0; 3.0 |] in
+  Alcotest.(check int) "n" 2 s.Stat.n;
+  Alcotest.(check (float 1e-9)) "median is the midpoint" 6.0 s.Stat.median;
+  Alcotest.(check (float 1e-9)) "mad" 3.0 s.Stat.mad;
+  Alcotest.(check (float 0.0)) "ci_lo = min" 3.0 s.Stat.ci_lo;
+  Alcotest.(check (float 0.0)) "ci_hi = max" 9.0 s.Stat.ci_hi;
+  Alcotest.(check (float 0.0)) "min_v" 3.0 s.Stat.min_v;
+  Alcotest.(check (float 0.0)) "max_v" 9.0 s.Stat.max_v
+
 (* ---- 4. perf check ---- *)
 
 let parse s = match Json.parse s with Ok v -> v | Error e -> Alcotest.fail e
@@ -184,6 +223,28 @@ let test_check_interval_baseline () =
          (Perf.render_check ~margin:0.5 vs ~missing:[]))
   | _ -> Alcotest.fail "expected one verdict")
 
+let test_section_artifact_rate_preferred () =
+  (* a generic section artifact carrying the PR 9 "rate" object is
+     read as a real refs/sec interval, not the flat-seconds point *)
+  let v =
+    parse
+      {|{"section":"figure2","seconds":0.6,"rate":{"refs":100,"refs_per_sec":100.0,"mad":5.0,"ci_lo":90.0,"ci_hi":110.0,"trials":[90.0,100.0,110.0]}}|}
+  in
+  (match Perf.sections_of_artifact v with
+  | [ (section, unit_name, r) ] ->
+    Alcotest.(check string) "section" "figure2" section;
+    Alcotest.(check string) "unit" "refs_per_sec" unit_name;
+    Alcotest.(check (float 0.0)) "median" 100.0 r.Perf.median;
+    Alcotest.(check (float 0.0)) "ci_lo survives" 90.0 r.Perf.ci_lo;
+    Alcotest.(check int) "trials survive" 3 (Array.length r.Perf.trials)
+  | l -> Alcotest.fail (Printf.sprintf "expected one section, got %d" (List.length l)));
+  (* without the rate object the legacy point-seconds decode remains *)
+  match Perf.sections_of_artifact (parse {|{"section":"figure2","seconds":0.6}|}) with
+  | [ ("figure2", "seconds", r) ] ->
+    Alcotest.(check (float 0.0)) "point" 0.6 r.Perf.median;
+    Alcotest.(check (float 0.0)) "point ci" 0.6 r.Perf.ci_lo
+  | _ -> Alcotest.fail "legacy decode changed"
+
 let test_check_missing_sections () =
   let base = parse {|{"single_domain":{"refs_per_sec":100.0},"replay":{"refs_per_sec":10.0}}|} in
   let fresh = parse {|{"single_domain":{"refs_per_sec":100.0}}|} in
@@ -211,13 +272,74 @@ let test_render_history () =
   Alcotest.(check bool) "filter drops single_domain" false
     (contains ~needle:"single_domain" only_mix)
 
+let test_render_history_known_filter () =
+  let records =
+    [
+      mk_record [| 10.0; 11.0; 12.0 |];
+      mk_record ~section:"old_renamed_section" [| 3.0 |];
+      mk_record ~section:"old_renamed_section" [| 4.0 |];
+    ]
+  in
+  let count ~needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i acc =
+      if i + n > h then acc
+      else go (i + 1) (if String.sub hay i n = needle then acc + 1 else acc)
+    in
+    go 0 0
+  in
+  let s = Perf.render_history ~known:[ "single_domain"; "mix" ] records ~skipped:0 in
+  Alcotest.(check bool) "known section rendered" true (contains ~needle:"single_domain" s);
+  Alcotest.(check int) "stale section appears only in the skip summary, not as a strip" 1
+    (count ~needle:"old_renamed_section" s);
+  Alcotest.(check bool) "skip summary counts records" true
+    (contains ~needle:"skipped 2 record(s)" s);
+  (* no ?known: stale sections render as before (default unchanged) *)
+  let all = Perf.render_history records ~skipped:0 in
+  Alcotest.(check bool) "unfiltered still renders stale sections" true
+    (contains ~needle:"old_renamed_section" all);
+  Alcotest.(check bool) "unfiltered has no skip summary" false
+    (contains ~needle:"not in the current bench set" all)
+
+let test_render_history_filtered_to_nothing () =
+  let records = [ mk_record ~section:"old_renamed_section" [| 3.0 |] ] in
+  (* ledger holds only stale sections: say so instead of "empty" *)
+  let s = Perf.render_history ~known:[ "single_domain" ] records ~skipped:0 in
+  Alcotest.(check bool) "not reported as empty" false (contains ~needle:"ledger is empty" s);
+  Alcotest.(check bool) "explains the filter" true
+    (contains ~needle:"no records for any current bench section" s);
+  Alcotest.(check bool) "names what the ledger holds" true
+    (contains ~needle:"old_renamed_section" s);
+  (* a --section miss gets the same treatment *)
+  let s = Perf.render_history ~section:"nope" records ~skipped:0 in
+  Alcotest.(check bool) "section miss explained" true
+    (contains ~needle:"no records for section nope" s);
+  (* a truly empty ledger still reads as empty *)
+  Alcotest.(check bool) "empty ledger message kept" true
+    (contains ~needle:"ledger is empty" (Perf.render_history [] ~skipped:0));
+  (* the known-section registry tracks the bench sections we ship *)
+  List.iter
+    (fun sect ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s is a known section" sect)
+        true
+        (List.mem sect Perf.known_sections))
+    [ "figure2"; "figure2/sweep"; "single_domain"; "mix"; "hash/grid" ]
+
 let suite =
   [
     ( "perf.ledger",
       [
         Alcotest.test_case "append/load round-trip" `Quick test_ledger_roundtrip;
         Alcotest.test_case "corrupt lines skipped, counted" `Quick test_ledger_corrupt_lines;
+        Alcotest.test_case "all-corrupt ledger: zero records, full count" `Quick
+          test_ledger_corrupt_only;
         Alcotest.test_case "missing file is empty ledger" `Quick test_ledger_missing_file;
+      ] );
+    ( "perf.stat",
+      [
+        Alcotest.test_case "sign-test CI at n=1 is the point" `Quick test_stat_ci_n1;
+        Alcotest.test_case "sign-test CI at n=2 is the full range" `Quick test_stat_ci_n2;
       ] );
     ( "perf.prof",
       [
@@ -232,8 +354,16 @@ let suite =
       [
         Alcotest.test_case "legacy point baseline" `Quick test_check_legacy_point_baseline;
         Alcotest.test_case "interval baseline" `Quick test_check_interval_baseline;
+        Alcotest.test_case "section artifact: rate object preferred" `Quick
+          test_section_artifact_rate_preferred;
         Alcotest.test_case "missing sections reported" `Quick test_check_missing_sections;
       ] );
     ( "perf.history",
-      [ Alcotest.test_case "sparkline trend render" `Quick test_render_history ] );
+      [
+        Alcotest.test_case "sparkline trend render" `Quick test_render_history;
+        Alcotest.test_case "known-section filter summarizes stale records" `Quick
+          test_render_history_known_filter;
+        Alcotest.test_case "filtered-to-nothing says why" `Quick
+          test_render_history_filtered_to_nothing;
+      ] );
   ]
